@@ -1,0 +1,18 @@
+"""Figure 1: speedup vs. prefetch-distance per work-function complexity."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_distance_sweep_by_complexity(run_experiment):
+    result = run_experiment(fig1)
+    optima = {
+        c: result.summary[f"optimal_distance_{c}"]
+        for c in ("low", "medium", "high")
+    }
+    # Paper shape: optimal distance shrinks as work complexity grows.
+    assert optima["low"] >= optima["medium"] >= optima["high"]
+    assert optima["low"] > optima["high"]
+    # Gains at the optimum are substantial (paper: >2x for medium).
+    best_by_row = {row[0]: max(row[1:]) for row in result.rows}
+    assert best_by_row["low"] > 1.5
+    assert best_by_row["medium"] > 1.3

@@ -1,0 +1,27 @@
+"""Figure 2: inner-loop prefetching effectiveness vs. trip count."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_trip_count_sensitivity(run_experiment):
+    result = run_experiment(fig2)
+    best = {t: result.summary[f"best_speedup_trip{t}"] for t in (4, 16, 64)}
+    # Paper shape: gains shrink as the trip count shrinks, and short
+    # loops only profit from *small* distances — the motivation for the
+    # outer injection site.
+    assert best[4] < best[16] < best[64]
+    headers = result.headers
+    by_trip = {row[0]: dict(zip(headers[1:], row[1:])) for row in result.rows}
+    largest = headers[-1]
+    # At the largest swept distance, the short loop has lost (almost)
+    # all of its best-case benefit; the long loop keeps more of it.
+    assert by_trip["INNER=4"][largest] < 0.8 * best[4] + 0.3
+    # The short loop's optimum sits at a smaller distance than the long
+    # loop's.
+    def optimal_distance(trip_row):
+        values = by_trip[trip_row]
+        return max(values, key=values.get)
+
+    assert int(optimal_distance("INNER=4")[2:]) <= int(
+        optimal_distance("INNER=64")[2:]
+    )

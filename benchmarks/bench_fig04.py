@@ -1,0 +1,12 @@
+"""Figure 4: multi-modal loop-latency distribution of a delinquent load."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_latency_distribution_peaks(run_experiment):
+    result = run_experiment(fig4)
+    # Paper shape: multiple peaks, one per serving memory level; the
+    # memory component (highest - lowest peak) is on the DRAM scale.
+    assert result.summary["n_peaks"] >= 2
+    assert result.summary["ic_latency"] > 0
+    assert result.summary["mc_latency"] > 100

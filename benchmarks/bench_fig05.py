@@ -1,0 +1,12 @@
+"""Figure 5: memory-boundedness of the evaluation suite."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_memory_boundedness(run_experiment):
+    result = run_experiment(fig5)
+    # Paper shape: the suite is substantially memory bound on average
+    # (49.4% on an OoO Xeon; more on the blocking simulated core).
+    assert result.summary["average_memory_bound"] > 0.4
+    fractions = result.column("memory-bound")
+    assert all(0.0 <= f <= 1.0 for f in fractions)

@@ -1,0 +1,16 @@
+"""Figure 6: headline speedups — APT-GET vs Ainsworth & Jones."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_headline_speedups(run_experiment):
+    result = run_experiment(fig6)
+    # Paper shape: APT-GET clearly beats both the baseline and A&J in
+    # geomean, with large best cases.
+    assert result.summary["geomean_apt_get"] > 1.1
+    assert result.summary["geomean_apt_get"] > result.summary["geomean_aj"]
+    assert result.summary["max_apt_get"] > 1.5
+    # APT-GET improves (or at worst roughly matches) the baseline for
+    # nearly every workload (paper: all but CG).
+    apt = result.column("APT-GET")
+    assert sum(1 for s in apt if s >= 0.97) >= len(apt) - 1

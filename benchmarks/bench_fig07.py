@@ -1,0 +1,14 @@
+"""Figure 7: LLC MPKI reduction."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_mpki_reduction(run_experiment):
+    result = run_experiment(fig7)
+    # Paper shape: APT-GET removes more misses than A&J on average
+    # (65.4% vs 48.3%).
+    assert result.summary["avg_reduction_apt_get"] > 0.3
+    assert (
+        result.summary["avg_reduction_apt_get"]
+        > result.summary["avg_reduction_aj"]
+    )

@@ -1,0 +1,13 @@
+"""Figure 8: LBR-derived distance vs. exhaustive best distance."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_lbr_near_optimal(run_experiment):
+    result = run_experiment(fig8)
+    # Paper shape: one LBR profile lands within a few percent of the
+    # exhaustive sweep (1.30x vs 1.32x geomean).
+    lbr = result.summary["geomean_lbr"]
+    best = result.summary["geomean_best"]
+    assert best >= lbr  # the sweep can only be better or equal
+    assert lbr >= 0.88 * best

@@ -1,0 +1,13 @@
+"""Figure 9: static distances {4,16,64} vs. the LBR-derived distance."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_static_vs_lbr(run_experiment):
+    result = run_experiment(fig9)
+    # Paper shape: the LBR distance beats every single static value in
+    # geomean (1.30x vs 1.16/1.26/1.28x).
+    lbr = result.summary["geomean_lbr"]
+    statics = [result.summary[f"geomean_d{d}"] for d in (4, 16, 64)]
+    assert lbr >= max(statics) * 0.97
+    assert lbr > min(statics)

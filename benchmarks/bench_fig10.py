@@ -1,0 +1,14 @@
+"""Figure 10: inner vs. outer prefetch-injection site."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_injection_site(run_experiment):
+    result = run_experiment(fig10)
+    inner = result.column("inner speedup")
+    outer = result.column("outer speedup")
+    # Paper shape: for most short-trip-count nested workloads the outer
+    # site wins and the inner site is ineffective or harmful.
+    wins_outer = sum(1 for i, o in zip(inner, outer) if o > i)
+    assert wins_outer >= len(inner) // 2
+    assert max(outer) > 1.2

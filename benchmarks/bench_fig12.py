@@ -1,0 +1,14 @@
+"""Figure 12: profile-input sensitivity (train vs. test data)."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_input_generalization(run_experiment):
+    result = run_experiment(fig12)
+    # Paper shape: profiles generalize across inputs — test-input
+    # speedups track train-input speedups (1.36x vs 1.39x average).
+    train = result.summary["avg_train"]
+    test = result.summary["avg_test"]
+    assert train > 1.0
+    assert test > 1.0
+    assert abs(train - test) / train < 0.35

@@ -1,0 +1,17 @@
+"""§2's ideal-prefetcher upper bound: fraction of ideal savings recovered."""
+
+from repro.experiments import ideal
+
+
+def test_ideal_headroom(run_experiment):
+    result = run_experiment(ideal)
+    # The ideal bound is a real upper bound...
+    for row in result.rows:
+        assert row[1] >= row[2] * 0.99 or row[1] >= row[3] * 0.99
+    # ...and APT-GET recovers substantially more of it than the static
+    # baseline (the paper's §2 conclusion).
+    assert (
+        result.summary["avg_fraction_apt_get"]
+        > result.summary["avg_fraction_aj"]
+    )
+    assert result.summary["avg_fraction_apt_get"] > 0.5

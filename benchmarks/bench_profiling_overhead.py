@@ -1,0 +1,13 @@
+"""§4.10: profiling overhead of one LBR/PEBS run."""
+
+from repro.experiments import profiling_overhead
+
+
+def test_profiling_overhead(run_experiment):
+    result = run_experiment(profiling_overhead)
+    # Sampling hardware is transparent: identical simulated cycles.
+    assert all(row[1] == 1.0 for row in result.rows)
+    # Host-side tooling slowdown stays small (paper: seconds per run).
+    assert result.summary["max_host_slowdown"] < 5.0
+    # One run yields enough data to produce hints for every workload.
+    assert all(row[5] >= 1 for row in result.rows)

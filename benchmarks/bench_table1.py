@@ -1,0 +1,22 @@
+"""Table 1: prefetch accuracy and timeliness vs. prefetch-distance."""
+
+from repro.experiments import table1
+
+
+def test_table1_accuracy_and_timeliness(run_experiment):
+    result = run_experiment(table1)
+    rows = {row[0]: row for row in result.rows}
+    # Shape assertions against the paper's Table 1.
+    ipc = {label: row[1] for label, row in rows.items()}
+    accuracy = {label: row[2] for label, row in rows.items()}
+    late = {label: row[3] for label, row in rows.items()}
+    # Short distances are accurate but late; mid distances accurate and
+    # timely; beyond-trip-count distances lose accuracy.
+    assert accuracy["Dist-1"] > 0.5
+    assert late["Dist-1"] > 0.5
+    assert accuracy["Dist-64"] > 0.5
+    assert late["Dist-64"] < 0.1
+    assert accuracy["Dist-1024"] < 0.2
+    # IPC ordering: the timely distance wins.
+    assert ipc["Dist-64"] > ipc["Dist-1"] > ipc["None"]
+    assert ipc["Dist-64"] > ipc["Dist-1024"]

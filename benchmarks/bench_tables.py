@@ -1,0 +1,21 @@
+"""Static table reproductions: Table 2 (machine), Table 3 (applications),
+Table 4 (graph data-sets)."""
+
+from repro.experiments import table2, table3, table4
+
+
+def test_table2_machine_configuration(run_experiment):
+    result = run_experiment(table2)
+    assert result.summary["miss_latency_cycles"] > 100
+
+
+def test_table3_application_inventory(run_experiment):
+    result = run_experiment(table3)
+    assert result.summary["applications"] >= 10
+    assert all(row[3] >= 1 for row in result.rows)
+
+
+def test_table4_dataset_catalog(run_experiment):
+    result = run_experiment(table4)
+    assert len(result.rows) == 8
+    assert result.summary["max_avg_degree_error"] < 0.1

@@ -1,0 +1,39 @@
+"""Benchmark configuration: every bench regenerates one paper table or
+figure at the 'small' scale and prints the reproduced rows.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale can be overridden: ``REPRO_BENCH_SCALE=tiny pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import pytest
+
+# scipy's CWT peak finder divides by zero on flat noise estimates.
+warnings.filterwarnings("ignore", category=RuntimeWarning, module="scipy")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture()
+def run_experiment(benchmark, scale):
+    """Benchmark one experiment module and print its reproduction table."""
+
+    def runner(module, **kwargs):
+        result = benchmark.pedantic(
+            lambda: module.run(scale, **kwargs), iterations=1, rounds=1
+        )
+        print()
+        print(result.to_text())
+        return result
+
+    return runner

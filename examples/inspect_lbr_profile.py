@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Look inside an LBR profile: delinquent loads, loop-latency
+distributions, detected peaks, and the Eq-1/Eq-2 inputs (paper Fig 4).
+
+Prints an ASCII histogram of the hottest load's loop-iteration latency —
+you should see one peak per memory level (IC / +LLC / +DRAM), exactly
+the multi-modal structure the paper's Fig 4 shows.
+
+Run:  python examples/inspect_lbr_profile.py
+"""
+
+from repro.core import AptGet
+from repro.machine import Machine
+from repro.profiling import collect_profile
+from repro.workloads import BFSWorkload, dataset
+
+
+def ascii_histogram(latencies, bins=30, width=50) -> str:
+    top = max(latencies)
+    bin_width = max(1, top // bins)
+    counts = {}
+    for latency in latencies:
+        bucket = (latency // bin_width) * bin_width
+        counts[bucket] = counts.get(bucket, 0) + 1
+    peak = max(counts.values())
+    lines = []
+    for bucket in sorted(counts):
+        bar = "#" * max(1, counts[bucket] * width // peak)
+        lines.append(f"  {bucket:5d}-{bucket + bin_width - 1:5d} | {bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    workload = BFSWorkload(dataset("loc-Brightkite"))
+    module, space = workload.build()
+    machine = Machine(module, space)
+    profile = collect_profile(machine, workload.entry)
+
+    print(f"{len(profile.lbr_samples)} LBR snapshots, "
+          f"{len(profile.load_miss_counts)} PCs with long-latency loads")
+    print("\ndelinquent loads (by total sampled miss latency):")
+    for pc in profile.delinquent_loads(top=5, min_count=4):
+        count = profile.load_miss_counts[pc]
+        total = profile.load_miss_latency[pc]
+        print(f"  {pc:#x}: {count} samples, {total:,} cycles total")
+
+    hottest = profile.delinquent_loads(top=1, min_count=4)[0]
+    analysis = AptGet().analyze_load(module, profile, hottest)
+    assert analysis is not None
+
+    dist = analysis.inner_distribution
+    print(f"\nloop-latency distribution of load {hottest:#x} "
+          f"({dist.count} iteration samples):")
+    print(ascii_histogram(dist.latencies))
+    print(f"\ndetected peaks: {dist.peaks} (masses {dist.peak_masses})")
+    print(f"IC latency (lowest peak): {dist.ic_latency} cycles")
+    print(f"miss latency (highest peak): {dist.miss_latency} cycles")
+    print(f"MC latency (hideable): {dist.mc_latency} cycles")
+
+    hint = analysis.hint
+    assert hint is not None
+    trip = f"{hint.trip_count:.1f}" if hint.trip_count else "unmeasured"
+    print(f"\nEq-1 distance = ceil(MC/IC) = {hint.distance}")
+    print(f"measured inner trip count = {trip}")
+    print(f"Eq-2 site = {hint.site.value} (sweep {hint.sweep})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Artifact-evaluation driver: regenerate every paper table and figure.
+
+Writes, per experiment, a text rendering and a JSON payload into
+``results/`` and finishes with a one-page summary.  This is the script
+behind EXPERIMENTS.md.
+
+Usage:
+    python scripts/run_all_experiments.py [--scale tiny|small|full]
+                                          [--only fig6,fig7] [--out results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+warnings.filterwarnings("ignore")
+
+from repro.experiments import ALL_EXPERIMENTS  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "full"))
+    parser.add_argument("--only", default=None,
+                        help="comma-separated experiment ids")
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    selected = (
+        {name.strip() for name in args.only.split(",")}
+        if args.only
+        else set(ALL_EXPERIMENTS)
+    )
+    unknown = selected - set(ALL_EXPERIMENTS)
+    if unknown:
+        print(f"unknown experiments: {sorted(unknown)}", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    summary_lines = []
+    for name in ALL_EXPERIMENTS:
+        if name not in selected:
+            continue
+        started = time.time()
+        print(f"== {name} ({args.scale}) ==", flush=True)
+        result = ALL_EXPERIMENTS[name].run(args.scale)
+        elapsed = time.time() - started
+        text = result.to_text()
+        print(text)
+        print(f"[{elapsed:.1f}s]\n", flush=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        (out_dir / f"{name}.json").write_text(
+            json.dumps(
+                {
+                    "experiment": result.experiment,
+                    "title": result.title,
+                    "scale": args.scale,
+                    "headers": result.headers,
+                    "rows": result.rows,
+                    "summary": result.summary,
+                    "notes": result.notes,
+                    "seconds": round(elapsed, 1),
+                },
+                indent=2,
+            )
+        )
+        summary = ", ".join(f"{k}={v}" for k, v in result.summary.items())
+        summary_lines.append(f"{name:8s} [{elapsed:7.1f}s] {summary}")
+
+    print("=" * 72)
+    print("\n".join(summary_lines))
+    # Rebuild the summary from every result JSON present so partial
+    # --only runs refresh their lines without clobbering the rest.
+    lines = []
+    for experiment_id in ALL_EXPERIMENTS:
+        json_path = out_dir / f"{experiment_id}.json"
+        if not json_path.exists():
+            continue
+        payload = json.loads(json_path.read_text())
+        summary = ", ".join(
+            f"{k}={v}" for k, v in payload.get("summary", {}).items()
+        )
+        lines.append(
+            f"{experiment_id:8s} [{payload.get('seconds', 0):7.1f}s] {summary}"
+        )
+    (out_dir / "SUMMARY.txt").write_text("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

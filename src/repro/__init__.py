@@ -1,0 +1,22 @@
+"""APT-GET reproduction: profile-guided timely software prefetching.
+
+Top-level convenience re-exports; see DESIGN.md for the package map.
+"""
+
+from repro.ir import IRBuilder, Module, Opcode, verify_module
+from repro.machine import Machine, MachineConfig
+from repro.mem import AddressSpace, MemoryConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressSpace",
+    "IRBuilder",
+    "Machine",
+    "MachineConfig",
+    "MemoryConfig",
+    "Module",
+    "Opcode",
+    "verify_module",
+    "__version__",
+]

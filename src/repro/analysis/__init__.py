@@ -1,0 +1,49 @@
+"""Static analyses over the miniature IR: CFG, dominators, loops, slices."""
+
+from repro.analysis.cfg import (
+    block_of_map,
+    definitions_map,
+    dominates,
+    immediate_dominators,
+    predecessors_map,
+    reverse_postorder,
+    successors_map,
+)
+from repro.analysis.loops import (
+    InductionVariable,
+    Loop,
+    LoopBound,
+    find_loops,
+    induction_variables,
+    innermost_loop_of,
+    loop_bound,
+)
+from repro.analysis.slices import (
+    LoadSlice,
+    extract_load_slice,
+    extract_value_slice,
+    find_indirect_loads,
+    slice_for_pc,
+)
+
+__all__ = [
+    "InductionVariable",
+    "LoadSlice",
+    "Loop",
+    "LoopBound",
+    "block_of_map",
+    "definitions_map",
+    "dominates",
+    "extract_load_slice",
+    "extract_value_slice",
+    "find_indirect_loads",
+    "find_loops",
+    "immediate_dominators",
+    "induction_variables",
+    "innermost_loop_of",
+    "loop_bound",
+    "predecessors_map",
+    "reverse_postorder",
+    "slice_for_pc",
+    "successors_map",
+]

@@ -1,0 +1,115 @@
+"""Control-flow-graph utilities: orders, dominators, def-use maps."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.nodes import Function, Instruction
+
+
+def successors_map(function: Function) -> dict[str, tuple]:
+    return {block.name: block.successors() for block in function.blocks}
+
+
+def predecessors_map(function: Function) -> dict[str, list[str]]:
+    return function.predecessors()
+
+
+def reverse_postorder(function: Function) -> list[str]:
+    """Block names in reverse postorder from the entry (unreachable blocks
+    are excluded)."""
+    successors = successors_map(function)
+    visited: set[str] = set()
+    postorder: list[str] = []
+
+    def visit(name: str) -> None:
+        stack = [(name, iter(successors[name]))]
+        visited.add(name)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, iter(successors[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(function.entry.name)
+    return list(reversed(postorder))
+
+
+def immediate_dominators(function: Function) -> dict[str, Optional[str]]:
+    """Cooper-Harvey-Kennedy iterative dominator computation.
+
+    Returns a map ``block -> immediate dominator`` with the entry mapping
+    to ``None``.  Unreachable blocks are absent.
+    """
+    order = reverse_postorder(function)
+    index = {name: i for i, name in enumerate(order)}
+    preds = predecessors_map(function)
+    entry = function.entry.name
+
+    idom: dict[str, Optional[str]] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            if name == entry:
+                continue
+            candidates = [p for p in preds[name] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(name) != new_idom:
+                idom[name] = new_idom
+                changed = True
+
+    result: dict[str, Optional[str]] = {}
+    for name in order:
+        result[name] = None if name == entry else idom[name]
+    return result
+
+
+def dominates(
+    idom: dict[str, Optional[str]], dominator: str, block: str
+) -> bool:
+    """True iff ``dominator`` dominates ``block`` under the idom tree."""
+    current: Optional[str] = block
+    while current is not None:
+        if current == dominator:
+            return True
+        current = idom.get(current)
+    return False
+
+
+def definitions_map(function: Function) -> dict[str, Instruction]:
+    """Map register name -> its defining instruction (SSA assumption)."""
+    result: dict[str, Instruction] = {}
+    for instruction in function.instructions():
+        if instruction.dst is not None:
+            result[instruction.dst] = instruction
+    return result
+
+
+def block_of_map(function: Function) -> dict[int, str]:
+    """Map ``id(instruction)`` -> owning block name."""
+    result: dict[int, str] = {}
+    for block in function.blocks:
+        for instruction in block.instructions:
+            result[id(instruction)] = block.name
+    return result

@@ -1,0 +1,294 @@
+"""Natural-loop detection, nesting, induction variables, and loop bounds.
+
+The injection passes need, per loop:
+
+* the header block and the back-edge ("latch") branches — their PCs are
+  what shows up in LBR samples as the repeating loop branch;
+* the induction PHI(s) and their step operation (canonical ``i += c`` as
+  well as non-canonical ``i *= c``, per paper §3.5);
+* the loop bound operand, extracted from the exiting compare, used to
+  clamp prefetch indices (Listing 4's ``min(INNER, iv+dist)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.cfg import (
+    definitions_map,
+    dominates,
+    immediate_dominators,
+    predecessors_map,
+    successors_map,
+)
+from repro.ir.nodes import Function, Instruction, Operand
+from repro.ir.opcodes import Opcode
+
+
+@dataclass
+class InductionVariable:
+    """A loop-carried PHI updated by a simple recurrence each iteration."""
+
+    phi: Instruction  # the PHI instruction in the loop header
+    init: Operand  # value entering from outside the loop
+    step_op: Opcode  # ADD, SUB, or MUL
+    step: Operand  # per-iteration increment/factor
+    update: Instruction  # the instruction computing the next value
+
+    @property
+    def register(self) -> str:
+        assert self.phi.dst is not None
+        return self.phi.dst
+
+    @property
+    def is_canonical(self) -> bool:
+        return self.step_op is Opcode.ADD and self.step == 1
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the blocks of its body."""
+
+    header: str
+    body: set[str] = field(default_factory=set)
+    latches: list[str] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+    children: list["Loop"] = field(default_factory=list)
+    function: Optional[Function] = None
+
+    @property
+    def depth(self) -> int:
+        depth, current = 1, self.parent
+        while current is not None:
+            depth += 1
+            current = current.parent
+        return depth
+
+    def contains_block(self, name: str) -> bool:
+        return name in self.body
+
+    def contains_instruction(self, instruction: Instruction) -> bool:
+        assert self.function is not None
+        for name in self.body:
+            if instruction in self.function.block(name).instructions:
+                return True
+        return False
+
+    def latch_branch_pcs(self) -> list[int]:
+        """PCs of the terminators of latch blocks (the LBR loop branches)."""
+        assert self.function is not None
+        return [self.function.block(latch).end_pc for latch in self.latches]
+
+    def exit_edges(self) -> list[tuple[str, str]]:
+        """Edges (src, dst) leaving the loop."""
+        assert self.function is not None
+        edges = []
+        for name in self.body:
+            for successor in self.function.block(name).successors():
+                if successor not in self.body:
+                    edges.append((name, successor))
+        return edges
+
+    def preheader(self) -> Optional[str]:
+        """The unique out-of-loop predecessor of the header, if any."""
+        assert self.function is not None
+        preds = [
+            p
+            for p in predecessors_map(self.function)[self.header]
+            if p not in self.body
+        ]
+        if len(preds) == 1:
+            return preds[0]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Loop header={self.header} depth={self.depth} "
+            f"blocks={sorted(self.body)}>"
+        )
+
+
+def find_loops(function: Function) -> list[Loop]:
+    """Detect all natural loops and their nesting; innermost-last order.
+
+    Back edges are edges ``u -> h`` where ``h`` dominates ``u``.  Loops
+    sharing a header are merged (standard practice).
+    """
+    idom = immediate_dominators(function)
+    successors = successors_map(function)
+    predecessors = predecessors_map(function)
+
+    loops_by_header: dict[str, Loop] = {}
+    for name in idom:  # reachable blocks only
+        for successor in successors[name]:
+            if successor in idom and dominates(idom, successor, name):
+                loop = loops_by_header.setdefault(
+                    successor, Loop(header=successor, function=function)
+                )
+                loop.latches.append(name)
+                # Natural loop body: header + nodes reaching the latch
+                # without passing through the header.
+                loop.body.add(successor)
+                stack = [name]
+                while stack:
+                    node = stack.pop()
+                    if node in loop.body:
+                        continue
+                    loop.body.add(node)
+                    stack.extend(
+                        p for p in predecessors[node] if p in idom
+                    )
+
+    loops = sorted(
+        loops_by_header.values(), key=lambda loop: len(loop.body), reverse=True
+    )
+    # Establish nesting: the smallest strict superset is the parent.
+    for i, loop in enumerate(loops):
+        best: Optional[Loop] = None
+        for candidate in loops[:i]:
+            if loop.header in candidate.body and candidate is not loop:
+                if loop.body < candidate.body or (
+                    loop.body <= candidate.body and loop.header != candidate.header
+                ):
+                    if best is None or len(candidate.body) < len(best.body):
+                        best = candidate
+        if best is not None:
+            loop.parent = best
+            best.children.append(loop)
+    return loops
+
+
+def innermost_loop_of(loops: list[Loop], block_name: str) -> Optional[Loop]:
+    """The deepest loop containing ``block_name``."""
+    best: Optional[Loop] = None
+    for loop in loops:
+        if block_name in loop.body:
+            if best is None or len(loop.body) < len(best.body):
+                best = loop
+    return best
+
+
+def induction_variables(function: Function, loop: Loop) -> list[InductionVariable]:
+    """Find induction PHIs in ``loop``'s header.
+
+    A PHI qualifies if its value along every latch edge is
+    ``add/sub/mul(phi, invariant)`` (in either operand order for the
+    commutative cases), covering canonical ``i++`` and non-canonical
+    ``i *= 2`` forms.
+    """
+    definitions = definitions_map(function)
+    header_block = function.block(loop.header)
+    result = []
+    for phi in header_block.phis():
+        init: Optional[Operand] = None
+        update: Optional[Instruction] = None
+        ok = True
+        for pred, value in phi.incomings:
+            if pred in loop.body:
+                if not isinstance(value, str):
+                    ok = False
+                    break
+                candidate = definitions.get(value)
+                if candidate is None or candidate.op not in (
+                    Opcode.ADD,
+                    Opcode.SUB,
+                    Opcode.MUL,
+                ):
+                    ok = False
+                    break
+                a, b = candidate.args
+                if a == phi.dst:
+                    step = b
+                elif b == phi.dst and candidate.op in (Opcode.ADD, Opcode.MUL):
+                    step = a
+                else:
+                    ok = False
+                    break
+                if isinstance(step, str) and not _is_loop_invariant(
+                    step, loop, definitions, function
+                ):
+                    ok = False
+                    break
+                if update is not None and update is not candidate:
+                    ok = False  # conflicting updates along different latches
+                    break
+                update = candidate
+            else:
+                init = value
+        if ok and update is not None and init is not None:
+            a, b = update.args
+            step = b if a == phi.dst else a
+            result.append(
+                InductionVariable(
+                    phi=phi, init=init, step_op=update.op, step=step, update=update
+                )
+            )
+    return result
+
+
+def _is_loop_invariant(
+    register: str,
+    loop: Loop,
+    definitions: dict[str, Instruction],
+    function: Function,
+) -> bool:
+    defining = definitions.get(register)
+    if defining is None:
+        return True  # function parameter
+    for name in loop.body:
+        if defining in function.block(name).instructions:
+            return False
+    return True
+
+
+@dataclass
+class LoopBound:
+    """The exit-test shape of a counted loop: ``cmp(tested, bound)``."""
+
+    compare: Instruction
+    tested: Operand  # the induction expression being compared
+    bound: Operand  # the loop-invariant limit
+    exit_block: str  # block holding the exiting branch
+
+
+def loop_bound(
+    function: Function, loop: Loop, indvar: InductionVariable
+) -> Optional[LoopBound]:
+    """Extract the bound of a counted loop, if statically visible.
+
+    Looks at each exiting branch whose condition is a compare between the
+    induction variable (or its update) and a loop-invariant operand.
+    """
+    definitions = definitions_map(function)
+    iv_regs = {indvar.register, indvar.update.dst}
+    for src, _dst in loop.exit_edges():
+        terminator = function.block(src).terminator
+        if terminator.op is not Opcode.BR:
+            continue
+        cond = terminator.args[0]
+        if not isinstance(cond, str):
+            continue
+        compare = definitions.get(cond)
+        if compare is None or compare.op not in (
+            Opcode.CMP_LT,
+            Opcode.CMP_LE,
+            Opcode.CMP_GT,
+            Opcode.CMP_GE,
+            Opcode.CMP_NE,
+            Opcode.CMP_EQ,
+        ):
+            continue
+        a, b = compare.args
+        if isinstance(a, str) and a in iv_regs:
+            tested, bound = a, b
+        elif isinstance(b, str) and b in iv_regs:
+            tested, bound = b, a
+        else:
+            continue
+        if isinstance(bound, str) and not _is_loop_invariant(
+            bound, loop, definitions, function
+        ):
+            continue
+        return LoopBound(compare=compare, tested=tested, bound=bound, exit_block=src)
+    return None

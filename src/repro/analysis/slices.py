@@ -1,0 +1,163 @@
+"""Backward load-slice extraction (the heart of both injection passes).
+
+A *load-slice* is the set of instructions that compute a load's address,
+discovered by backward depth-first search from the load's address operand
+(paper §2.1 and §3.5, after Ainsworth & Jones).  The search stops at PHI
+nodes; following the paper's extension, we keep collecting *all* PHIs the
+slice depends on — if more than one induction PHI appears, the load sits in
+a nested loop and is eligible for outer-loop injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.cfg import definitions_map
+from repro.analysis.loops import Loop, innermost_loop_of
+from repro.ir.nodes import Function, Instruction
+from repro.ir.opcodes import Opcode
+
+
+@dataclass
+class LoadSlice:
+    """The address-computation slice of one load (or arbitrary value).
+
+    ``load`` is None for value slices produced by
+    :func:`extract_value_slice`.
+    """
+
+    load: Optional[Instruction]
+    #: Instructions in dependency order (producers before consumers),
+    #: excluding PHIs and the load itself.
+    instructions: list[Instruction] = field(default_factory=list)
+    #: PHI instructions the slice depends on (stopping points of the DFS).
+    phis: list[Instruction] = field(default_factory=list)
+    #: Loads contained in the slice (excluding the target load).
+    intermediate_loads: list[Instruction] = field(default_factory=list)
+    #: Register leaves with no definition in the function (parameters).
+    free_registers: set[str] = field(default_factory=set)
+    #: True when the slice crosses a CALL result: such slices cannot be
+    #: cloned for prefetching (the call may have side effects).
+    has_call: bool = False
+
+    @property
+    def is_indirect(self) -> bool:
+        """True when the address depends on the value of another load —
+        the pattern hardware prefetchers cannot follow (``T[B[i]]``)."""
+        return bool(self.intermediate_loads)
+
+    @property
+    def phi_registers(self) -> list[str]:
+        return [phi.dst for phi in self.phis if phi.dst is not None]
+
+
+def extract_load_slice(function: Function, load: Instruction) -> LoadSlice:
+    """Backward-DFS from ``load``'s address to the controlling PHIs."""
+    if load.op is not Opcode.LOAD:
+        raise ValueError("extract_load_slice expects a LOAD instruction")
+    address = load.args[0]
+    result = _backward_slice(function, address)
+    result.load = load
+    return result
+
+
+def extract_value_slice(function: Function, register: str) -> LoadSlice:
+    """Backward-DFS from an arbitrary register to the controlling PHIs.
+
+    Used by outer-loop injection (§3.5): after reaching the inner loop's
+    induction PHI, the search continues through the PHI's *init* value
+    into the outer loop ('extending the prefetch slice to contain both
+    induction variables').
+    """
+    return _backward_slice(function, register)
+
+
+def _backward_slice(function: Function, root) -> LoadSlice:
+    definitions = definitions_map(function)
+
+    result = LoadSlice(load=None)  # type: ignore[arg-type]
+    visited: set[int] = set()
+    ordered: list[Instruction] = []
+
+    def visit(register: str) -> None:
+        defining = definitions.get(register)
+        if defining is None:
+            result.free_registers.add(register)
+            return
+        if id(defining) in visited:
+            return
+        visited.add(id(defining))
+        if defining.op is Opcode.PHI:
+            result.phis.append(defining)
+            return
+        if defining.op is Opcode.CALL:
+            result.has_call = True
+            return  # opaque: do not pull calls into prefetch slices
+        for operand in defining.register_operands():
+            visit(operand)
+        ordered.append(defining)
+        if defining.op is Opcode.LOAD:
+            result.intermediate_loads.append(defining)
+
+    if isinstance(root, str):
+        visit(root)
+    result.instructions = ordered
+    return result
+
+
+def find_indirect_loads(
+    function: Function,
+    loops: list[Loop],
+    require_indirect: bool = True,
+) -> list[tuple[Instruction, LoadSlice, Loop]]:
+    """Scan a function for prefetch candidates, Ainsworth & Jones style.
+
+    Returns ``(load, slice, innermost_loop)`` for every load that sits in a
+    loop and whose address depends on at least one induction-style PHI.
+    With ``require_indirect`` (the default, matching the paper) only loads
+    whose slice contains another load are returned; direct strided loads
+    are left to the hardware prefetcher.
+    """
+    candidates = []
+    for block in function.blocks:
+        loop = innermost_loop_of(loops, block.name)
+        if loop is None:
+            continue
+        for instruction in block.instructions:
+            if instruction.op is not Opcode.LOAD:
+                continue
+            load_slice = extract_load_slice(function, instruction)
+            if not load_slice.phis:
+                continue
+            if require_indirect and not load_slice.is_indirect:
+                continue
+            if instruction in load_slice.intermediate_loads:
+                continue
+            candidates.append((instruction, load_slice, loop))
+    # Drop loads that only serve as address feeders of another candidate —
+    # prefetching the consumer covers them.
+    feeder_ids = set()
+    for _, load_slice, _ in candidates:
+        for feeder in load_slice.intermediate_loads:
+            feeder_ids.add(id(feeder))
+    return [
+        (load, load_slice, loop)
+        for load, load_slice, loop in candidates
+        if id(load) not in feeder_ids
+    ]
+
+
+def slice_for_pc(
+    function: Function, load_pc: int
+) -> Optional[tuple[Instruction, LoadSlice]]:
+    """Resolve a profiled delinquent-load PC to its instruction and slice.
+
+    This is the reproduction's analog of AutoFDO's PC-to-IR mapping
+    (paper §3.5): our 'binary' keeps an exact PC per instruction, so the
+    mapping is lossless.
+    """
+    for instruction in function.instructions():
+        if instruction.pc == load_pc and instruction.op is Opcode.LOAD:
+            return instruction, extract_load_slice(function, instruction)
+    return None

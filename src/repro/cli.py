@@ -1,0 +1,256 @@
+"""``apt-get-prefetch`` command line.
+
+Mirrors the paper's workflow as subcommands:
+
+* ``list``        — show available workloads and experiments;
+* ``profile``     — run once with LBR/PEBS sampling, write a profile JSON
+                    (the ``perf record`` step);
+* ``analyze``     — turn a profile into a prefetch-hint file (Eq-1/Eq-2);
+* ``run``         — run a workload under a scheme (baseline, the static
+                    Ainsworth & Jones pass, or APT-GET end-to-end) and
+                    print ``perf stat``-style results;
+* ``experiment``  — regenerate a paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.aptget import AptGet, AptGetConfig
+from repro.core.hints import HintSet
+from repro.machine.machine import Machine
+from repro.passes.ainsworth_jones import AinsworthJonesConfig, AinsworthJonesPass
+from repro.passes.aptget_pass import AptGetPass
+from repro.profiling.collect import collect_profile
+from repro.profiling.profile import ExecutionProfile
+from repro.workloads.registry import SUITE, TINY_SUITE, make_workload
+
+warnings.filterwarnings("ignore", category=RuntimeWarning, module="scipy")
+
+
+def _print_perf(result) -> None:
+    summary = result.perf.summary()
+    for key, value in summary.items():
+        print(f"  {key:>22}: {value:,.4f}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    print("workloads (evaluation suite):")
+    for name in SUITE:
+        print(f"  {name}")
+    print("workloads (tiny, for quick runs):")
+    for name in TINY_SUITE:
+        print(f"  {name}")
+    print("experiments:")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    profile: Optional[ExecutionProfile] = None
+    for _ in range(max(1, args.runs)):
+        module, space = workload.build()
+        machine = Machine(module, space)
+        run_profile = collect_profile(
+            machine, workload.entry, period=args.period
+        )
+        profile = run_profile if profile is None else profile.merge(run_profile)
+    assert profile is not None
+    Path(args.output).write_text(profile.to_json())
+    print(
+        f"profiled {workload.name}: {len(profile.lbr_samples)} LBR samples, "
+        f"{len(profile.load_miss_counts)} distinct miss PCs -> {args.output}"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    module, _ = workload.build()
+    profile = ExecutionProfile.from_json(Path(args.profile).read_text())
+    analyzer = AptGet(AptGetConfig(k=args.k))
+    hints = analyzer.analyze(module, profile)
+    Path(args.output).write_text(hints.to_json())
+    print(f"wrote {len(hints)} hint(s) -> {args.output}")
+    for hint in hints:
+        print(
+            f"  load {hint.load_pc:#x}: distance={hint.distance} "
+            f"site={hint.site.value} trip={hint.trip_count} "
+            f"ic={hint.ic_latency} mc={hint.mc_latency}"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.profiling.report import format_profile_report
+
+    workload = make_workload(args.workload)
+    module, _ = workload.build()
+    if args.profile:
+        profile = ExecutionProfile.from_json(Path(args.profile).read_text())
+    else:
+        run_module, run_space = workload.build()
+        machine = Machine(run_module, run_space)
+        profile = collect_profile(machine, workload.entry)
+    print(format_profile_report(module, profile, top=args.top))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    module, space = workload.build()
+
+    if args.scheme == "aj":
+        report = AinsworthJonesPass(
+            AinsworthJonesConfig(distance=args.distance)
+        ).run(module)
+        print(f"A&J injected {report.injection_count} prefetch slice(s)")
+    elif args.scheme == "apt-get":
+        if args.hints:
+            hints = HintSet.from_json(Path(args.hints).read_text())
+        else:
+            profile_module, profile_space = workload.build()
+            machine = Machine(profile_module, profile_space)
+            profile = collect_profile(machine, workload.entry)
+            hints = AptGet().analyze(profile_module, profile)
+            print(f"profiled: {len(hints)} hint(s)")
+        report = AptGetPass(hints).run(module)
+        print(f"APT-GET injected {report.injection_count} prefetch slice(s)")
+
+    result = Machine(module, space).run(workload.entry)
+    print(f"{workload.name} [{args.scheme}]: ret={result.value}")
+    _print_perf(result)
+    if args.events:
+        print("raw events:")
+        for key, value in result.counters.as_dict().items():
+            print(f"  {key:>28}: {value:,.0f}")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.ir.printer import format_module
+    from repro.passes.ainsworth_jones import (
+        AinsworthJonesConfig as _AJC,
+        AinsworthJonesPass as _AJP,
+    )
+
+    workload = make_workload(args.workload)
+    module, _ = workload.build()
+    if args.scheme == "aj":
+        _AJP(_AJC(distance=args.distance)).run(module)
+    elif args.scheme == "apt-get":
+        profile_module, profile_space = workload.build()
+        machine = Machine(profile_module, profile_space)
+        profile = collect_profile(machine, workload.entry)
+        hints = AptGet().analyze(profile_module, profile)
+        AptGetPass(hints).run(module)
+    print(format_module(module))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    module = ALL_EXPERIMENTS.get(args.name)
+    if module is None:
+        print(f"unknown experiment {args.name!r}", file=sys.stderr)
+        return 2
+    result = module.run(args.scale)
+    print(result.to_text())
+    if args.output:
+        payload = {
+            "experiment": result.experiment,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": result.rows,
+            "summary": result.summary,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="apt-get-prefetch",
+        description="APT-GET profile-guided software prefetching (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments").set_defaults(
+        fn=cmd_list
+    )
+
+    p = sub.add_parser("profile", help="collect an LBR/PEBS profile")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--output", "-o", default="profile.json")
+    p.add_argument("--period", type=int, default=None)
+    p.add_argument(
+        "--runs", type=int, default=1, help="profiling runs to merge"
+    )
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("analyze", help="profile -> prefetch hints")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--profile", required=True)
+    p.add_argument("--output", "-o", default="hints.json")
+    p.add_argument("--k", type=float, default=5.0, help="Eq-2 constant")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("report", help="perf-report-style profile summary")
+    p.add_argument("--workload", required=True)
+    p.add_argument(
+        "--profile", default=None, help="profile JSON (default: profile now)"
+    )
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("run", help="run a workload under a scheme")
+    p.add_argument("--workload", required=True)
+    p.add_argument(
+        "--scheme", choices=("baseline", "aj", "apt-get"), default="baseline"
+    )
+    p.add_argument(
+        "--distance", type=int, default=32, help="static distance for --scheme aj"
+    )
+    p.add_argument("--hints", default=None, help="hint file for --scheme apt-get")
+    p.add_argument(
+        "--events", action="store_true", help="also dump raw PMU counters"
+    )
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "disasm", help="print a workload's IR (optionally after a pass)"
+    )
+    p.add_argument("--workload", required=True)
+    p.add_argument(
+        "--scheme", choices=("baseline", "aj", "apt-get"), default="baseline"
+    )
+    p.add_argument("--distance", type=int, default=32)
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name")
+    p.add_argument("--scale", choices=("tiny", "small", "full"), default="small")
+    p.add_argument("--output", "-o", default=None, help="also write JSON")
+    p.set_defaults(fn=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

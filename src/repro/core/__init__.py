@@ -1,0 +1,44 @@
+"""APT-GET's core contribution: LBR analysis, Eq-1 distance, Eq-2 site."""
+
+from repro.core.aptget import AptGet, AptGetConfig, LoadAnalysis
+from repro.core.distance import (
+    MAX_DISTANCE,
+    MIN_DISTANCE,
+    DistanceEstimate,
+    optimal_distance,
+)
+from repro.core.distribution import (
+    LatencyDistribution,
+    analyze_latency_distribution,
+    iteration_latencies,
+    trip_counts,
+)
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import (
+    DEFAULT_K,
+    InjectionSite,
+    SiteDecision,
+    choose_injection_site,
+    k_for_coverage,
+)
+
+__all__ = [
+    "AptGet",
+    "AptGetConfig",
+    "DEFAULT_K",
+    "DistanceEstimate",
+    "HintSet",
+    "InjectionSite",
+    "LatencyDistribution",
+    "LoadAnalysis",
+    "MAX_DISTANCE",
+    "MIN_DISTANCE",
+    "PrefetchHint",
+    "SiteDecision",
+    "analyze_latency_distribution",
+    "choose_injection_site",
+    "iteration_latencies",
+    "k_for_coverage",
+    "optimal_distance",
+    "trip_counts",
+]

@@ -1,0 +1,176 @@
+"""APT-GET's analytical pipeline: profile -> prefetch hints (paper §3.4).
+
+Fully automated steps, mirroring the paper:
+
+1. rank delinquent load PCs from PEBS-style samples;
+2. map each PC to its IR instruction and innermost loop (exact AutoFDO);
+3. measure the loop's iteration-latency distribution from LBR snapshots
+   and detect peaks (``find_peaks_cwt``);
+4. Equation (1): prefetch-distance = ceil(MC / IC);
+5. measure inner-loop trip counts; Equation (2) selects inner vs outer
+   injection, with the outer distance computed on the outer loop's own
+   latency distribution;
+6. emit a hint list for the injection pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.loops import Loop, find_loops, innermost_loop_of
+from repro.core.distance import DistanceEstimate, optimal_distance
+from repro.core.distribution import (
+    LatencyDistribution,
+    analyze_latency_distribution,
+    iteration_latencies,
+    trip_counts,
+)
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import DEFAULT_K, InjectionSite, choose_injection_site
+from repro.ir.nodes import IRError, Module
+from repro.ir.opcodes import Opcode
+from repro.profiling.profile import ExecutionProfile
+
+
+@dataclass(frozen=True)
+class AptGetConfig:
+    """Tunables of the analysis (paper defaults)."""
+
+    #: Eq-2 constant; 5 targets 80% coverage.
+    k: float = DEFAULT_K
+    #: How many delinquent loads to optimize per profile.
+    top_loads: int = 10
+    #: Minimum PEBS hits for a load to count as delinquent.
+    min_miss_count: int = 8
+    #: Outer-site sweep of inner iterations: auto = round(avg trip count).
+    sweep_auto: bool = True
+    max_sweep: int = 8
+    #: Delinquency cutoff: a load only counts as 'inducing frequent LLC
+    #: misses' (§3.2) if it contributes at least this share of the total
+    #: sampled miss latency.  Prunes noise loads whose slice overhead
+    #: would outweigh the stalls they cause (also the direction of the
+    #: paper's §4.8 'conditional prefetch slice injection' future work).
+    #: Set to 0.0 for no filtering.
+    min_latency_share: float = 0.02
+
+
+@dataclass
+class LoadAnalysis:
+    """Diagnostics for one delinquent load (useful for reports/tests)."""
+
+    load_pc: int
+    function: str
+    inner_distribution: LatencyDistribution
+    inner_estimate: DistanceEstimate
+    outer_distribution: Optional[LatencyDistribution]
+    outer_estimate: Optional[DistanceEstimate]
+    trip_count: Optional[float]
+    hint: Optional[PrefetchHint]
+
+
+class AptGet:
+    """The profile-guided analysis engine."""
+
+    def __init__(self, config: Optional[AptGetConfig] = None) -> None:
+        self.config = config or AptGetConfig()
+
+    # ------------------------------------------------------------------
+    def analyze(self, module: Module, profile: ExecutionProfile) -> HintSet:
+        """Produce prefetch hints for every delinquent load in ``profile``."""
+        hints = HintSet()
+        total_latency = sum(profile.load_miss_latency.values()) or 1
+        for load_pc in profile.delinquent_loads(
+            top=self.config.top_loads, min_count=self.config.min_miss_count
+        ):
+            share = profile.load_miss_latency.get(load_pc, 0) / total_latency
+            if share < self.config.min_latency_share:
+                continue  # conditional injection: not worth the overhead
+            analysis = self.analyze_load(module, profile, load_pc)
+            if analysis is not None and analysis.hint is not None:
+                hints.append(analysis.hint)
+        return hints
+
+    # ------------------------------------------------------------------
+    def analyze_load(
+        self, module: Module, profile: ExecutionProfile, load_pc: int
+    ) -> Optional[LoadAnalysis]:
+        """Full distribution + Eq-1 + Eq-2 analysis of one load PC."""
+        if not module.has_pc(load_pc):
+            return None
+        instruction = module.instruction_at(load_pc)
+        if instruction.op is not Opcode.LOAD:
+            return None
+        block = module.block_at(load_pc)
+        function = block.function
+        loops = find_loops(function)
+        inner = innermost_loop_of(loops, block.name)
+        if inner is None:
+            return None  # load not in a loop: nothing to time against
+
+        inner_latencies = iteration_latencies(
+            profile.lbr_samples, inner.latch_branch_pcs()
+        )
+        inner_distribution = analyze_latency_distribution(inner_latencies)
+        inner_estimate = optimal_distance(inner_distribution)
+
+        outer = inner.parent
+        outer_distribution: Optional[LatencyDistribution] = None
+        outer_estimate: Optional[DistanceEstimate] = None
+        trip: Optional[float] = None
+        if outer is not None:
+            trips = trip_counts(
+                profile.lbr_samples,
+                inner.latch_branch_pcs(),
+                outer.latch_branch_pcs(),
+            )
+            if trips:
+                trip = sum(trips) / len(trips)
+            outer_latencies = iteration_latencies(
+                profile.lbr_samples, outer.latch_branch_pcs()
+            )
+            outer_distribution = analyze_latency_distribution(outer_latencies)
+            outer_estimate = optimal_distance(outer_distribution)
+
+        decision = choose_injection_site(
+            trip_count=trip if trip is not None else float("inf"),
+            inner_distance=inner_estimate.distance,
+            k=self.config.k,
+            outer_available=(
+                outer is not None
+                and outer_estimate is not None
+                and outer_estimate.reliable
+                and trip is not None
+            ),
+        )
+
+        sweep = 1
+        if decision.site is InjectionSite.OUTER and self.config.sweep_auto:
+            sweep = max(1, min(self.config.max_sweep, round(trip or 1.0)))
+
+        hint = PrefetchHint(
+            load_pc=load_pc,
+            function=function.name,
+            distance=inner_estimate.distance,
+            site=decision.site,
+            outer_distance=(
+                outer_estimate.distance
+                if (outer_estimate is not None and outer_estimate.reliable)
+                else None
+            ),
+            trip_count=trip,
+            ic_latency=inner_estimate.ic_latency,
+            mc_latency=inner_estimate.mc_latency,
+            lbr_iterations_measured=inner_estimate.samples,
+            sweep=sweep,
+        )
+        return LoadAnalysis(
+            load_pc=load_pc,
+            function=function.name,
+            inner_distribution=inner_distribution,
+            inner_estimate=inner_estimate,
+            outer_distribution=outer_distribution,
+            outer_estimate=outer_estimate,
+            trip_count=trip,
+            hint=hint,
+        )

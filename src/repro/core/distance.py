@@ -1,0 +1,77 @@
+"""The prefetch-distance model — Equation (1) of the paper.
+
+``IC_latency x prefetch_distance = MC_latency``: a prefetch issued
+``distance`` iterations ahead has ``distance x IC`` cycles to complete; it
+fully hides the memory component when that product reaches ``MC``.  Hence
+the optimal distance is ``ceil(MC / IC)`` computed from the peaks of the
+loop's latency distribution (§3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.distribution import LatencyDistribution
+
+#: Distances are clamped into this range; 256 covers every loop in the
+#: evaluation (the paper sweeps up to 128).
+MIN_DISTANCE = 1
+MAX_DISTANCE = 256
+
+#: Below this many latency measurements the distribution is unreliable
+#: and the paper's fallback (distance 1, §3.6) applies.
+MIN_SAMPLES = 8
+
+
+@dataclass(frozen=True)
+class DistanceEstimate:
+    """Outcome of the Eq-1 model for one loop."""
+
+    distance: int
+    ic_latency: int
+    mc_latency: int
+    samples: int
+    reliable: bool
+
+    @property
+    def is_default(self) -> bool:
+        return not self.reliable
+
+
+def optimal_distance(distribution: LatencyDistribution) -> DistanceEstimate:
+    """Apply Equation (1) to a loop-latency distribution.
+
+    Fallbacks (paper §3.6):
+    * too few measurements (inner latch appears <= once per LBR snapshot
+      because the loop body holds many taken branches) -> distance 1;
+    * single-peak distribution (no visible miss component) -> distance 1.
+    """
+    samples = distribution.count
+    if samples < MIN_SAMPLES or not distribution.peaks:
+        return DistanceEstimate(
+            distance=MIN_DISTANCE,
+            ic_latency=distribution.ic_latency,
+            mc_latency=0,
+            samples=samples,
+            reliable=False,
+        )
+    ic = max(distribution.ic_latency, 1)
+    mc = distribution.mc_latency
+    if mc <= 0:
+        return DistanceEstimate(
+            distance=MIN_DISTANCE,
+            ic_latency=ic,
+            mc_latency=0,
+            samples=samples,
+            reliable=False,
+        )
+    distance = math.ceil(mc / ic)
+    distance = max(MIN_DISTANCE, min(MAX_DISTANCE, distance))
+    return DistanceEstimate(
+        distance=distance,
+        ic_latency=ic,
+        mc_latency=mc,
+        samples=samples,
+        reliable=True,
+    )

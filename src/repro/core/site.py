@@ -1,0 +1,78 @@
+"""The prefetch-injection-site model — Equation (2) of the paper.
+
+Prefetching inside a short inner loop cannot run far enough ahead: every
+inner-loop instance carries a prologue and an epilogue of ``distance``
+iterations in which prefetching does not pay off (no prefetches cover the
+first ``distance`` loads; the last ``distance`` prefetches match no demand
+load).  The covered fraction is therefore roughly ``1 - distance / trip``.
+Targeting coverage ``c`` requires ``trip >= distance / (1 - c)``; with
+``k = 1 / (1 - c)`` (the paper's example: 80% coverage -> k = 5) the
+decision is:
+
+    inject in the outer loop  iff  trip_count < k x prefetch_distance   (Eq. 2)
+
+i.e. the inner site is acceptable only when the loop runs at least
+``k x distance`` iterations per instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class InjectionSite(str, Enum):
+    INNER = "inner"
+    OUTER = "outer"
+
+
+#: Paper default: k = 5 targets 80% of demand loads covered.
+DEFAULT_K = 5.0
+
+
+def k_for_coverage(coverage: float) -> float:
+    """Derive Eq-2's constant from a target coverage fraction."""
+    if not 0.0 < coverage < 1.0:
+        raise ValueError("coverage must be in (0, 1)")
+    return 1.0 / (1.0 - coverage)
+
+
+@dataclass(frozen=True)
+class SiteDecision:
+    site: InjectionSite
+    trip_count: float
+    distance: int
+    k: float
+
+    @property
+    def threshold(self) -> float:
+        """Minimum trip count for the inner site to reach the coverage goal."""
+        return self.k * self.distance
+
+
+def choose_injection_site(
+    trip_count: float,
+    inner_distance: int,
+    k: float = DEFAULT_K,
+    outer_available: bool = True,
+) -> SiteDecision:
+    """Apply Equation (2).
+
+    ``trip_count`` is the average inner-loop trip count measured from LBR
+    samples; ``inner_distance`` is the Eq-1 distance for the inner loop.
+    When no outer loop exists — or its latency was unmeasurable because
+    high inner trip counts push the outer branch out of the 32-entry LBR
+    (§3.6, where inner injection is fine anyway) — the inner site is used
+    regardless.
+    """
+    if trip_count <= 0:
+        trip_count = 1.0
+    wants_outer = trip_count < k * inner_distance
+    site = (
+        InjectionSite.OUTER
+        if (wants_outer and outer_available)
+        else InjectionSite.INNER
+    )
+    return SiteDecision(
+        site=site, trip_count=trip_count, distance=inner_distance, k=k
+    )

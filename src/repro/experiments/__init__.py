@@ -1,0 +1,79 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale) -> ExperimentResult`` with scales
+"tiny" (unit tests), "small" (benches, default) and "full".
+"""
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    ideal,
+    profiling_overhead,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.result import ExperimentResult, format_table
+from repro.experiments.runner import (
+    SchemeRun,
+    WorkloadComparison,
+    geomean,
+    hints_with_distance,
+    hints_with_site,
+    profile_workload,
+    run_ainsworth_jones,
+    run_apt_get,
+    run_baseline,
+    run_with_hints,
+    suite_comparison,
+)
+
+#: All experiments keyed by their paper id.
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "ideal": ideal,
+    "profiling_overhead": profiling_overhead,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "SchemeRun",
+    "WorkloadComparison",
+    "format_table",
+    "geomean",
+    "hints_with_distance",
+    "hints_with_site",
+    "profile_workload",
+    "run_ainsworth_jones",
+    "run_apt_get",
+    "run_baseline",
+    "run_with_hints",
+    "suite_comparison",
+]

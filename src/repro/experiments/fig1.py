@@ -1,0 +1,59 @@
+"""Figure 1: speedup vs. prefetch-distance for three work complexities.
+
+Microbenchmark with INNER=256; static inner-loop injection swept over
+distances.  Expected shape (paper): large gains (>2x at the optimum);
+the optimal distance *decreases* as work complexity increases
+(low -> 32, medium -> 16, high -> 4 on the paper's machine).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import run_ainsworth_jones, run_baseline
+from repro.workloads.micro import IndirectMicrobenchmark
+
+COMPLEXITIES = ("low", "medium", "high")
+DISTANCES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+_SCALE_ITERATIONS = {"tiny": 8_000, "small": 40_000, "full": 150_000}
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    iterations = _SCALE_ITERATIONS.get(scale, 40_000)
+    distances = DISTANCES if scale != "tiny" else (1, 4, 16, 64, 256)
+    rows = []
+    optima: dict[str, int] = {}
+    for complexity in COMPLEXITIES:
+        baseline = run_baseline(
+            IndirectMicrobenchmark(
+                inner=256, complexity=complexity, total_iterations=iterations
+            )
+        )
+        speedups = []
+        for distance in distances:
+            optimized = run_ainsworth_jones(
+                IndirectMicrobenchmark(
+                    inner=256, complexity=complexity, total_iterations=iterations
+                ),
+                distance=distance,
+            )
+            speedups.append(baseline.cycles / optimized.cycles)
+        best = max(range(len(distances)), key=lambda i: speedups[i])
+        optima[complexity] = distances[best]
+        rows.append([complexity] + [round(s, 3) for s in speedups])
+    return ExperimentResult(
+        experiment="fig1",
+        title="Speedup vs. prefetch-distance per work complexity (INNER=256)",
+        headers=["complexity"] + [f"d={d}" for d in distances],
+        rows=rows,
+        summary={f"optimal_distance_{c}": float(optima[c]) for c in COMPLEXITIES},
+        notes="Paper optima: low=32, medium=16, high=4 (ordering matters).",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

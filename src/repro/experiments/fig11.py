@@ -1,0 +1,49 @@
+"""Figure 11: instruction overhead of prefetch-slice injection.
+
+Retired-instruction ratio vs. the non-prefetching baseline for A&J and
+APT-GET.  Expected shape (paper): APT-GET 1.14x average vs A&J 1.19x
+(APT-GET's minimal slice cloning and outer-site batching add fewer
+instructions); overhead is largest for IS and RandomAccess, whose loop
+bodies are tiny relative to the slice.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import suite_comparison
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    comparisons = suite_comparison(scale)
+    rows = []
+    aj_overheads = []
+    apt_overheads = []
+    for name, comparison in comparisons.items():
+        aj = comparison.instruction_overhead("aj")
+        apt = comparison.instruction_overhead("apt-get")
+        aj_overheads.append(aj)
+        apt_overheads.append(apt)
+        rows.append([name, round(aj, 3), round(apt, 3)])
+
+    def avg(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return ExperimentResult(
+        experiment="fig11",
+        title="Instruction overhead over the non-prefetching baseline",
+        headers=["workload", "Ainsworth&Jones", "APT-GET"],
+        rows=rows,
+        summary={
+            "avg_overhead_aj": round(avg(aj_overheads), 3),
+            "avg_overhead_apt_get": round(avg(apt_overheads), 3),
+        },
+        notes="Paper averages: A&J 1.19x, APT-GET 1.14x.",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

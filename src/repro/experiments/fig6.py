@@ -1,0 +1,45 @@
+"""Figure 6: headline execution-time speedups.
+
+APT-GET vs Ainsworth & Jones vs the non-prefetching baseline across the
+whole suite.  Expected shape (paper): APT-GET wins broadly (1.30x
+geomean, up to 1.98x for HJ8 and BFS), A&J ~1.04x with at least one
+regression (BC); APT-GET >= A&J nearly everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import geomean, suite_comparison
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    comparisons = suite_comparison(scale)
+    rows = []
+    aj_speedups = []
+    apt_speedups = []
+    for name, comparison in comparisons.items():
+        aj = comparison.speedup("aj")
+        apt = comparison.speedup("apt-get")
+        aj_speedups.append(aj)
+        apt_speedups.append(apt)
+        rows.append([name, round(aj, 3), round(apt, 3)])
+    return ExperimentResult(
+        experiment="fig6",
+        title="Execution-time speedup over the non-prefetching baseline",
+        headers=["workload", "Ainsworth&Jones", "APT-GET"],
+        rows=rows,
+        summary={
+            "geomean_aj": round(geomean(aj_speedups), 3),
+            "geomean_apt_get": round(geomean(apt_speedups), 3),
+            "max_apt_get": round(max(apt_speedups), 3),
+        },
+        notes="Paper: A&J geomean 1.04x, APT-GET geomean 1.30x (max 1.98x).",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,72 @@
+"""Experiment result containers and ASCII rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """One table/figure reproduction: a titled grid plus free-form extras."""
+
+    experiment: str  # "table1", "fig6", ...
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    #: Named scalar summaries (geomeans, averages) for assertions/reports.
+    summary: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        return format_table(
+            self.headers, self.rows, title=f"{self.experiment}: {self.title}",
+            summary=self.summary, notes=self.notes,
+        )
+
+    def column(self, header: str) -> list[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key_header: str, key: Any) -> Optional[list[Any]]:
+        index = self.headers.index(key_header)
+        for row in self.rows:
+            if row[index] == key:
+                return row
+        return None
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[Any]],
+    title: str = "",
+    summary: Optional[dict[str, float]] = None,
+    notes: str = "",
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if summary:
+        lines.append(rule)
+        for key, value in summary.items():
+            lines.append(f"{key}: {_fmt(value)}")
+    if notes:
+        lines.append(notes)
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Shared measurement harness: run workloads under the three schemes
+(no-prefetch baseline, Ainsworth & Jones static, APT-GET) and collect
+PMU results — the reproduction's ``perf stat`` wrapper around §4.1's
+methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Optional
+
+from repro.core.aptget import AptGet, AptGetConfig
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import InjectionSite
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine, RunResult
+from repro.machine.pmu import PerfStat
+from repro.passes.ainsworth_jones import (
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+    PassReport,
+)
+from repro.passes.aptget_pass import AptGetPass
+from repro.profiling.collect import collect_profile
+from repro.profiling.profile import ExecutionProfile
+from repro.workloads.base import Workload
+from repro.workloads.registry import SUITE, TINY_SUITE, make_workload
+
+#: Experiment scales: tiny = unit tests, small = benches, full = big runs.
+SCALES = ("tiny", "small", "full")
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class SchemeRun:
+    """One scheme's measured run of one workload."""
+
+    scheme: str
+    result: RunResult
+    report: Optional[PassReport] = None
+    hints: Optional[HintSet] = None
+    profile: Optional[ExecutionProfile] = None
+
+    @property
+    def perf(self) -> PerfStat:
+        return self.result.perf
+
+    @property
+    def cycles(self) -> float:
+        return self.result.counters.cycles
+
+
+@dataclass
+class WorkloadComparison:
+    """Baseline + optimized runs of one workload."""
+
+    workload: str
+    runs: dict[str, SchemeRun] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SchemeRun:
+        return self.runs["baseline"]
+
+    def speedup(self, scheme: str) -> float:
+        run = self.runs[scheme]
+        if run.cycles <= 0:
+            return 0.0
+        return self.baseline.cycles / run.cycles
+
+    def instruction_overhead(self, scheme: str) -> float:
+        base = self.baseline.result.counters.instructions
+        if base <= 0:
+            return 0.0
+        return self.runs[scheme].result.counters.instructions / base
+
+    def mpki(self, scheme: str) -> float:
+        return self.runs[scheme].perf.llc_mpki
+
+
+# ----------------------------------------------------------------------
+# Single-scheme runners
+# ----------------------------------------------------------------------
+def run_baseline(
+    workload: Workload, config: Optional[MachineConfig] = None
+) -> SchemeRun:
+    module, space = workload.build()
+    result = Machine(module, space, config=config).run(workload.entry)
+    return SchemeRun("baseline", result)
+
+
+def run_ainsworth_jones(
+    workload: Workload,
+    distance: int = 32,
+    config: Optional[MachineConfig] = None,
+) -> SchemeRun:
+    module, space = workload.build()
+    report = AinsworthJonesPass(AinsworthJonesConfig(distance=distance)).run(module)
+    result = Machine(module, space, config=config).run(workload.entry)
+    return SchemeRun(f"aj-{distance}", result, report=report)
+
+
+def profile_workload(
+    workload: Workload,
+    config: Optional[MachineConfig] = None,
+    period: Optional[int] = None,
+) -> tuple[ExecutionProfile, HintSet]:
+    """One profiling run + analysis (APT-GET steps 1-5)."""
+    module, space = workload.build()
+    machine = Machine(module, space, config=config)
+    profile = collect_profile(machine, workload.entry, period=period)
+    hints = AptGet(AptGetConfig()).analyze(module, profile)
+    return profile, hints
+
+
+def run_with_hints(
+    workload: Workload,
+    hints: HintSet,
+    config: Optional[MachineConfig] = None,
+    scheme: str = "apt-get",
+) -> SchemeRun:
+    module, space = workload.build()
+    report = AptGetPass(hints).run(module)
+    result = Machine(module, space, config=config).run(workload.entry)
+    return SchemeRun(scheme, result, report=report, hints=hints)
+
+
+def run_apt_get(
+    workload: Workload,
+    config: Optional[MachineConfig] = None,
+) -> SchemeRun:
+    profile, hints = profile_workload(workload, config=config)
+    run = run_with_hints(workload, hints, config=config)
+    run.profile = profile
+    return run
+
+
+# ----------------------------------------------------------------------
+# Hint surgery for the sensitivity experiments (Figs 8, 9, 10)
+# ----------------------------------------------------------------------
+def hints_with_distance(hints: HintSet, distance: int) -> HintSet:
+    """Copy of the hints with every distance overridden (Fig 8 sweeps)."""
+    overridden = []
+    for hint in hints:
+        clone = PrefetchHint.from_dict(hint.to_dict())
+        clone.distance = distance
+        clone.outer_distance = distance
+        overridden.append(clone)
+    return HintSet.from_hints(overridden)
+
+
+def hints_with_site(hints: HintSet, site: InjectionSite) -> HintSet:
+    """Copy of the hints with the injection site forced (Fig 10)."""
+    forced = []
+    for hint in hints:
+        clone = PrefetchHint.from_dict(hint.to_dict())
+        clone.site = site
+        if site is InjectionSite.OUTER and clone.outer_distance is None:
+            clone.outer_distance = clone.distance
+        forced.append(clone)
+    return HintSet.from_hints(forced)
+
+
+# ----------------------------------------------------------------------
+# Per-workload caches shared across experiments in one process: builds
+# are deterministic, so baselines and profiles are reusable (Figs 8/9/10
+# would otherwise re-profile the same binaries).
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=128)
+def cached_baseline(name: str, scale: str = "small") -> SchemeRun:
+    return run_baseline(make_workload(name, scale))
+
+
+@lru_cache(maxsize=128)
+def cached_profile(
+    name: str, scale: str = "small"
+) -> tuple[ExecutionProfile, HintSet]:
+    return profile_workload(make_workload(name, scale))
+
+
+# ----------------------------------------------------------------------
+# Suite comparison shared by Figs 5/6/7/11 (cached per scale + distance)
+# ----------------------------------------------------------------------
+def scale_suite(scale: str) -> list[str]:
+    if scale == "tiny":
+        return list(TINY_SUITE)
+    return list(SUITE)
+
+
+@lru_cache(maxsize=4)
+def suite_comparison(
+    scale: str = "small",
+    aj_distance: int = 32,
+) -> dict[str, WorkloadComparison]:
+    """Run baseline + A&J + APT-GET over the whole suite once per process
+    (baselines and profiles shared with the other experiments' caches)."""
+    comparisons: dict[str, WorkloadComparison] = {}
+    for name in scale_suite(scale):
+        comparison = WorkloadComparison(workload=name)
+        comparison.runs["baseline"] = cached_baseline(name, scale)
+        comparison.runs["aj"] = run_ainsworth_jones(
+            make_workload(name, scale), distance=aj_distance
+        )
+        profile, hints = cached_profile(name, scale)
+        apt = run_with_hints(make_workload(name, scale), hints)
+        apt.profile = profile
+        comparison.runs["apt-get"] = apt
+        comparisons[name] = comparison
+    return comparisons

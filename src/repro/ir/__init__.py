@@ -1,0 +1,51 @@
+"""Miniature SSA-style IR: the compiler substrate of the reproduction.
+
+Public surface:
+
+* :class:`~repro.ir.nodes.Module`, :class:`~repro.ir.nodes.Function`,
+  :class:`~repro.ir.nodes.BasicBlock`, :class:`~repro.ir.nodes.Instruction`
+* :class:`~repro.ir.opcodes.Opcode`
+* :class:`~repro.ir.builder.IRBuilder`
+* :func:`~repro.ir.verifier.verify_module`
+* :func:`~repro.ir.printer.format_module`
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import (
+    BasicBlock,
+    Function,
+    Instruction,
+    IRError,
+    Module,
+    Operand,
+)
+from repro.ir.opcodes import Opcode
+from repro.ir.parser import ParseError, parse_function_body, parse_module
+from repro.ir.printer import (
+    format_block,
+    format_function,
+    format_instruction,
+    format_module,
+)
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "Function",
+    "IRBuilder",
+    "IRError",
+    "Instruction",
+    "Module",
+    "Opcode",
+    "Operand",
+    "ParseError",
+    "VerificationError",
+    "format_block",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "parse_function_body",
+    "parse_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,283 @@
+"""Fluent construction API for the miniature IR.
+
+The builder mirrors LLVM's ``IRBuilder``: position it at a block, emit
+instructions, and it returns the destination register of each value-producing
+instruction.  Register names are auto-generated (``%0``-style) unless a name
+is supplied.
+
+Example
+-------
+>>> from repro.ir import IRBuilder, Module
+>>> module = Module("demo")
+>>> b = IRBuilder(module)
+>>> f = b.function("sum_to_n", params=["n"])
+>>> entry, loop, done = b.blocks("entry", "loop", "done")
+>>> b.at(entry); b.jmp(loop)
+>>> b.at(loop)
+>>> i = b.phi([(entry.name, 0)], name="i")
+>>> acc = b.phi([(entry.name, 0)], name="acc")
+>>> acc2 = b.add(acc, i)
+>>> i2 = b.add(i, 1)
+>>> b.add_incoming(i, loop.name, i2)
+>>> b.add_incoming(acc, loop.name, acc2)
+>>> cond = b.lt(i2, "n")
+>>> b.br(cond, loop, done)
+>>> b.at(done); b.ret(acc2)
+>>> module.finalize() is module
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.nodes import BasicBlock, Function, IRError, Instruction, Module, Operand
+from repro.ir.opcodes import Opcode
+
+BlockRef = Union[str, BasicBlock]
+
+
+def _block_name(block: BlockRef) -> str:
+    return block if isinstance(block, str) else block.name
+
+
+class IRBuilder:
+    """Stateful IR construction helper bound to a :class:`Module`."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._function: Optional[Function] = None
+        self._block: Optional[BasicBlock] = None
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def function(self, name: str, params: Optional[Sequence[str]] = None) -> Function:
+        function = Function(name, list(params or []))
+        self.module.add_function(function)
+        self._function = function
+        self._block = None
+        self._counter = 0
+        return function
+
+    def block(self, name: str) -> BasicBlock:
+        if self._function is None:
+            raise IRError("no current function")
+        return self._function.add_block(name)
+
+    def blocks(self, *names: str) -> list[BasicBlock]:
+        return [self.block(name) for name in names]
+
+    def at(self, block: BlockRef) -> BasicBlock:
+        if self._function is None:
+            raise IRError("no current function")
+        resolved = (
+            block
+            if isinstance(block, BasicBlock)
+            else self._function.block(block)
+        )
+        self._block = resolved
+        return resolved
+
+    @property
+    def current_block(self) -> BasicBlock:
+        if self._block is None:
+            raise IRError("builder not positioned at a block (call .at())")
+        return self._block
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+    def _fresh(self, name: Optional[str]) -> str:
+        if name is not None:
+            return name
+        register = f"%{self._counter}"
+        self._counter += 1
+        return register
+
+    def _emit(self, instruction: Instruction) -> Instruction:
+        block = self.current_block
+        if block.instructions and block.instructions[-1].is_terminator:
+            raise IRError(f"block {block.name} already terminated")
+        block.instructions.append(instruction)
+        self.module.finalized = False
+        return instruction
+
+    def _value(
+        self,
+        op: Opcode,
+        args: tuple,
+        name: Optional[str],
+    ) -> str:
+        dst = self._fresh(name)
+        self._emit(Instruction(op, dst=dst, args=args))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Arithmetic / data
+    # ------------------------------------------------------------------
+    def const(self, value: int, name: Optional[str] = None) -> str:
+        return self._value(Opcode.CONST, (value,), name)
+
+    def mov(self, a: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.MOV, (a,), name)
+
+    def add(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.ADD, (a, b), name)
+
+    def sub(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.SUB, (a, b), name)
+
+    def mul(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.MUL, (a, b), name)
+
+    def div(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.DIV, (a, b), name)
+
+    def rem(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.REM, (a, b), name)
+
+    def and_(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.AND, (a, b), name)
+
+    def or_(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.OR, (a, b), name)
+
+    def xor(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.XOR, (a, b), name)
+
+    def shl(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.SHL, (a, b), name)
+
+    def shr(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.SHR, (a, b), name)
+
+    def min(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.MIN, (a, b), name)
+
+    def max(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.MAX, (a, b), name)
+
+    # ------------------------------------------------------------------
+    # Comparisons and select
+    # ------------------------------------------------------------------
+    def eq(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.CMP_EQ, (a, b), name)
+
+    def ne(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.CMP_NE, (a, b), name)
+
+    def lt(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.CMP_LT, (a, b), name)
+
+    def le(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.CMP_LE, (a, b), name)
+
+    def gt(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.CMP_GT, (a, b), name)
+
+    def ge(self, a: Operand, b: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.CMP_GE, (a, b), name)
+
+    def select(
+        self,
+        cond: Operand,
+        a: Operand,
+        b: Operand,
+        name: Optional[str] = None,
+    ) -> str:
+        return self._value(Opcode.SELECT, (cond, a, b), name)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def gep(
+        self,
+        base: Operand,
+        index: Operand,
+        scale: int = 8,
+        name: Optional[str] = None,
+    ) -> str:
+        return self._value(Opcode.GEP, (base, index, scale), name)
+
+    def load(self, addr: Operand, name: Optional[str] = None) -> str:
+        return self._value(Opcode.LOAD, (addr,), name)
+
+    def store(self, addr: Operand, value: Operand) -> Instruction:
+        return self._emit(Instruction(Opcode.STORE, args=(addr, value)))
+
+    def prefetch(self, addr: Operand) -> Instruction:
+        return self._emit(Instruction(Opcode.PREFETCH, args=(addr,)))
+
+    def work(self, amount: Operand) -> Instruction:
+        """Emit a fixed-cost compute kernel of ``amount`` instructions."""
+        return self._emit(Instruction(Opcode.WORK, args=(amount,)))
+
+    # ------------------------------------------------------------------
+    # PHIs and control flow
+    # ------------------------------------------------------------------
+    def phi(
+        self,
+        incomings: Sequence[tuple],
+        name: Optional[str] = None,
+    ) -> str:
+        dst = self._fresh(name)
+        pairs = [(_block_name(pred), value) for pred, value in incomings]
+        block = self.current_block
+        if any(i.op is not Opcode.PHI for i in block.instructions):
+            raise IRError(
+                f"PHIs must precede all other instructions in {block.name}"
+            )
+        self._emit(Instruction(Opcode.PHI, dst=dst, incomings=pairs))
+        return dst
+
+    def add_incoming(self, phi_register: str, pred: BlockRef, value: Operand) -> None:
+        """Append an incoming edge to a PHI anywhere in the current function."""
+        if self._function is None:
+            raise IRError("no current function")
+        for block in self._function.blocks:
+            for instruction in block.phis():
+                if instruction.dst == phi_register:
+                    instruction.incomings.append((_block_name(pred), value))
+                    return
+        raise IRError(f"no phi {phi_register!r} in function {self._function.name}")
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Operand] = (),
+        name: Optional[str] = None,
+    ) -> str:
+        """Call another function in the module: ``dst = callee(args...)``.
+
+        The callee name travels in ``targets`` (it is a symbol, not a
+        register operand).
+        """
+        dst = self._fresh(name)
+        self._emit(
+            Instruction(
+                Opcode.CALL,
+                dst=dst,
+                args=tuple(args),
+                targets=(callee,),
+            )
+        )
+        return dst
+
+    def jmp(self, target: BlockRef) -> Instruction:
+        return self._emit(
+            Instruction(Opcode.JMP, targets=(_block_name(target),))
+        )
+
+    def br(self, cond: Operand, then: BlockRef, otherwise: BlockRef) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.BR,
+                args=(cond,),
+                targets=(_block_name(then), _block_name(otherwise)),
+            )
+        )
+
+    def ret(self, value: Operand = 0) -> Instruction:
+        return self._emit(Instruction(Opcode.RET, args=(value,)))

@@ -1,0 +1,315 @@
+"""IR data structures: instructions, basic blocks, functions, modules.
+
+Design notes
+------------
+* Operands are either register names (``str``) or immediate integers
+  (``int``).  Keeping immediates inline (instead of materializing CONSTs)
+  keeps dynamic instruction counts comparable to real ISAs.
+* Every instruction carries a ``pc`` assigned by :meth:`Module.finalize`;
+  PCs are the currency of the profiling side (LBR entries, PEBS samples,
+  delinquent-load hints), exactly as in the paper.
+* Basic blocks own their instructions; the last instruction must be a
+  terminator.  PHIs must be a prefix of the block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.ir.opcodes import HAS_DST, TERMINATORS, Opcode
+
+Operand = Union[str, int]
+
+#: Byte distance between consecutive instruction PCs (x86-ish flavour).
+PC_STRIDE = 4
+
+#: Byte alignment of function start PCs.
+FUNC_ALIGN = 0x10000
+
+
+class IRError(Exception):
+    """Raised for malformed IR (verification failures, bad lookups)."""
+
+
+class Instruction:
+    """One IR instruction.
+
+    ``args`` holds the operand tuple.  Conventions by opcode:
+
+    * binary ops / cmps: ``(a, b)``
+    * ``CONST``/``MOV``/``RET``/``WORK``: ``(a,)``
+    * ``SELECT``: ``(cond, a, b)``
+    * ``GEP``: ``(base, index, scale)``
+    * ``LOAD``: ``(addr,)``; ``STORE``: ``(addr, value)``;
+      ``PREFETCH``: ``(addr,)``
+    * ``BR``: ``(cond,)`` plus ``targets=(then, else)``
+    * ``JMP``: ``targets=(dest,)``
+    * ``PHI``: ``incomings`` is a list of ``(pred_block_name, operand)``
+    """
+
+    __slots__ = ("op", "dst", "args", "targets", "incomings", "pc")
+
+    def __init__(
+        self,
+        op: Opcode,
+        dst: Optional[str] = None,
+        args: tuple = (),
+        targets: tuple = (),
+        incomings: Optional[list] = None,
+    ) -> None:
+        self.op = op
+        self.dst = dst
+        self.args = args
+        self.targets = targets
+        self.incomings = incomings if incomings is not None else []
+        self.pc = -1
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    @property
+    def has_dst(self) -> bool:
+        return self.op in HAS_DST
+
+    def operands(self) -> Iterator[Operand]:
+        """Yield every value operand (registers and immediates)."""
+        yield from self.args
+        for _, value in self.incomings:
+            yield value
+
+    def register_operands(self) -> Iterator[str]:
+        for operand in self.operands():
+            if isinstance(operand, str):
+                yield operand
+
+    def replace_operands(self, mapping: dict) -> None:
+        """Rewrite register operands in-place via ``mapping`` (reg -> operand)."""
+        self.args = tuple(
+            mapping.get(a, a) if isinstance(a, str) else a for a in self.args
+        )
+        self.incomings = [
+            (pred, mapping.get(v, v) if isinstance(v, str) else v)
+            for pred, v in self.incomings
+        ]
+
+    def copy(self) -> "Instruction":
+        clone = Instruction(
+            self.op,
+            self.dst,
+            tuple(self.args),
+            tuple(self.targets),
+            [tuple(pair) for pair in self.incomings],
+        )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.ir.printer import format_instruction
+
+        return format_instruction(self)
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    __slots__ = ("name", "instructions", "function")
+
+    def __init__(self, name: str, function: "Function") -> None:
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self.function = function
+
+    @property
+    def terminator(self) -> Instruction:
+        if not self.instructions or not self.instructions[-1].is_terminator:
+            raise IRError(f"block {self.name} has no terminator")
+        return self.instructions[-1]
+
+    def phis(self) -> list[Instruction]:
+        result = []
+        for instruction in self.instructions:
+            if instruction.op is Opcode.PHI:
+                result.append(instruction)
+            else:
+                break
+        return result
+
+    def non_phi_instructions(self) -> list[Instruction]:
+        return self.instructions[len(self.phis()):]
+
+    def successors(self) -> tuple:
+        return self.terminator.targets
+
+    @property
+    def start_pc(self) -> int:
+        return self.instructions[0].pc
+
+    @property
+    def end_pc(self) -> int:
+        """PC of the terminator (the paper's 'terminating branch PC')."""
+        return self.instructions[-1].pc
+
+    def insert_before_terminator(self, instructions: Iterable[Instruction]) -> None:
+        position = len(self.instructions) - 1
+        for offset, instruction in enumerate(instructions):
+            self.instructions.insert(position + offset, instruction)
+
+    def insert_before(
+        self, anchor: Instruction, instructions: Iterable[Instruction]
+    ) -> None:
+        position = self.instructions.index(anchor)
+        for offset, instruction in enumerate(instructions):
+            self.instructions.insert(position + offset, instruction)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"
+
+
+class Function:
+    """An IR function: ordered blocks, entry first, optional parameters."""
+
+    def __init__(self, name: str, params: Optional[list[str]] = None) -> None:
+        self.name = name
+        self.params: list[str] = list(params or [])
+        self.blocks: list[BasicBlock] = []
+        self._blocks_by_name: dict[str, BasicBlock] = {}
+        self.base_pc = -1
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str) -> BasicBlock:
+        if name in self._blocks_by_name:
+            raise IRError(f"duplicate block name {name!r} in {self.name}")
+        block = BasicBlock(name, self)
+        self.blocks.append(block)
+        self._blocks_by_name[name] = block
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self._blocks_by_name[name]
+        except KeyError:
+            raise IRError(f"unknown block {name!r} in function {self.name}") from None
+
+    def has_block(self, name: str) -> bool:
+        return name in self._blocks_by_name
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def predecessors(self) -> dict[str, list[str]]:
+        """Map block name -> predecessor block names (in block order)."""
+        preds: dict[str, list[str]] = {block.name: [] for block in self.blocks}
+        for block in self.blocks:
+            for successor in block.successors():
+                if successor in preds:  # unknown targets -> verifier error
+                    preds[successor].append(block.name)
+        return preds
+
+    def defining_instruction(self, register: str) -> Optional[Instruction]:
+        for instruction in self.instructions():
+            if instruction.dst == register:
+                return instruction
+        return None
+
+    def fresh_register(self, hint: str = "t") -> str:
+        """Return a register name not yet defined in this function."""
+        existing = {
+            inst.dst for inst in self.instructions() if inst.dst is not None
+        }
+        existing.update(self.params)
+        index = 0
+        while f"{hint}.{index}" in existing:
+            index += 1
+        return f"{hint}.{index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A collection of functions plus the PC <-> instruction mapping.
+
+    :meth:`finalize` assigns PCs and builds the lookup tables the profiling
+    and injection machinery rely on.  Any structural mutation (e.g. a pass
+    inserting prefetch slices) invalidates the mapping; call
+    :meth:`finalize` again afterwards.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self._pc_to_instruction: dict[int, Instruction] = {}
+        self._pc_to_block: dict[int, BasicBlock] = {}
+        self.finalized = False
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise IRError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        self.finalized = False
+        return function
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"unknown function {name!r}") from None
+
+    def finalize(self) -> "Module":
+        """Assign PCs to every instruction and rebuild lookup tables."""
+        self._pc_to_instruction.clear()
+        self._pc_to_block.clear()
+        next_base = FUNC_ALIGN
+        for function in self.functions.values():
+            function.base_pc = next_base
+            pc = next_base
+            for block in function.blocks:
+                for instruction in block.instructions:
+                    instruction.pc = pc
+                    self._pc_to_instruction[pc] = instruction
+                    self._pc_to_block[pc] = block
+                    pc += PC_STRIDE
+            span = pc - next_base
+            next_base += ((span // FUNC_ALIGN) + 1) * FUNC_ALIGN
+        self.finalized = True
+        return self
+
+    def _require_finalized(self) -> None:
+        if not self.finalized:
+            raise IRError("module not finalized; call Module.finalize() first")
+
+    def instruction_at(self, pc: int) -> Instruction:
+        self._require_finalized()
+        try:
+            return self._pc_to_instruction[pc]
+        except KeyError:
+            raise IRError(f"no instruction at pc {pc:#x}") from None
+
+    def block_at(self, pc: int) -> BasicBlock:
+        self._require_finalized()
+        try:
+            return self._pc_to_block[pc]
+        except KeyError:
+            raise IRError(f"no block at pc {pc:#x}") from None
+
+    def has_pc(self, pc: int) -> bool:
+        self._require_finalized()
+        return pc in self._pc_to_instruction
+
+    def load_pcs(self) -> list[int]:
+        """PCs of all LOAD instructions (candidate delinquent loads)."""
+        self._require_finalized()
+        return [
+            pc
+            for pc, inst in self._pc_to_instruction.items()
+            if inst.op is Opcode.LOAD
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Module {self.name} ({len(self.functions)} functions)>"

@@ -1,0 +1,238 @@
+"""Text-format IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Round-trips the printer's output (PC annotations are accepted and
+ignored — PCs are reassigned by ``Module.finalize``).  Useful for golden
+tests, for inspecting pass output, and for hand-authoring small test
+kernels.
+
+Grammar (one instruction per line)::
+
+    define NAME(p1, p2) {
+    blockname:
+      [0x....:] %dst = add a, b            # any binop / icmp
+      [0x....:] %dst = phi [pred: v], ...
+      [0x....:] %dst = load [addr]
+      [0x....:] store [addr], value
+      [0x....:] prefetch [addr]
+      [0x....:] br cond, label %then, label %else
+      [0x....:] br label %dest
+      [0x....:] ret value
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.ir.nodes import Function, Instruction, IRError, Module, Operand
+from repro.ir.opcodes import Opcode
+
+_BINOPS = {
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "mul": Opcode.MUL,
+    "div": Opcode.DIV,
+    "rem": Opcode.REM,
+    "and": Opcode.AND,
+    "or": Opcode.OR,
+    "xor": Opcode.XOR,
+    "shl": Opcode.SHL,
+    "shr": Opcode.SHR,
+    "min": Opcode.MIN,
+    "max": Opcode.MAX,
+}
+
+_ICMPS = {
+    "eq": Opcode.CMP_EQ,
+    "ne": Opcode.CMP_NE,
+    "slt": Opcode.CMP_LT,
+    "sle": Opcode.CMP_LE,
+    "sgt": Opcode.CMP_GT,
+    "sge": Opcode.CMP_GE,
+}
+
+_DEFINE_RE = re.compile(r"^define\s+([\w.$-]+)\((.*)\)\s*\{$")
+_BLOCK_RE = re.compile(r"^([\w.$-]+):$")
+_PC_PREFIX_RE = re.compile(r"^0x[0-9a-fA-F]+:\s*")
+_PHI_PAIR_RE = re.compile(r"\[([\w.$-]+):\s*([^\]]+)\]")
+
+
+class ParseError(IRError):
+    """Raised on malformed IR text."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+
+
+def _operand(token: str) -> Operand:
+    token = token.strip()
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if re.fullmatch(r"-?0x[0-9a-fA-F]+", token):
+        return int(token, 16)
+    return token
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on commas not inside brackets."""
+    parts, depth, current = [], 0, []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _parse_instruction(text: str) -> Instruction:
+    text = _PC_PREFIX_RE.sub("", text.strip())
+
+    # Value-producing form: "%dst = <op> ..."
+    match = re.match(r"^([\w.%$-]+)\s*=\s*(.+)$", text)
+    if match:
+        dst, rhs = match.group(1), match.group(2).strip()
+        if rhs.startswith("phi "):
+            incomings = [
+                (pred, _operand(value))
+                for pred, value in _PHI_PAIR_RE.findall(rhs[4:])
+            ]
+            return Instruction(Opcode.PHI, dst=dst, incomings=incomings)
+        if rhs.startswith("icmp "):
+            kind, rest = rhs[5:].split(None, 1)
+            a, b = _split_args(rest)
+            return Instruction(
+                _ICMPS[kind], dst=dst, args=(_operand(a), _operand(b))
+            )
+        if rhs.startswith("load "):
+            inner = rhs[5:].strip()
+            if not (inner.startswith("[") and inner.endswith("]")):
+                raise ValueError("load operand must be bracketed")
+            return Instruction(
+                Opcode.LOAD, dst=dst, args=(_operand(inner[1:-1]),)
+            )
+        if rhs.startswith("getelementptr "):
+            base, index, scale_clause = _split_args(rhs[len("getelementptr "):])
+            if not scale_clause.startswith("scale "):
+                raise ValueError("gep needs a scale clause")
+            scale = int(scale_clause[len("scale "):])
+            return Instruction(
+                Opcode.GEP,
+                dst=dst,
+                args=(_operand(base), _operand(index), scale),
+            )
+        if rhs.startswith("select "):
+            cond, a, b = _split_args(rhs[7:])
+            return Instruction(
+                Opcode.SELECT,
+                dst=dst,
+                args=(_operand(cond), _operand(a), _operand(b)),
+            )
+        if rhs.startswith("call "):
+            call_match = re.match(r"^call\s+([\w.$-]+)\((.*)\)$", rhs)
+            if not call_match:
+                raise ValueError("malformed call")
+            callee = call_match.group(1)
+            arg_text = call_match.group(2).strip()
+            call_args = (
+                tuple(_operand(t) for t in _split_args(arg_text))
+                if arg_text
+                else ()
+            )
+            return Instruction(
+                Opcode.CALL, dst=dst, args=call_args, targets=(callee,)
+            )
+        if rhs.startswith("const "):
+            return Instruction(
+                Opcode.CONST, dst=dst, args=(_operand(rhs[6:]),)
+            )
+        if rhs.startswith("mov "):
+            return Instruction(Opcode.MOV, dst=dst, args=(_operand(rhs[4:]),))
+        op_name = rhs.split(None, 1)[0]
+        if op_name in _BINOPS:
+            a, b = _split_args(rhs[len(op_name):])
+            return Instruction(
+                _BINOPS[op_name], dst=dst, args=(_operand(a), _operand(b))
+            )
+        raise ValueError(f"unknown value op {op_name!r}")
+
+    # Void forms.
+    if text.startswith("store "):
+        addr_part, value = _split_args(text[6:])
+        if not (addr_part.startswith("[") and addr_part.endswith("]")):
+            raise ValueError("store address must be bracketed")
+        return Instruction(
+            Opcode.STORE, args=(_operand(addr_part[1:-1]), _operand(value))
+        )
+    if text.startswith("prefetch "):
+        inner = text[9:].strip()
+        if not (inner.startswith("[") and inner.endswith("]")):
+            raise ValueError("prefetch operand must be bracketed")
+        return Instruction(Opcode.PREFETCH, args=(_operand(inner[1:-1]),))
+    if text.startswith("work "):
+        return Instruction(Opcode.WORK, args=(_operand(text[5:]),))
+    if text.startswith("ret"):
+        rest = text[3:].strip()
+        return Instruction(Opcode.RET, args=(_operand(rest) if rest else 0,))
+    if text.startswith("br "):
+        rest = text[3:]
+        labels = re.findall(r"label\s+%([\w.$-]+)", rest)
+        if len(labels) == 1:
+            return Instruction(Opcode.JMP, targets=(labels[0],))
+        if len(labels) == 2:
+            cond = _split_args(rest)[0]
+            return Instruction(
+                Opcode.BR, args=(_operand(cond),), targets=tuple(labels)
+            )
+        raise ValueError("branch needs one or two labels")
+    raise ValueError(f"unrecognized instruction {text!r}")
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse printer-format IR text into a finalized Module."""
+    module = Module(name)
+    function: Optional[Function] = None
+    block = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip() if "#" in raw else raw.strip()
+        if not line:
+            continue
+        define = _DEFINE_RE.match(line)
+        if define:
+            params = [
+                p.strip() for p in define.group(2).split(",") if p.strip()
+            ]
+            function = Function(define.group(1), params)
+            module.add_function(function)
+            block = None
+            continue
+        if line == "}":
+            function = None
+            block = None
+            continue
+        block_match = _BLOCK_RE.match(line)
+        if block_match:
+            if function is None:
+                raise ParseError("block outside function", line_number, raw)
+            block = function.add_block(block_match.group(1))
+            continue
+        if block is None:
+            raise ParseError("instruction outside block", line_number, raw)
+        try:
+            block.instructions.append(_parse_instruction(line))
+        except (ValueError, KeyError, IndexError) as error:
+            raise ParseError(str(error), line_number, raw) from error
+    return module.finalize()
+
+
+def parse_function_body(text: str, name: str = "main") -> Module:
+    """Convenience: parse a bare block list (no ``define`` wrapper)."""
+    return parse_module(f"define {name}() {{\n{text}\n}}", name=name)

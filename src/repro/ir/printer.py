@@ -1,0 +1,99 @@
+"""Human-readable text rendering of IR (LLVM-flavoured)."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import BasicBlock, Function, Instruction, Module, Operand
+from repro.ir.opcodes import BINOP_EXPR, Opcode
+
+_OP_SYMBOL = {
+    Opcode.ADD: "add",
+    Opcode.SUB: "sub",
+    Opcode.MUL: "mul",
+    Opcode.DIV: "div",
+    Opcode.REM: "rem",
+    Opcode.AND: "and",
+    Opcode.OR: "or",
+    Opcode.XOR: "xor",
+    Opcode.SHL: "shl",
+    Opcode.SHR: "shr",
+    Opcode.MIN: "min",
+    Opcode.MAX: "max",
+    Opcode.CMP_EQ: "icmp eq",
+    Opcode.CMP_NE: "icmp ne",
+    Opcode.CMP_LT: "icmp slt",
+    Opcode.CMP_LE: "icmp sle",
+    Opcode.CMP_GT: "icmp sgt",
+    Opcode.CMP_GE: "icmp sge",
+}
+
+
+def _fmt_operand(operand: Operand) -> str:
+    if isinstance(operand, int):
+        return str(operand)
+    return operand
+
+
+def format_instruction(instruction: Instruction) -> str:
+    op = instruction.op
+    args = [_fmt_operand(a) for a in instruction.args]
+    pc = f"{instruction.pc:#07x}: " if instruction.pc >= 0 else ""
+    if op in BINOP_EXPR:
+        return f"{pc}{instruction.dst} = {_OP_SYMBOL[op]} {args[0]}, {args[1]}"
+    if op is Opcode.CONST:
+        return f"{pc}{instruction.dst} = const {args[0]}"
+    if op is Opcode.MOV:
+        return f"{pc}{instruction.dst} = mov {args[0]}"
+    if op is Opcode.SELECT:
+        return f"{pc}{instruction.dst} = select {args[0]}, {args[1]}, {args[2]}"
+    if op is Opcode.GEP:
+        return (
+            f"{pc}{instruction.dst} = getelementptr {args[0]}, "
+            f"{args[1]}, scale {args[2]}"
+        )
+    if op is Opcode.LOAD:
+        return f"{pc}{instruction.dst} = load [{args[0]}]"
+    if op is Opcode.STORE:
+        return f"{pc}store [{args[0]}], {args[1]}"
+    if op is Opcode.PREFETCH:
+        return f"{pc}prefetch [{args[0]}]"
+    if op is Opcode.WORK:
+        return f"{pc}work {args[0]}"
+    if op is Opcode.PHI:
+        pairs = ", ".join(
+            f"[{pred}: {_fmt_operand(value)}]"
+            for pred, value in instruction.incomings
+        )
+        return f"{pc}{instruction.dst} = phi {pairs}"
+    if op is Opcode.JMP:
+        return f"{pc}br label %{instruction.targets[0]}"
+    if op is Opcode.BR:
+        return (
+            f"{pc}br {args[0]}, label %{instruction.targets[0]}, "
+            f"label %{instruction.targets[1]}"
+        )
+    if op is Opcode.CALL:
+        return (
+            f"{pc}{instruction.dst} = call {instruction.targets[0]}"
+            f"({', '.join(args)})"
+        )
+    if op is Opcode.RET:
+        return f"{pc}ret {args[0]}"
+    raise ValueError(f"unknown opcode {op!r}")
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {format_instruction(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    params = ", ".join(function.params)
+    lines = [f"define {function.name}({params}) {{"]
+    lines.extend(format_block(block) for block in function.blocks)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    return "\n\n".join(format_function(f) for f in module.functions.values())

@@ -1,0 +1,206 @@
+"""Structural verification of IR modules.
+
+The verifier enforces the invariants the execution engines and the
+injection passes rely on:
+
+* every block ends in exactly one terminator, and only the last
+  instruction is a terminator;
+* PHIs form a prefix of their block;
+* every branch target names an existing block;
+* each PHI has exactly one incoming per CFG predecessor (and no extras);
+* registers are defined exactly once (SSA) unless ``allow_non_ssa``;
+* every used register has a definition (function params count);
+* GEP scales are positive integer immediates;
+* the entry block has no predecessors and no PHIs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import Function, IRError, Module
+from repro.ir.opcodes import Opcode
+
+
+class VerificationError(IRError):
+    """Raised when a module violates an IR invariant."""
+
+
+def verify_function(
+    function: Function, allow_non_ssa: bool = False, strict: bool = False
+) -> None:
+    if not function.blocks:
+        raise VerificationError(f"{function.name}: function has no blocks")
+
+    defined: dict[str, int] = {}
+    for param in function.params:
+        defined[param] = defined.get(param, 0) + 1
+
+    # Pass 1: structure and definitions.
+    for block in function.blocks:
+        if not block.instructions:
+            raise VerificationError(f"{function.name}/{block.name}: empty block")
+        seen_non_phi = False
+        for position, instruction in enumerate(block.instructions):
+            is_last = position == len(block.instructions) - 1
+            if instruction.is_terminator and not is_last:
+                raise VerificationError(
+                    f"{function.name}/{block.name}: terminator not last"
+                )
+            if is_last and not instruction.is_terminator:
+                raise VerificationError(
+                    f"{function.name}/{block.name}: missing terminator"
+                )
+            if instruction.op is Opcode.PHI:
+                if seen_non_phi:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: PHI after non-PHI"
+                    )
+            else:
+                seen_non_phi = True
+            if instruction.has_dst:
+                if instruction.dst is None:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: missing dst for "
+                        f"{instruction.op.name}"
+                    )
+                defined[instruction.dst] = defined.get(instruction.dst, 0) + 1
+            if instruction.op is Opcode.GEP:
+                scale = instruction.args[2]
+                if not isinstance(scale, int) or scale <= 0:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: GEP scale must be a "
+                        f"positive immediate, got {scale!r}"
+                    )
+
+    if not allow_non_ssa:
+        duplicates = sorted(name for name, count in defined.items() if count > 1)
+        if duplicates:
+            raise VerificationError(
+                f"{function.name}: registers defined more than once: "
+                f"{', '.join(duplicates)}"
+            )
+
+    # Pass 2: uses and CFG consistency.
+    predecessors = function.predecessors()
+    for block in function.blocks:
+        for instruction in block.instructions:
+            if instruction.op is not Opcode.CALL:
+                for target in instruction.targets:
+                    if not function.has_block(target):
+                        raise VerificationError(
+                            f"{function.name}/{block.name}: branch to unknown "
+                            f"block {target!r}"
+                        )
+            for register in instruction.register_operands():
+                if register not in defined:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: use of undefined "
+                        f"register {register!r}"
+                    )
+            if instruction.op is Opcode.PHI:
+                incoming_preds = [pred for pred, _ in instruction.incomings]
+                expected = predecessors[block.name]
+                if sorted(incoming_preds) != sorted(expected):
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: phi "
+                        f"{instruction.dst} incomings {sorted(incoming_preds)} "
+                        f"!= predecessors {sorted(expected)}"
+                    )
+
+    entry = function.entry
+    if predecessors[entry.name]:
+        raise VerificationError(
+            f"{function.name}: entry block {entry.name} has predecessors"
+        )
+    if entry.phis():
+        raise VerificationError(f"{function.name}: entry block has PHIs")
+
+    if strict:
+        _verify_dominance(function, predecessors)
+
+
+def _verify_dominance(
+    function: Function, predecessors: dict[str, list[str]]
+) -> None:
+    """SSA dominance: every use is dominated by its definition.
+
+    PHI incomings are uses at the *end of the incoming edge's source
+    block*; all other operands are uses at their instruction.
+    """
+    from repro.analysis.cfg import dominates, immediate_dominators
+
+    idom = immediate_dominators(function)
+    defining_block: dict[str, str] = {}
+    position: dict[int, int] = {}
+    for block in function.blocks:
+        for index, instruction in enumerate(block.instructions):
+            position[id(instruction)] = index
+            if instruction.dst is not None:
+                defining_block[instruction.dst] = block.name
+    params = set(function.params)
+
+    def check_use(register: str, use_block: str, use_index: int, what: str) -> None:
+        if register in params:
+            return
+        def_block = defining_block.get(register)
+        if def_block is None:
+            return  # plain verifier already flagged it
+        if def_block == use_block:
+            defining = function.defining_instruction(register)
+            assert defining is not None
+            if position[id(defining)] >= use_index:
+                raise VerificationError(
+                    f"{function.name}/{use_block}: {what} of {register!r} "
+                    f"before its definition in the same block"
+                )
+            return
+        if use_block not in idom or not dominates(idom, def_block, use_block):
+            raise VerificationError(
+                f"{function.name}/{use_block}: {what} of {register!r} not "
+                f"dominated by its definition in {def_block}"
+            )
+
+    for block in function.blocks:
+        if block.name not in idom:
+            continue  # unreachable: nothing executes these uses
+        for index, instruction in enumerate(block.instructions):
+            if instruction.op is Opcode.PHI:
+                for pred, value in instruction.incomings:
+                    if isinstance(value, str):
+                        pred_block = function.block(pred)
+                        check_use(
+                            value,
+                            pred,
+                            len(pred_block.instructions),
+                            f"phi incoming (via {pred})",
+                        )
+                continue
+            for register in instruction.register_operands():
+                check_use(register, block.name, index, "use")
+
+
+def verify_module(
+    module: Module, allow_non_ssa: bool = False, strict: bool = False
+) -> None:
+    """Verify every function; raises :class:`VerificationError` on failure.
+
+    With ``strict``, additionally checks SSA dominance (definitions
+    dominate uses) — slower, used after transformation passes in tests.
+    """
+    for function in module.functions.values():
+        verify_function(function, allow_non_ssa=allow_non_ssa, strict=strict)
+        for block in function.blocks:
+            for instruction in block.instructions:
+                if instruction.op is Opcode.CALL:
+                    callee_name = instruction.targets[0]
+                    if callee_name not in module.functions:
+                        raise VerificationError(
+                            f"{function.name}/{block.name}: call to unknown "
+                            f"function {callee_name!r}"
+                        )
+                    callee = module.functions[callee_name]
+                    if len(instruction.args) != len(callee.params):
+                        raise VerificationError(
+                            f"{function.name}/{block.name}: call to "
+                            f"{callee_name!r} passes {len(instruction.args)} "
+                            f"args, expects {len(callee.params)}"
+                        )

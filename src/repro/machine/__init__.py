@@ -1,0 +1,30 @@
+"""Execution machinery: cost model, PMU, LBR, samplers, and engines."""
+
+from repro.machine.config import DEFAULT_CONFIG, MachineConfig, paper_like_memory
+from repro.machine.context import ExecutionContext
+from repro.machine.interpreter import ExecutionLimitExceeded, run_function
+from repro.machine.lbr import LastBranchRecord, LBREntry, NullLBR
+from repro.machine.machine import ENGINES, Machine, RunResult
+from repro.machine.pmu import Counters, PerfStat
+from repro.machine.sampler import ProfileSampler
+from repro.machine.translator import CompiledFunction, compile_function
+
+__all__ = [
+    "CompiledFunction",
+    "Counters",
+    "DEFAULT_CONFIG",
+    "ENGINES",
+    "ExecutionContext",
+    "ExecutionLimitExceeded",
+    "LBREntry",
+    "LastBranchRecord",
+    "Machine",
+    "MachineConfig",
+    "NullLBR",
+    "PerfStat",
+    "ProfileSampler",
+    "RunResult",
+    "compile_function",
+    "paper_like_memory",
+    "run_function",
+]

@@ -1,0 +1,67 @@
+"""Machine configuration: core cost model + memory hierarchy + profiling.
+
+All costs are integer cycles so both execution engines (reference
+interpreter and translating engine) produce bit-identical timing.
+
+The core is a blocking in-order pipeline: ALU work costs
+``alu_cost``/instruction, demand loads pay the full latency of the level
+that serves them, software prefetches are non-blocking.  This is the
+minimal machine on which prefetch *timeliness* — the paper's subject — is
+observable.  It under-models out-of-order memory-level parallelism, so
+absolute speedups exceed the paper's; shapes and orderings are preserved
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.mem.config import CacheConfig, MemoryConfig
+
+
+def paper_like_memory() -> MemoryConfig:
+    """Memory hierarchy loosely mirroring Table 2's Xeon Gold 5218,
+    capacities scaled ~1/16 to 1/40 (so scaled-down workload footprints
+    keep the paper's working-set : LLC ratio), with effective (pipelined)
+    L1 latency and level-latency ratios preserved."""
+    return MemoryConfig(
+        l1=CacheConfig("L1D", 8 * 1024, 8, 2),
+        l2=CacheConfig("L2", 64 * 1024, 8, 12),
+        llc=CacheConfig("LLC", 512 * 1024, 16, 40),
+        dram_latency=360,
+        mshr_entries=48,
+    )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything the execution engines need to know."""
+
+    memory: MemoryConfig = field(default_factory=paper_like_memory)
+
+    # Core cost model (integer cycles).
+    alu_cost: int = 1
+    branch_cost: int = 1
+    prefetch_cost: int = 1
+    work_cpi: int = 1
+
+    # Profiling hardware.
+    lbr_entries: int = 32  # Intel LBR depth on the paper's machine
+    lbr_sample_period: int = 20_000  # cycles between LBR snapshots
+    #: Loads with latency >= this are PEBS-sampled (perf mem ldlat style);
+    #: 0 means "derive from the LLC latency" (LLC hit latency + 1).
+    pebs_latency_threshold: int = 0
+
+    # Safety net against runaway programs.
+    max_instructions: int = 2_000_000_000
+
+    def effective_pebs_threshold(self) -> int:
+        if self.pebs_latency_threshold > 0:
+            return self.pebs_latency_threshold
+        return self.memory.llc.latency + 1
+
+    def with_memory(self, memory: MemoryConfig) -> "MachineConfig":
+        return replace(self, memory=memory)
+
+
+DEFAULT_CONFIG = MachineConfig()

@@ -1,0 +1,33 @@
+"""Shared execution context handed to the engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+from repro.machine.config import MachineConfig
+from repro.machine.lbr import LastBranchRecord, NullLBR
+from repro.machine.pmu import Counters
+from repro.machine.sampler import ProfileSampler
+from repro.mem.address import AddressSpace
+from repro.mem.hierarchy import MemorySystem
+
+#: CALL trampoline: (callee_name, args, from_pc) -> return value.  The
+#: owner (Machine) runs the callee on the same engine with the shared
+#: clock (counters.cycles is the canonical time across the call).
+InvokeFn = Callable[[str, Sequence[int], int], int]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an engine needs: functional memory, timing model,
+    counters, LBR, optional sampler, the cost model, and the CALL
+    trampoline."""
+
+    space: AddressSpace
+    mem: MemorySystem
+    counters: Counters
+    lbr: Union[LastBranchRecord, NullLBR]
+    config: MachineConfig
+    sampler: Optional[ProfileSampler] = None
+    invoke: Optional[InvokeFn] = None

@@ -1,0 +1,68 @@
+"""Last Branch Record model (paper §3.1, Fig 3).
+
+The LBR is a ring buffer of the last N *taken* branches; every entry holds
+the branch PC, its target, and the cycle at which it executed.  Snapshots
+of the buffer are what the profiler collects; two instances of the same
+loop-latch branch PC in one snapshot yield one loop-iteration latency
+measurement, and runs of inner-latch PCs between outer-latch PCs yield
+trip counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, NamedTuple
+
+
+class LBREntry(NamedTuple):
+    from_pc: int
+    to_pc: int
+    cycle: int
+
+
+class LastBranchRecord:
+    """A fixed-depth ring buffer of taken branches."""
+
+    __slots__ = ("entries", "depth")
+
+    def __init__(self, depth: int = 32) -> None:
+        self.depth = depth
+        self.entries: deque = deque(maxlen=depth)
+
+    def push(self, entry: tuple) -> None:
+        """Record a taken branch: ``(from_pc, to_pc, cycle)``."""
+        self.entries.append(entry)
+
+    def snapshot(self) -> tuple:
+        """Oldest-to-newest copy of the current buffer contents."""
+        return tuple(LBREntry(*e) for e in self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterable[LBREntry]:
+        return (LBREntry(*e) for e in self.entries)
+
+
+class NullLBR:
+    """No-op LBR used when profiling is disabled (keeps engines branch-free)."""
+
+    __slots__ = ("depth",)
+
+    def __init__(self) -> None:
+        self.depth = 0
+
+    def push(self, entry: tuple) -> None:
+        pass
+
+    def snapshot(self) -> tuple:
+        return ()
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,155 @@
+"""The Machine facade: binds a finalized module + address space to the
+memory hierarchy, PMU, LBR, and an execution engine.
+
+Typical use::
+
+    machine = Machine(module, space)
+    result = machine.run("main")
+    print(result.perf.ipc)
+
+For profiling runs (the paper's ``perf record`` step)::
+
+    machine = Machine(module, space)
+    machine.enable_profiling()
+    machine.run("main")
+    samples = machine.sampler.samples
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ir.nodes import IRError, Module
+from repro.machine.config import MachineConfig
+from repro.machine.context import ExecutionContext
+from repro.machine.interpreter import run_function
+from repro.machine.lbr import LastBranchRecord, NullLBR
+from repro.machine.pmu import Counters, PerfStat
+from repro.machine.sampler import ProfileSampler
+from repro.machine.translator import CompiledFunction, compile_function
+from repro.mem.address import AddressSpace
+from repro.mem.hierarchy import MemorySystem
+
+ENGINES = ("translate", "interpret")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one Machine.run: return value + the run's counter delta."""
+
+    value: int
+    counters: Counters
+
+    @property
+    def perf(self) -> PerfStat:
+        return PerfStat(self.counters)
+
+    @property
+    def cycles(self) -> float:
+        return self.counters.cycles
+
+
+class Machine:
+    """One simulated process: module + data + microarchitectural state."""
+
+    def __init__(
+        self,
+        module: Module,
+        space: AddressSpace,
+        config: Optional[MachineConfig] = None,
+        engine: str = "translate",
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if not module.finalized:
+            module.finalize()
+        self.module = module
+        self.space = space
+        self.config = config or MachineConfig()
+        self.engine = engine
+        self.counters = Counters()
+        self.mem = MemorySystem(self.config.memory, space, self.counters)
+        self.lbr: LastBranchRecord | NullLBR = NullLBR()
+        self.sampler: Optional[ProfileSampler] = None
+        self._compiled: dict[str, CompiledFunction] = {}
+
+    # ------------------------------------------------------------------
+    def enable_profiling(
+        self, period: Optional[int] = None, first_at: Optional[int] = None
+    ) -> ProfileSampler:
+        """Turn on the LBR + PEBS sampling hardware for subsequent runs."""
+        self.lbr = LastBranchRecord(self.config.lbr_entries)
+        self.sampler = ProfileSampler(
+            self.lbr,
+            period or self.config.lbr_sample_period,
+            first_at=first_at,
+        )
+        return self.sampler
+
+    def disable_profiling(self) -> None:
+        self.lbr = NullLBR()
+        self.sampler = None
+
+    # ------------------------------------------------------------------
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(
+            space=self.space,
+            mem=self.mem,
+            counters=self.counters,
+            lbr=self.lbr,
+            config=self.config,
+            sampler=self.sampler,
+            invoke=self._invoke,
+        )
+
+    def _invoke(self, callee: str, args: Sequence[int], from_pc: int) -> int:
+        """CALL trampoline: run ``callee`` on this machine's engine with
+        the shared clock; records the call's taken branch in the LBR."""
+        if callee not in self.module.functions:
+            raise IRError(f"call to unknown function {callee!r}")
+        function = self.module.function(callee)
+        entry_pc = function.entry.start_pc
+        self.lbr.push((from_pc, entry_pc, int(self.counters.cycles)))
+        self.counters.taken_branches += 1
+        if self.engine == "translate":
+            compiled = self._compiled.get(callee)
+            if compiled is None:
+                compiled = compile_function(function, self.config)
+                self._compiled[callee] = compiled
+            return compiled(self._context(), args)
+        return run_function(function, self._context(), args)
+
+    def run(
+        self,
+        function: str = "main",
+        args: Sequence[int] = (),
+        flush_caches: bool = False,
+    ) -> RunResult:
+        """Execute ``function`` and return its value plus the counter delta."""
+        if function not in self.module.functions:
+            raise IRError(f"module has no function {function!r}")
+        if flush_caches:
+            self.mem.flush()
+        before = self.counters.copy()
+        if self.engine == "translate":
+            compiled = self._compiled.get(function)
+            if compiled is None:
+                compiled = compile_function(
+                    self.module.function(function), self.config
+                )
+                self._compiled[function] = compiled
+            value = compiled(self._context(), args)
+        else:
+            value = run_function(
+                self.module.function(function), self._context(), args
+            )
+        return RunResult(value=value, counters=self.counters - before)
+
+    def translated_source(self, function: str) -> str:
+        """Source of the translated engine's code for ``function`` (debug)."""
+        compiled = self._compiled.get(function)
+        if compiled is None:
+            compiled = compile_function(self.module.function(function), self.config)
+            self._compiled[function] = compiled
+        return compiled.source

@@ -1,0 +1,192 @@
+"""PMU counters, named after the Intel events the paper measures with
+``perf stat`` (§2.3, §4.4), plus simulator-side extras.
+
+A :class:`Counters` instance is owned by the machine and mutated by the
+memory system and the execution engine.  :class:`PerfStat` formats the
+derived metrics the paper reports (IPC, prefetch accuracy, late-prefetch
+ratio, MPKI, memory-boundedness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Raw event counts for one run."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    taken_branches: int = 0
+
+    # Per-level demand hit/miss.
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+
+    # Offcore (to-memory) read requests, paper's accuracy numerator and
+    # denominator: offcore_requests.{all,demand}_data_rd.
+    offcore_all_data_rd: int = 0
+    offcore_demand_data_rd: int = 0
+
+    # Software prefetch bookkeeping.
+    sw_prefetch_issued: int = 0
+    sw_prefetch_dropped_mshr: int = 0
+    sw_prefetch_dropped_unmapped: int = 0
+    sw_prefetch_redundant: int = 0  # line already cached or in flight
+    sw_prefetch_useful: int = 0  # demand load consumed a prefetched line
+    #: Demand load hit an in-flight software prefetch in the fill buffer
+    #: (Intel LOAD_HIT_PRE.SW_PF) — the paper's *late prefetch* signal.
+    load_hit_pre_sw_pf: int = 0
+    sw_prefetch_early_evicted: int = 0  # evicted from LLC before any use
+
+    # Hardware prefetcher bookkeeping.
+    hw_prefetch_issued: int = 0
+    hw_prefetch_useful: int = 0
+
+    # Stall-cycle attribution for the memory component (Fig 5).
+    stall_cycles_l2: float = 0.0
+    stall_cycles_llc: float = 0.0
+    stall_cycles_dram: float = 0.0
+
+    def copy(self) -> "Counters":
+        clone = Counters()
+        for f in fields(self):
+            setattr(clone, f.name, getattr(self, f.name))
+        return clone
+
+    def __sub__(self, other: "Counters") -> "Counters":
+        result = Counters()
+        for f in fields(self):
+            setattr(result, f.name, getattr(self, f.name) - getattr(other, f.name))
+        return result
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class PerfStat:
+    """Derived metrics over a :class:`Counters` snapshot."""
+
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.counters.cycles
+        return self.counters.instructions / cycles if cycles else 0.0
+
+    @property
+    def sw_prefetch_memory_reads(self) -> int:
+        """Software prefetches that actually reached memory (issued minus
+        redundant/dropped)."""
+        c = self.counters
+        return (
+            c.sw_prefetch_issued
+            - c.sw_prefetch_redundant
+            - c.sw_prefetch_dropped_mshr
+            - c.sw_prefetch_dropped_unmapped
+        )
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of offcore data reads attributable to software
+        prefetching: (all_data_rd - demand_data_rd) / all_data_rd in the
+        paper's Table 1, computed here over the software-prefetch-visible
+        traffic so the hardware prefetchers (always on, as on the paper's
+        machine with its 0% 'None' row) do not pollute the metric."""
+        sw = self.sw_prefetch_memory_reads
+        total = sw + self.counters.offcore_demand_data_rd
+        if total <= 0:
+            return 0.0
+        return sw / total
+
+    @property
+    def late_prefetch_ratio(self) -> float:
+        """LOAD_HIT_PRE.SW_PF normalized by issued software prefetches."""
+        issued = self.counters.sw_prefetch_issued
+        if not issued:
+            return 0.0
+        return self.counters.load_hit_pre_sw_pf / issued
+
+    @property
+    def llc_mpki(self) -> float:
+        """Demand reads reaching memory per kilo-instruction (paper Fig 7
+        measures offcore_requests.demand_data_rd; note a demand load that
+        hits an in-flight prefetch still counts as a miss, §4.4)."""
+        instructions = self.counters.instructions
+        if not instructions:
+            return 0.0
+        misses = (
+            self.counters.offcore_demand_data_rd
+            + self.counters.load_hit_pre_sw_pf
+        )
+        return 1000.0 * misses / instructions
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Fraction of cycles stalled on L3 + DRAM (Fig 5)."""
+        cycles = self.counters.cycles
+        if not cycles:
+            return 0.0
+        stalled = self.counters.stall_cycles_llc + self.counters.stall_cycles_dram
+        return stalled / cycles
+
+    def check_invariants(self) -> list[str]:
+        """Cross-counter consistency checks; returns violation messages.
+
+        Used by integration and property tests: any non-empty result is
+        a simulator bug, not a workload property.
+        """
+        c = self.counters
+        problems = []
+        if c.cycles < 0 or c.instructions < 0:
+            problems.append("negative cycles/instructions")
+        if c.l1_hits + c.l1_misses != c.loads:
+            problems.append(
+                f"l1 hits+misses ({c.l1_hits}+{c.l1_misses}) != loads ({c.loads})"
+            )
+        if c.l2_hits + c.l2_misses > c.l1_misses:
+            problems.append("L2 accesses exceed L1 misses")
+        if c.llc_hits + c.llc_misses > c.l2_misses:
+            problems.append("LLC accesses exceed L2 misses")
+        if c.offcore_demand_data_rd > c.llc_misses:
+            problems.append("offcore demand reads exceed LLC misses")
+        if c.offcore_all_data_rd < c.offcore_demand_data_rd:
+            problems.append("all_data_rd < demand_data_rd")
+        sw_accounted = (
+            self.sw_prefetch_memory_reads
+            + c.sw_prefetch_redundant
+            + c.sw_prefetch_dropped_mshr
+            + c.sw_prefetch_dropped_unmapped
+        )
+        if sw_accounted != c.sw_prefetch_issued:
+            problems.append("software prefetch accounting does not add up")
+        if c.load_hit_pre_sw_pf > c.sw_prefetch_useful:
+            problems.append("late prefetches exceed useful prefetches")
+        if (
+            c.sw_prefetch_useful + c.sw_prefetch_early_evicted
+            > self.sw_prefetch_memory_reads
+        ):
+            problems.append("prefetch outcomes exceed prefetch memory reads")
+        stalls = c.stall_cycles_l2 + c.stall_cycles_llc + c.stall_cycles_dram
+        if stalls > c.cycles:
+            problems.append("memory stalls exceed total cycles")
+        return problems
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cycles": self.counters.cycles,
+            "instructions": self.counters.instructions,
+            "ipc": self.ipc,
+            "prefetch_accuracy": self.prefetch_accuracy,
+            "late_prefetch_ratio": self.late_prefetch_ratio,
+            "llc_mpki": self.llc_mpki,
+            "memory_bound_fraction": self.memory_bound_fraction,
+        }

@@ -1,0 +1,66 @@
+"""Profile samplers: periodic LBR snapshots + PEBS-style load sampling.
+
+``perf record`` analog (paper §3.4): while the program runs, the sampler
+
+* snapshots the LBR every ``period`` cycles (the paper samples once per
+  millisecond; ours is cycle-denominated), and
+* records the PC of every demand load whose observed latency crosses the
+  PEBS latency threshold — the population from which *delinquent loads*
+  (frequent LLC missers, §3.2) are ranked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.lbr import LastBranchRecord
+
+#: Sentinel "never" cycle for disabled sampling.
+NEVER = 1 << 62
+
+
+class ProfileSampler:
+    """Collects LBR snapshots and long-latency load records during a run."""
+
+    def __init__(
+        self,
+        lbr: LastBranchRecord,
+        period: int = 20_000,
+        first_at: Optional[int] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("sample period must be positive")
+        self.lbr = lbr
+        self.period = period
+        self.next_at = period if first_at is None else first_at
+        self.samples: list[tuple] = []
+        self.load_miss_counts: dict[int, int] = {}
+        self.load_miss_latency: dict[int, int] = {}
+
+    # Called by the engines when cycle >= next_at.
+    def take(self, cycle: int) -> int:
+        snapshot = self.lbr.snapshot()
+        if snapshot:
+            self.samples.append(snapshot)
+        self.next_at = cycle + self.period
+        return self.next_at
+
+    # Called by the engines for every load whose latency >= threshold.
+    def record_load(self, pc: int, latency: int) -> None:
+        counts = self.load_miss_counts
+        counts[pc] = counts.get(pc, 0) + 1
+        lat = self.load_miss_latency
+        lat[pc] = lat.get(pc, 0) + latency
+
+    def delinquent_loads(self, top: int = 10, min_count: int = 8) -> list[int]:
+        """Load PCs ranked by total miss latency contribution."""
+        ranked = sorted(
+            (
+                pc
+                for pc, count in self.load_miss_counts.items()
+                if count >= min_count
+            ),
+            key=lambda pc: self.load_miss_latency.get(pc, 0),
+            reverse=True,
+        )
+        return ranked[:top]

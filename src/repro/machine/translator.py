@@ -1,0 +1,334 @@
+"""Translating execution engine: compiles each IR function to one Python
+function (QEMU/Embra-style binary translation, one translation unit per
+function).
+
+Why: the reference interpreter dispatches per instruction; the translator
+maps virtual registers to Python locals, folds runs of constant-cost ALU
+instructions into single ``cycle += k`` statements, and resolves PHIs as
+edge copies.  It is ~10-30x faster and — because all costs are integers
+accumulated in program order — produces *bit-identical* timing, counters,
+and LBR contents to the interpreter (asserted by differential tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.loops import find_loops
+from repro.ir.nodes import Function, IRError, Instruction, Operand
+from repro.ir.opcodes import BINOP_EXPR, Opcode
+from repro.machine.config import MachineConfig
+from repro.machine.context import ExecutionContext
+from repro.machine.interpreter import ExecutionLimitExceeded
+from repro.machine.sampler import NEVER
+
+_counter = itertools.count()
+
+
+class CompiledFunction:
+    """A translated IR function ready to run against a context."""
+
+    def __init__(self, function: Function, source: str, fn: Callable) -> None:
+        self.function = function
+        self.source = source
+        self._fn = fn
+
+    def __call__(self, ctx: ExecutionContext, args: Sequence[int] = ()) -> int:
+        if len(args) != len(self.function.params):
+            raise IRError(
+                f"{self.function.name} expects "
+                f"{len(self.function.params)} args, got {len(args)}"
+            )
+        return self._fn(ctx, tuple(int(a) for a in args))
+
+
+class _Codegen:
+    def __init__(self, function: Function, config: MachineConfig) -> None:
+        self.function = function
+        self.config = config
+        self.lines: list[str] = []
+        self.indent = 0
+        self.reg_names: dict[str, str] = {}
+        for index, param in enumerate(function.params):
+            self.reg_names[param] = f"R{index}"
+        for instruction in function.instructions():
+            if instruction.dst is not None and instruction.dst not in self.reg_names:
+                self.reg_names[instruction.dst] = f"R{len(self.reg_names)}"
+        # Dispatch order: deepest loops first so hot blocks match early.
+        loops = find_loops(function)
+        depth = {block.name: 0 for block in function.blocks}
+        for loop in loops:
+            for name in loop.body:
+                depth[name] = max(depth[name], loop.depth)
+        ordered = sorted(
+            function.blocks,
+            key=lambda block: (-depth[block.name], function.blocks.index(block)),
+        )
+        self.block_index = {block.name: i for i, block in enumerate(ordered)}
+        self.ordered_blocks = ordered
+        self.start_pc = {block.name: block.start_pc for block in function.blocks}
+
+    # ------------------------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def operand(self, value: Operand) -> str:
+        if type(value) is int:
+            return repr(value)
+        return self.reg_names[value]
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        function = self.function
+        self.emit("def __translated(ctx, args):")
+        self.indent += 1
+        self.emit("mem = ctx.mem")
+        self.emit("mem_load = mem.load")
+        self.emit("mem_store = mem.store")
+        self.emit("mem_prefetch = mem.prefetch")
+        self.emit("sp = ctx.space")
+        self.emit("sp_load = sp.load")
+        self.emit("sp_store = sp.store")
+        self.emit("counters = ctx.counters")
+        self.emit("lbr_push = ctx.lbr.push")
+        self.emit("sampler = ctx.sampler")
+        self.emit("if sampler is not None:")
+        self.emit("    next_sample = sampler.next_at")
+        self.emit("    pebs_threshold = ctx.config.effective_pebs_threshold()")
+        self.emit("    sampler_take = sampler.take")
+        self.emit("    record_load = sampler.record_load")
+        self.emit("else:")
+        self.emit("    next_sample = NEVER")
+        self.emit("    pebs_threshold = NEVER")
+        self.emit("    sampler_take = None")
+        self.emit("    record_load = None")
+        self.emit("max_instructions = ctx.config.max_instructions")
+        self.emit("cycle = int(counters.cycles)")
+        self.emit("retired = 0")
+        self.emit("loads = 0")
+        self.emit("stores = 0")
+        self.emit("taken = 0")
+        for index, param in enumerate(function.params):
+            self.emit(f"{self.reg_names[param]} = args[{index}]")
+        self.emit(f"bi = {self.block_index[function.entry.name]}")
+        self.emit("while True:")
+        self.indent += 1
+        for position, block in enumerate(self.ordered_blocks):
+            keyword = "if" if position == 0 else "elif"
+            self.emit(f"{keyword} bi == {self.block_index[block.name]}:")
+            self.indent += 1
+            self._emit_block(block)
+            self.indent -= 1
+        self.emit("else:")
+        self.emit("    raise RuntimeError('bad block index %r' % bi)")
+        self.indent -= 2
+        return "\n".join(self.lines)
+
+    # ------------------------------------------------------------------
+    def _emit_block(self, block) -> None:
+        cfg = self.config
+        self.emit("if cycle >= next_sample:")
+        self.emit("    next_sample = sampler_take(cycle)")
+        self.emit("if retired > max_instructions:")
+        self.emit(
+            "    raise ExecutionLimitExceeded("
+            f"'{self.function.name}: instruction budget exceeded')"
+        )
+
+        pending = 0  # folded cycle cost not yet emitted
+        retired_const = 0
+        retired_dynamic: list[str] = []
+        n_loads = 0
+        n_stores = 0
+
+        def flush() -> None:
+            nonlocal pending
+            if pending:
+                self.emit(f"cycle += {pending}")
+                pending = 0
+
+        instructions = block.non_phi_instructions()
+        for inst in instructions:
+            op = inst.op
+            if op in BINOP_EXPR:
+                expr = BINOP_EXPR[op].format(
+                    a=self.operand(inst.args[0]), b=self.operand(inst.args[1])
+                )
+                self.emit(f"{self.reg_names[inst.dst]} = {expr}")
+                pending += cfg.alu_cost
+                retired_const += 1
+            elif op is Opcode.GEP:
+                base, index, scale = inst.args
+                if type(index) is int:
+                    offset = index * scale
+                    expr = f"{self.operand(base)} + {offset}"
+                elif scale == 1:
+                    expr = f"{self.operand(base)} + {self.operand(index)}"
+                else:
+                    expr = f"{self.operand(base)} + {self.operand(index)}*{scale}"
+                self.emit(f"{self.reg_names[inst.dst]} = {expr}")
+                pending += cfg.alu_cost
+                retired_const += 1
+            elif op is Opcode.CONST:
+                self.emit(f"{self.reg_names[inst.dst]} = {inst.args[0]!r}")
+                pending += cfg.alu_cost
+                retired_const += 1
+            elif op is Opcode.MOV:
+                self.emit(
+                    f"{self.reg_names[inst.dst]} = {self.operand(inst.args[0])}"
+                )
+                pending += cfg.alu_cost
+                retired_const += 1
+            elif op is Opcode.SELECT:
+                cond, a, b = (self.operand(v) for v in inst.args)
+                self.emit(
+                    f"{self.reg_names[inst.dst]} = ({a}) if ({cond}) else ({b})"
+                )
+                pending += cfg.alu_cost
+                retired_const += 1
+            elif op is Opcode.LOAD:
+                flush()
+                self.emit(f"_a = {self.operand(inst.args[0])}")
+                self.emit(f"_l = mem_load(_a, cycle, {inst.pc})")
+                self.emit("cycle += _l")
+                self.emit("if _l >= pebs_threshold:")
+                self.emit(f"    record_load({inst.pc}, _l)")
+                self.emit(f"{self.reg_names[inst.dst]} = sp_load(_a)")
+                retired_const += 1
+                n_loads += 1
+            elif op is Opcode.STORE:
+                flush()
+                self.emit(f"_a = {self.operand(inst.args[0])}")
+                self.emit(f"cycle += mem_store(_a, cycle, {inst.pc})")
+                self.emit(f"sp_store(_a, {self.operand(inst.args[1])})")
+                retired_const += 1
+                n_stores += 1
+            elif op is Opcode.PREFETCH:
+                flush()
+                self.emit(
+                    f"mem_prefetch({self.operand(inst.args[0])}, cycle, {inst.pc})"
+                )
+                pending += cfg.prefetch_cost
+                retired_const += 1
+            elif op is Opcode.WORK:
+                amount = inst.args[0]
+                if type(amount) is int:
+                    pending += amount * cfg.work_cpi
+                    retired_const += amount
+                else:
+                    flush()
+                    name = self.operand(amount)
+                    self.emit(f"cycle += {name} * {cfg.work_cpi}")
+                    retired_dynamic.append(name)
+            elif op is Opcode.CALL:
+                pending += cfg.branch_cost
+                retired_const += 1
+                flush()
+                call_args = ", ".join(self.operand(a) for a in inst.args)
+                trailing_comma = "," if len(inst.args) == 1 else ""
+                self.emit("counters.cycles = cycle")
+                self.emit(
+                    f"{self.reg_names[inst.dst]} = ctx.invoke("
+                    f"{inst.targets[0]!r}, ({call_args}{trailing_comma}), "
+                    f"{inst.pc})"
+                )
+                self.emit("cycle = int(counters.cycles)")
+                self.emit("if sampler is not None:")
+                self.emit("    next_sample = sampler.next_at")
+            elif op in (Opcode.JMP, Opcode.BR, Opcode.RET):
+                pending += cfg.branch_cost
+                retired_const += 1
+                flush()
+                if retired_const:
+                    self.emit(f"retired += {retired_const}")
+                for name in retired_dynamic:
+                    self.emit(f"retired += {name}")
+                if n_loads:
+                    self.emit(f"loads += {n_loads}")
+                if n_stores:
+                    self.emit(f"stores += {n_stores}")
+                self._emit_terminator(block, inst)
+            else:  # pragma: no cover - exhaustive dispatch
+                raise IRError(f"unhandled opcode {op!r}")
+
+    # ------------------------------------------------------------------
+    def _edge_copies(self, target_name: str, source_name: str) -> list[str]:
+        target = self.function.block(target_name)
+        phis = target.phis()
+        if not phis:
+            return []
+        values = []
+        for phi in phis:
+            incoming = dict(phi.incomings)
+            if source_name not in incoming:
+                raise IRError(
+                    f"phi {phi.dst} in {target_name} lacks incoming "
+                    f"from {source_name}"
+                )
+            values.append((self.reg_names[phi.dst], incoming[source_name]))
+        if len(values) == 1:
+            dst, value = values[0]
+            return [f"{dst} = {self.operand(value)}"]
+        lines = []
+        for index, (_, value) in enumerate(values):
+            lines.append(f"_p{index} = {self.operand(value)}")
+        for index, (dst, _) in enumerate(values):
+            lines.append(f"{dst} = _p{index}")
+        return lines
+
+    def _emit_terminator(self, block, inst: Instruction) -> None:
+        if inst.op is Opcode.RET:
+            self.emit("counters.cycles = cycle")
+            self.emit("counters.instructions += retired")
+            self.emit("counters.loads += loads")
+            self.emit("counters.stores += stores")
+            self.emit("counters.taken_branches += taken")
+            self.emit(f"return {self.operand(inst.args[0])}")
+            return
+        if inst.op is Opcode.JMP:
+            target = inst.targets[0]
+            self.emit("taken += 1")
+            self.emit(f"lbr_push(({inst.pc}, {self.start_pc[target]}, cycle))")
+            for line in self._edge_copies(target, block.name):
+                self.emit(line)
+            self.emit(f"bi = {self.block_index[target]}")
+            self.emit("continue")
+            return
+        # Conditional branch: targets[0] is the taken direction.
+        then_target, else_target = inst.targets
+        self.emit(f"if {self.operand(inst.args[0])}:")
+        self.indent += 1
+        self.emit("taken += 1")
+        self.emit(f"lbr_push(({inst.pc}, {self.start_pc[then_target]}, cycle))")
+        for line in self._edge_copies(then_target, block.name):
+            self.emit(line)
+        self.emit(f"bi = {self.block_index[then_target]}")
+        self.indent -= 1
+        self.emit("else:")
+        self.indent += 1
+        for line in self._edge_copies(else_target, block.name):
+            self.emit(line)
+        self.emit(f"bi = {self.block_index[else_target]}")
+        self.indent -= 1
+        self.emit("continue")
+
+
+def compile_function(
+    function: Function, config: Optional[MachineConfig] = None
+) -> CompiledFunction:
+    """Translate one finalized IR function into a Python callable."""
+    for block in function.blocks:
+        if block.instructions and block.instructions[0].pc < 0:
+            raise IRError(
+                f"{function.name}: module must be finalized before translation"
+            )
+    codegen = _Codegen(function, config or MachineConfig())
+    source = codegen.generate()
+    namespace = {
+        "NEVER": NEVER,
+        "ExecutionLimitExceeded": ExecutionLimitExceeded,
+    }
+    filename = f"<translated:{function.name}:{next(_counter)}>"
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+    return CompiledFunction(function, source, namespace["__translated"])

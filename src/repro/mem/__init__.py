@@ -1,0 +1,28 @@
+"""Memory subsystem: address space, caches, MSHRs, hardware prefetchers."""
+
+from repro.mem.address import LINE_BYTES, AddressSpace, MemoryError_, Segment
+from repro.mem.cache import (
+    FLAG_HW_PREFETCHED_UNUSED,
+    FLAG_NONE,
+    FLAG_SW_PREFETCHED_UNUSED,
+    SetAssociativeCache,
+)
+from repro.mem.config import CacheConfig, MemoryConfig
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.hwprefetch import NextLinePrefetcher, StridePrefetcher
+
+__all__ = [
+    "AddressSpace",
+    "CacheConfig",
+    "FLAG_HW_PREFETCHED_UNUSED",
+    "FLAG_NONE",
+    "FLAG_SW_PREFETCHED_UNUSED",
+    "LINE_BYTES",
+    "MemoryConfig",
+    "MemoryError_",
+    "MemorySystem",
+    "NextLinePrefetcher",
+    "Segment",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+]

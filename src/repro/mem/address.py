@@ -1,0 +1,159 @@
+"""Flat byte-addressed memory with named array segments.
+
+Workloads allocate named arrays here *before* building their IR, so array
+base addresses appear as immediates in the IR (the moral equivalent of a
+linked binary's data section).  The machine's functional side reads and
+writes values through this class; the timing side only sees addresses.
+
+Values are Python integers (64-bit-ish by convention).  Arrays are stored
+as Python lists for fast scalar access in the interpreter hot path; numpy
+arrays are accepted and converted at allocation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Optional, Sequence, Union
+
+LINE_BYTES = 64
+
+ArrayLike = Union[Sequence[int], Iterable[int]]
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-bounds or unmapped accesses (demand side only)."""
+
+
+class Segment:
+    """One named, contiguous array of fixed-size elements."""
+
+    __slots__ = ("name", "base", "elem_size", "values", "end")
+
+    def __init__(self, name: str, base: int, elem_size: int, values: list) -> None:
+        self.name = name
+        self.base = base
+        self.elem_size = elem_size
+        self.values = values
+        self.end = base + elem_size * len(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def address_of(self, index: int) -> int:
+        return self.base + index * self.elem_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Segment {self.name} base={self.base:#x} n={len(self.values)} "
+            f"elem={self.elem_size}B>"
+        )
+
+
+class AddressSpace:
+    """Allocator + functional memory for a single simulated process."""
+
+    #: Base of the data section; leaves PC space (< 16MiB) unmapped.
+    DATA_BASE = 0x1000_0000
+    #: Guard gap between segments so no cache line spans two arrays.
+    GUARD_BYTES = 2 * LINE_BYTES
+
+    def __init__(self) -> None:
+        self._segments: list[Segment] = []
+        self._bases: list[int] = []
+        self._by_name: dict[str, Segment] = {}
+        self._next_base = self.DATA_BASE
+        self._last: Optional[Segment] = None
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        name: str,
+        data: Union[int, ArrayLike],
+        elem_size: int = 8,
+    ) -> Segment:
+        """Allocate a segment.
+
+        ``data`` is either an element count (zero-initialized) or an
+        iterable of initial values.  ``elem_size`` only affects address
+        arithmetic (4 for int32-style arrays, 8 for int64/pointers).
+        """
+        if name in self._by_name:
+            raise MemoryError_(f"segment {name!r} already allocated")
+        if elem_size <= 0 or (elem_size & (elem_size - 1)) != 0:
+            raise MemoryError_(f"elem_size must be a positive power of two")
+        if isinstance(data, int):
+            values = [0] * data
+        else:
+            values = [int(v) for v in data]
+        base = self._next_base
+        segment = Segment(name, base, elem_size, values)
+        self._segments.append(segment)
+        self._bases.append(base)
+        self._by_name[name] = segment
+        span = elem_size * len(values)
+        self._next_base = base + span + self.GUARD_BYTES
+        # Keep 64-byte alignment for the next segment.
+        remainder = self._next_base % LINE_BYTES
+        if remainder:
+            self._next_base += LINE_BYTES - remainder
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MemoryError_(f"unknown segment {name!r}") from None
+
+    def segments(self) -> list[Segment]:
+        return list(self._segments)
+
+    # ------------------------------------------------------------------
+    # Address resolution
+    # ------------------------------------------------------------------
+    def _find(self, addr: int) -> Optional[Segment]:
+        last = self._last
+        if last is not None and last.base <= addr < last.end:
+            return last
+        position = bisect_right(self._bases, addr) - 1
+        if position < 0:
+            return None
+        candidate = self._segments[position]
+        if candidate.base <= addr < candidate.end:
+            self._last = candidate
+            return candidate
+        return None
+
+    def is_mapped(self, addr: int) -> bool:
+        return self._find(addr) is not None
+
+    # ------------------------------------------------------------------
+    # Functional access (demand side; raises on bad addresses)
+    # ------------------------------------------------------------------
+    def load(self, addr: int) -> int:
+        segment = self._find(addr)
+        if segment is None:
+            raise MemoryError_(f"load from unmapped address {addr:#x}")
+        offset = addr - segment.base
+        index, misalign = divmod(offset, segment.elem_size)
+        if misalign:
+            raise MemoryError_(
+                f"misaligned load at {addr:#x} in segment {segment.name}"
+            )
+        return segment.values[index]
+
+    def store(self, addr: int, value: int) -> None:
+        segment = self._find(addr)
+        if segment is None:
+            raise MemoryError_(f"store to unmapped address {addr:#x}")
+        offset = addr - segment.base
+        index, misalign = divmod(offset, segment.elem_size)
+        if misalign:
+            raise MemoryError_(
+                f"misaligned store at {addr:#x} in segment {segment.name}"
+            )
+        segment.values[index] = value
+
+    def total_bytes(self) -> int:
+        return sum(s.elem_size * len(s) for s in self._segments)

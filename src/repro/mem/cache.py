@@ -1,0 +1,82 @@
+"""Set-associative, LRU, line-granular cache model.
+
+Lines are identified by ``line = byte_address >> 6``.  Each set is a dict
+mapping line -> flags; Python dicts preserve insertion order, so LRU is
+"pop and re-insert on hit, evict the first key when full".  Flags track
+whether a line was installed by a (software/hardware) prefetch and not yet
+consumed by a demand access — the bookkeeping behind the paper's accuracy
+and early-eviction discussion (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mem.config import CacheConfig
+
+FLAG_NONE = 0
+FLAG_SW_PREFETCHED_UNUSED = 1
+FLAG_HW_PREFETCHED_UNUSED = 2
+
+EvictionCallback = Callable[[int, int], None]  # (line, flags)
+
+
+class SetAssociativeCache:
+    """One cache level."""
+
+    __slots__ = ("config", "_sets", "_set_mask", "on_evict")
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> None:
+        self.config = config
+        self._sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
+        self._set_mask = config.sets - 1
+        self.on_evict = on_evict
+
+    # ------------------------------------------------------------------
+    def lookup(self, line: int) -> Optional[int]:
+        """Return the line's flags (and refresh LRU) or None on miss."""
+        cache_set = self._sets[line & self._set_mask]
+        flags = cache_set.pop(line, None)
+        if flags is None:
+            return None
+        cache_set[line] = flags  # re-insert -> most recently used
+        return flags
+
+    def contains(self, line: int) -> bool:
+        return line in self._sets[line & self._set_mask]
+
+    def set_flags(self, line: int, flags: int) -> None:
+        cache_set = self._sets[line & self._set_mask]
+        if line in cache_set:
+            cache_set[line] = flags
+
+    def insert(self, line: int, flags: int = FLAG_NONE) -> None:
+        """Install a line, evicting the LRU victim if the set is full."""
+        cache_set = self._sets[line & self._set_mask]
+        if line in cache_set:
+            cache_set.pop(line)
+            cache_set[line] = flags
+            return
+        if len(cache_set) >= self.config.associativity:
+            victim, victim_flags = next(iter(cache_set.items()))
+            del cache_set[victim]
+            if self.on_evict is not None:
+                self.on_evict(victim, victim_flags)
+        cache_set[line] = flags
+
+    def invalidate(self, line: int) -> None:
+        self._sets[line & self._set_mask].pop(line, None)
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> list[int]:
+        return [line for s in self._sets for line in s]

@@ -1,0 +1,88 @@
+"""Memory-hierarchy configuration (the reproduction's Table 2).
+
+The defaults model the paper's Xeon Gold 5218 scaled down by 8x in cache
+capacity so that simulated working sets (and hence simulation time) stay
+laptop-sized while preserving the working-set : LLC ratio.  Latencies are
+kept at realistic Skylake-server-class cycle counts because the *ratios*
+between levels are what drive prefetch timeliness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.address import LINE_BYTES
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    latency: int  # access latency in cycles, paid when this level serves
+
+    @property
+    def lines(self) -> int:
+        return self.size_bytes // LINE_BYTES
+
+    @property
+    def sets(self) -> int:
+        return self.lines // self.associativity
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % LINE_BYTES:
+            raise ValueError(f"{self.name}: size must be a multiple of 64B")
+        if self.lines % self.associativity:
+            raise ValueError(f"{self.name}: lines not divisible by assoc")
+        sets = self.lines // self.associativity
+        if sets & (sets - 1):
+            raise ValueError(f"{self.name}: set count must be a power of two")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Full hierarchy: three cache levels, MSHRs, DRAM, HW prefetchers."""
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 8 * 1024, 8, 4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 128 * 1024, 8, 14)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 2 * 1024 * 1024, 16, 44)
+    )
+    dram_latency: int = 200
+    #: Fill buffers / miss-status-holding registers shared by demand misses
+    #: and in-flight prefetches; prefetches are dropped when full.
+    mshr_entries: int = 12
+    #: Hardware stride prefetcher at L2 (per-PC stride table).
+    stride_prefetcher: bool = True
+    stride_table_entries: int = 64
+    stride_confidence: int = 2
+    stride_degree: int = 2
+    #: Hardware next-line prefetcher at the LLC.
+    next_line_prefetcher: bool = True
+    #: Ideal-prefetcher mode (paper §2's upper bound): every demand load
+    #: is served at L1 latency as if a perfect prefetcher had covered all
+    #: misses in time.  Counters still record where the load *would* have
+    #: been served, so coverage math stays meaningful.
+    ideal_prefetching: bool = False
+
+    def scaled(self, factor: int) -> "MemoryConfig":
+        """Return a copy with cache capacities divided by ``factor``.
+
+        Used by the 'tiny' experiment scale so unit tests shrink datasets
+        and caches together.
+        """
+        def shrink(cache: CacheConfig) -> CacheConfig:
+            size = max(cache.size_bytes // factor, cache.associativity * LINE_BYTES)
+            return CacheConfig(cache.name, size, cache.associativity, cache.latency)
+
+        from dataclasses import replace
+
+        return replace(
+            self, l1=shrink(self.l1), l2=shrink(self.l2), llc=shrink(self.llc)
+        )

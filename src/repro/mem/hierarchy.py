@@ -1,0 +1,272 @@
+"""The memory hierarchy: three cache levels, fill buffers, DRAM, and
+hardware prefetchers, with PMU instrumentation.
+
+Timing model
+------------
+The core is in-order and blocking: a demand load pays the latency of the
+level that serves it (L1 4, L2 14, LLC 44, DRAM ``llc.latency + 200``).
+Prefetches are non-blocking: they allocate a fill buffer (MSHR) entry that
+completes ``llc.latency + dram_latency`` cycles later in the background;
+when the buffers are full the prefetch is dropped (as on real hardware).
+
+A demand load that finds its line *in flight* coalesces with the fill
+buffer entry and waits only the residual latency — and, when the entry was
+allocated by a software prefetch, increments ``LOAD_HIT_PRE.SW_PF``: the
+paper's *late prefetch* event (§2.3).  A prefetched line evicted from the
+LLC before any demand use increments the *early prefetch* counter.
+
+Prefetched-but-unused lines are tracked in a side table (``_unused``)
+consulted on demand hits at any level, so usefulness accounting is exact
+regardless of which level serves the first demand access.
+
+The hierarchy is kept inclusive: an LLC eviction invalidates L1/L2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.pmu import Counters
+from repro.mem.address import AddressSpace
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.config import MemoryConfig
+from repro.mem.hwprefetch import NextLinePrefetcher, StridePrefetcher
+
+# MSHR entry layout: [ready_cycle, is_software_prefetch]
+_READY = 0
+_SOFTWARE = 1
+
+
+class MemorySystem:
+    """Timing-side memory model; functional data lives in AddressSpace."""
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        address_space: AddressSpace,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        self.config = config
+        self.space = address_space
+        self.counters = counters if counters is not None else Counters()
+
+        self.llc = SetAssociativeCache(config.llc, on_evict=self._on_llc_evict)
+        self.l2 = SetAssociativeCache(config.l2)
+        self.l1 = SetAssociativeCache(config.l1)
+
+        self._l1_lat = int(config.l1.latency)
+        self._l2_lat = int(config.l2.latency)
+        self._llc_lat = int(config.llc.latency)
+        self._mem_lat = int(config.llc.latency + config.dram_latency)
+
+        #: In-flight fills: line -> [ready_cycle, is_software_prefetch].
+        #: None entries are demand-class (hardware prefetch counts too
+        #: for LOAD_HIT_PRE purposes: only software entries bump it).
+        self._mshr: dict[int, list] = {}
+        #: Prefetched lines not yet consumed by any demand access:
+        #: line -> True (software) / False (hardware).
+        self._unused: dict[int, bool] = {}
+        self._ideal = bool(config.ideal_prefetching)
+        self._stride = StridePrefetcher(config) if config.stride_prefetcher else None
+        self._next_line = (
+            NextLinePrefetcher() if config.next_line_prefetcher else None
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _on_llc_evict(self, line: int, flags: int) -> None:
+        # Inclusive hierarchy: drop the line everywhere.
+        self.l1.invalidate(line)
+        self.l2.invalidate(line)
+        if self._unused:
+            software = self._unused.pop(line, None)
+            if software:
+                self.counters.sw_prefetch_early_evicted += 1
+
+    def drain(self, now: float) -> None:
+        """Complete fill-buffer entries whose data has arrived."""
+        if not self._mshr:
+            return
+        done = [line for line, entry in self._mshr.items() if entry[_READY] <= now]
+        for line in done:
+            software = self._mshr.pop(line)[_SOFTWARE]
+            self._fill(line)
+            self._unused[line] = software
+
+    def _fill(self, line: int) -> None:
+        self.llc.insert(line)
+        self.l2.insert(line)
+        self.l1.insert(line)
+
+    def _consume(self, line: int) -> None:
+        """A demand access touched a prefetched line: count usefulness."""
+        software = self._unused.pop(line, None)
+        if software is None:
+            return
+        if software:
+            self.counters.sw_prefetch_useful += 1
+        else:
+            self.counters.hw_prefetch_useful += 1
+
+    def _issue_prefetch(self, line: int, now: float, software: bool) -> bool:
+        """Try to start an asynchronous fill; returns True if issued."""
+        counters = self.counters
+        if (
+            self.l1.contains(line)
+            or self.l2.contains(line)
+            or self.llc.contains(line)
+            or line in self._mshr
+        ):
+            if software:
+                counters.sw_prefetch_redundant += 1
+            return False
+        if len(self._mshr) >= self.config.mshr_entries:
+            if software:
+                counters.sw_prefetch_dropped_mshr += 1
+            return False
+        self._mshr[line] = [now + self._mem_lat, software]
+        counters.offcore_all_data_rd += 1
+        if not software:
+            counters.hw_prefetch_issued += 1
+        return True
+
+    def _hardware_prefetch(self, pc: int, line: int, now: float, level: str) -> None:
+        candidates: list[int] = []
+        if level == "l2" and self._stride is not None:
+            candidates = self._stride.observe(pc, line)
+        elif level == "llc" and self._next_line is not None:
+            candidates = self._next_line.observe(pc, line)
+        for candidate in candidates:
+            if self.space.is_mapped(candidate * 64):
+                self._issue_prefetch(candidate, now, software=False)
+
+    # ------------------------------------------------------------------
+    # Demand accesses
+    # ------------------------------------------------------------------
+    def load(self, addr: int, now, pc: int):
+        """Return the latency of a demand load at ``now``.
+
+        In ideal-prefetching mode (§2's upper bound) classification and
+        hit/miss counters run normally but the returned latency is always
+        the L1 latency and no stall cycles accrue."""
+        line = addr >> 6
+        counters = self.counters
+        ideal = self._ideal
+
+        if self.l1.lookup(line) is not None:
+            counters.l1_hits += 1
+            if self._unused:
+                self._consume(line)
+            return self._l1_lat
+        counters.l1_misses += 1
+        self.drain(now)
+        # L1 may have just been filled by the drain: reclassify as a hit.
+        if self.l1.lookup(line) is not None:
+            counters.l1_misses -= 1
+            counters.l1_hits += 1
+            if self._unused:
+                self._consume(line)
+            return self._l1_lat
+
+        if self.l2.lookup(line) is not None:
+            counters.l2_hits += 1
+            if self._unused:
+                self._consume(line)
+            self.l1.insert(line)
+            if ideal:
+                return self._l1_lat
+            counters.stall_cycles_l2 += self._l2_lat - self._l1_lat
+            return self._l2_lat
+        counters.l2_misses += 1
+        self._hardware_prefetch(pc, line, now, "l2")
+
+        if self.llc.lookup(line) is not None:
+            counters.llc_hits += 1
+            if self._unused:
+                self._consume(line)
+            self.l2.insert(line)
+            self.l1.insert(line)
+            if ideal:
+                return self._l1_lat
+            counters.stall_cycles_llc += self._llc_lat - self._l1_lat
+            return self._llc_lat
+        counters.llc_misses += 1
+
+        entry = self._mshr.get(line)
+        if entry is not None:
+            # Coalesce with the in-flight fill: wait the residual latency.
+            residual = max(entry[_READY] - now, 0)
+            software = entry[_SOFTWARE]
+            del self._mshr[line]
+            self._fill(line)
+            if software:
+                counters.load_hit_pre_sw_pf += 1
+                counters.sw_prefetch_useful += 1
+            else:
+                counters.hw_prefetch_useful += 1
+            latency = max(residual, self._l1_lat)
+            if ideal:
+                return self._l1_lat
+            counters.stall_cycles_dram += latency - self._l1_lat
+            return latency
+
+        # True miss to memory.
+        counters.offcore_demand_data_rd += 1
+        counters.offcore_all_data_rd += 1
+        self._hardware_prefetch(pc, line, now, "llc")
+        self._fill(line)
+        if ideal:
+            return self._l1_lat
+        counters.stall_cycles_dram += self._mem_lat - self._l1_lat
+        return self._mem_lat
+
+    def store(self, addr: int, now, pc: int):
+        """Stores retire through a store buffer: cheap even on a miss.
+
+        A missing line is write-allocated in the background (no stall, no
+        offcore *read* accounting — the paper's counters measure data
+        reads).
+        """
+        line = addr >> 6
+        if self.l1.lookup(line) is not None:
+            if self._unused:
+                self._consume(line)
+            return 1
+        self.drain(now)
+        if self._unused:
+            self._consume(line)
+        entry = self._mshr.pop(line, None)
+        if entry is not None:
+            # The store coalesces with (and consumes) the in-flight fill.
+            self._fill(line)
+            if entry[_SOFTWARE]:
+                self.counters.sw_prefetch_useful += 1
+            else:
+                self.counters.hw_prefetch_useful += 1
+            return 1
+        self.llc.lookup(line)  # refresh LRU if present
+        self._fill(line)
+        return 1
+
+    def prefetch(self, addr: int, now: float, pc: int) -> None:
+        """Software prefetch: never faults, may be dropped."""
+        counters = self.counters
+        counters.sw_prefetch_issued += 1
+        if not self.space.is_mapped(addr):
+            counters.sw_prefetch_dropped_unmapped += 1
+            return
+        self.drain(now)
+        self._issue_prefetch(addr >> 6, now, software=True)
+
+    # ------------------------------------------------------------------
+    def inflight(self) -> int:
+        return len(self._mshr)
+
+    def flush(self) -> None:
+        """Drop all cached lines and in-flight fills (cold-cache reset)."""
+        self.l1.flush()
+        self.l2.flush()
+        self.llc.flush()
+        self._mshr.clear()
+        self._unused.clear()

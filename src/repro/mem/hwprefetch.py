@@ -1,0 +1,61 @@
+"""Hardware prefetcher models: per-PC stride and next-line.
+
+These are the "simple prefetchers implemented in today's hardware" the
+paper contrasts against (§1): they capture strided/streaming patterns but
+cannot follow indirect accesses like ``T[B[i]]`` whose successive lines are
+uncorrelated.  Both emit candidate prefetch lines; the hierarchy decides
+whether to issue them (MSHR space, mapped addresses).
+"""
+
+from __future__ import annotations
+
+from repro.mem.config import MemoryConfig
+
+
+class StridePrefetcher:
+    """Per-PC stride detector (Intel L2 "adjacent/stream"-style).
+
+    Keeps a small direct-mapped table keyed by load PC holding the last
+    line touched, the last observed stride, and a saturating confidence.
+    Once confidence reaches the threshold it predicts ``degree`` lines
+    ahead along the stride.
+    """
+
+    __slots__ = ("entries", "threshold", "degree", "_table")
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.entries = config.stride_table_entries
+        self.threshold = config.stride_confidence
+        self.degree = config.stride_degree
+        # pc_slot -> (pc, last_line, stride, confidence)
+        self._table: dict[int, tuple[int, int, int, int]] = {}
+
+    def observe(self, pc: int, line: int) -> list[int]:
+        """Record a demand miss; return lines to prefetch (possibly empty)."""
+        slot = pc % self.entries
+        entry = self._table.get(slot)
+        if entry is None or entry[0] != pc:
+            self._table[slot] = (pc, line, 0, 0)
+            return []
+        _, last_line, stride, confidence = entry
+        new_stride = line - last_line
+        if new_stride == 0:
+            return []
+        if new_stride == stride:
+            confidence = min(confidence + 1, self.threshold + 2)
+        else:
+            stride = new_stride
+            confidence = 1
+        self._table[slot] = (pc, line, stride, confidence)
+        if confidence >= self.threshold:
+            return [line + stride * (i + 1) for i in range(self.degree)]
+        return []
+
+
+class NextLinePrefetcher:
+    """LLC next-line prefetcher: on a demand miss to line L, fetch L+1."""
+
+    __slots__ = ()
+
+    def observe(self, pc: int, line: int) -> list[int]:
+        return [line + 1]

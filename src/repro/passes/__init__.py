@@ -1,0 +1,39 @@
+"""Compiler passes: A&J static baseline + APT-GET profile-guided injection."""
+
+from repro.passes.ainsworth_jones import (
+    DEFAULT_STATIC_DISTANCE,
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+    PassReport,
+)
+from repro.passes.aptget_pass import AptGetPass, AptGetPassConfig
+from repro.passes.cleanup import CleanupReport, cleanup_module, dead_code_elimination, local_cse
+from repro.passes.inject import (
+    InjectionResult,
+    inject_inner,
+    inject_outer,
+)
+from repro.passes.pipeline import (
+    Builder,
+    OptimizationOutcome,
+    profile_and_optimize,
+)
+
+__all__ = [
+    "AinsworthJonesConfig",
+    "AinsworthJonesPass",
+    "AptGetPass",
+    "AptGetPassConfig",
+    "Builder",
+    "CleanupReport",
+    "cleanup_module",
+    "dead_code_elimination",
+    "local_cse",
+    "DEFAULT_STATIC_DISTANCE",
+    "InjectionResult",
+    "OptimizationOutcome",
+    "PassReport",
+    "inject_inner",
+    "inject_outer",
+    "profile_and_optimize",
+]

@@ -1,0 +1,128 @@
+"""The APT-GET LLVM-pass analog (paper §3.5, Algorithm 2).
+
+Consumes the hint list produced by the profile analysis.  For every
+delinquent-load hint it resolves the PC to the IR instruction (our exact
+AutoFDO mapping), extracts the load-slice, and injects a prefetch slice
+at the prescribed site with the prescribed distance:
+
+* one induction PHI        -> InjectPrefetchesOnePhi  (inner site);
+* multiple induction PHIs  -> InjectPrefetchesMorePhis (inner or outer
+  site per Eq-2, outer falls back to inner when structurally impossible).
+
+When the module has no matching samples at all (``AutoFDOMapping`` false
+in Algorithm 2) the pass can optionally fall back to the static A&J
+scheme, mirroring Algorithm 2 lines 35-38.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.loops import find_loops, innermost_loop_of
+from repro.analysis.slices import slice_for_pc
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import InjectionSite
+from repro.ir.nodes import Module
+from repro.passes.ainsworth_jones import (
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+    PassReport,
+)
+from repro.passes.cleanup import cleanup_module
+from repro.passes.inject import InjectionResult, inject_inner, inject_outer
+
+
+@dataclass(frozen=True)
+class AptGetPassConfig:
+    """Pass-side knobs."""
+
+    #: When a hint asks for the outer site but outer injection is
+    #: structurally impossible, retry at the inner site.
+    outer_fallback_to_inner: bool = True
+    #: With no hints at all, run the static baseline instead
+    #: (Algorithm 2's no-samples path).  Disabled by default so that
+    #: experiment comparisons stay clean.
+    static_fallback: bool = False
+    static_distance: int = 32
+    #: Run CSE/DCE after injection (models the rest of the -O3 pipeline).
+    cleanup: bool = True
+
+
+class AptGetPass:
+    """Profile-guided prefetch injection."""
+
+    name = "apt-get"
+
+    def __init__(
+        self,
+        hints: HintSet,
+        config: Optional[AptGetPassConfig] = None,
+    ) -> None:
+        self.hints = hints
+        self.config = config or AptGetPassConfig()
+
+    def run(self, module: Module) -> PassReport:
+        report = PassReport()
+        if not len(self.hints):
+            if self.config.static_fallback:
+                fallback = AinsworthJonesPass(
+                    AinsworthJonesConfig(distance=self.config.static_distance)
+                )
+                return fallback.run(module)
+            module.finalize()
+            return report
+
+        for hint in self.hints:
+            result = self._apply_hint(module, hint)
+            report.record(hint.load_pc, hint.function, result)
+        if self.config.cleanup:
+            cleaned = cleanup_module(module)
+            report.added_instructions -= cleaned.total
+        module.finalize()
+        return report
+
+    # ------------------------------------------------------------------
+    def _apply_hint(self, module: Module, hint: PrefetchHint) -> InjectionResult:
+        if hint.function not in module.functions:
+            return InjectionResult(False, f"no function {hint.function!r}")
+        function = module.function(hint.function)
+        resolved = slice_for_pc(function, hint.load_pc)
+        if resolved is None:
+            return InjectionResult(
+                False, f"no load at pc {hint.load_pc:#x} (stale profile?)"
+            )
+        load, load_slice = resolved
+        loops = find_loops(function)
+        block = next(
+            b for b in function.blocks if load in b.instructions
+        )
+        inner = innermost_loop_of(loops, block.name)
+        if inner is None:
+            return InjectionResult(False, "load not inside a loop")
+
+        if hint.site is InjectionSite.OUTER:
+            if inner.parent is not None:
+                result = inject_outer(
+                    function,
+                    load,
+                    load_slice,
+                    inner_loop=inner,
+                    outer_loop=inner.parent,
+                    distance=hint.effective_distance,
+                    sweep=hint.sweep,
+                )
+                if result.success:
+                    return result
+            else:
+                result = InjectionResult(False, "load not in a nested loop")
+            if not self.config.outer_fallback_to_inner:
+                return result
+        return inject_inner(
+            function,
+            load,
+            load_slice,
+            inner,
+            distance=hint.distance,
+            minimal_clone=True,
+        )

@@ -1,0 +1,112 @@
+"""Post-injection cleanup: block-local CSE and dead-code elimination.
+
+In the real system both prefetching passes run inside LLVM's -O3
+pipeline, so redundant address arithmetic created by slice cloning is
+cleaned up by later passes (GVN/DCE) before code generation.  This
+module models that: it deduplicates *pure* computations within a basic
+block and deletes pure instructions whose results are never used.
+
+Only side-effect-free operations participate (ALU, compares, select,
+GEP, const, mov).  Loads are never touched: even a dead load changes
+cache state; stores, prefetches, WORK, control flow are side effects by
+definition.  PHIs are left alone for simplicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.nodes import Function, Module
+from repro.ir.opcodes import BINOP_EXPR, Opcode
+
+#: Opcodes that are referentially transparent (safe to merge/delete).
+PURE_OPS = frozenset(BINOP_EXPR) | {
+    Opcode.GEP,
+    Opcode.SELECT,
+    Opcode.CONST,
+    Opcode.MOV,
+}
+
+
+@dataclass
+class CleanupReport:
+    cse_replaced: int = 0
+    dce_removed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.cse_replaced + self.dce_removed
+
+
+def local_cse(function: Function) -> int:
+    """Merge identical pure computations within each block.
+
+    Scans each block top-down keeping a value-number table keyed by
+    ``(opcode, operands)``; a recomputation is deleted and later uses are
+    rewritten to the first definition.  Operand keys see earlier
+    rewrites, so chains of duplicates collapse in one pass.
+    """
+    replaced = 0
+    for block in function.blocks:
+        table: dict[tuple, str] = {}
+        rewrite: dict[str, str] = {}
+        kept = []
+        for inst in block.instructions:
+            if rewrite:
+                inst.replace_operands(rewrite)
+            if inst.op in PURE_OPS and inst.dst is not None:
+                key = (inst.op, inst.args)
+                existing = table.get(key)
+                if existing is not None:
+                    rewrite[inst.dst] = existing
+                    replaced += 1
+                    continue  # drop the duplicate
+                table[key] = inst.dst
+            kept.append(inst)
+        block.instructions[:] = kept
+        if rewrite:
+            # Uses may extend past this block (the first def dominates
+            # whatever the duplicate dominated, since both were in the
+            # same block), and same-block PHIs may reference the removed
+            # duplicate through a back edge — rewrite everything.
+            for other in function.blocks:
+                for inst in other.instructions:
+                    inst.replace_operands(rewrite)
+    return replaced
+
+
+def dead_code_elimination(function: Function) -> int:
+    """Delete pure instructions whose results are never used (to fixpoint)."""
+    removed = 0
+    while True:
+        used: set[str] = set()
+        for inst in function.instructions():
+            for register in inst.register_operands():
+                used.add(register)
+        dead = [
+            inst
+            for inst in function.instructions()
+            if inst.op in PURE_OPS
+            and inst.dst is not None
+            and inst.dst not in used
+        ]
+        if not dead:
+            return removed
+        dead_ids = {id(inst) for inst in dead}
+        for block in function.blocks:
+            block.instructions[:] = [
+                inst
+                for inst in block.instructions
+                if id(inst) not in dead_ids
+            ]
+        removed += len(dead)
+
+
+def cleanup_module(module: Module) -> CleanupReport:
+    """Run CSE then DCE over every function; re-finalizes the module."""
+    report = CleanupReport()
+    for function in module.functions.values():
+        report.cse_replaced += local_cse(function)
+        report.dce_removed += dead_code_elimination(function)
+    module.finalize()
+    return report

@@ -1,0 +1,501 @@
+"""Prefetch-slice injection: the mechanics shared by both passes.
+
+Given a load, its slice, a loop, and a prefetch-distance, injection
+
+1. computes the *advanced* induction value ``iv + distance x step``
+   (supporting non-canonical ``i *= c`` recurrences, §3.5);
+2. clamps it against the loop bound when statically visible —
+   ``min(bound, iv + distance)``, exactly Listing 4's select-clamp — so
+   end-of-loop prefetches degenerate to duplicates instead of wild
+   addresses (unclamped out-of-range prefetches are dropped harmlessly by
+   the memory system, like real prefetch instructions that never fault);
+3. clones the slice, substituting the advanced value for the induction
+   PHI, and replaces the delinquent load with a PREFETCH.
+
+Inner-site injection places the clone right before the original load.
+Outer-site injection (§3.3) places it in the inner loop's preheader —
+executed once per outer iteration — substituting the inner PHI with its
+initial value (or a sweep of the first ``sweep`` iteration values) and
+advancing the *outer* PHI instead.
+
+APT-GET's clones are *minimal*: slice instructions independent of the
+advanced PHI are reused, not duplicated (Listing 4 reuses ``%2``).  The
+Ainsworth & Jones baseline clones the full slice, which is one source of
+its higher instruction overhead (Fig 11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.loops import (
+    InductionVariable,
+    Loop,
+    LoopBound,
+    induction_variables,
+    loop_bound,
+)
+from repro.analysis.slices import LoadSlice
+from repro.ir.nodes import Function, Instruction, Operand
+from repro.ir.opcodes import Opcode
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one injection attempt."""
+
+    success: bool
+    reason: str = ""
+    added_instructions: int = 0
+    prefetches_emitted: int = 0
+    site: str = "inner"
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+class _Names:
+    """Fresh-register allocator (single scan, then a counter)."""
+
+    def __init__(self, function: Function) -> None:
+        self._taken = {
+            inst.dst
+            for inst in function.instructions()
+            if inst.dst is not None
+        }
+        self._taken.update(function.params)
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str = "pf") -> str:
+        while True:
+            name = f"{hint}.{next(self._counter)}"
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+
+def _find_slice_iv(
+    function: Function, loop: Loop, load_slice: LoadSlice
+) -> Optional[InductionVariable]:
+    """The induction variable of ``loop`` that the slice depends on."""
+    slice_phi_ids = {id(phi) for phi in load_slice.phis}
+    for indvar in induction_variables(function, loop):
+        if id(indvar.phi) in slice_phi_ids:
+            return indvar
+    return None
+
+
+def _emit_advanced_iv(
+    indvar: InductionVariable,
+    distance: int,
+    names: _Names,
+) -> tuple[list[Instruction], Operand]:
+    """Instructions computing the induction value ``distance`` iterations
+    ahead of ``indvar``'s current value."""
+    instructions: list[Instruction] = []
+    register = indvar.register
+    step = indvar.step
+    if indvar.step_op is Opcode.ADD or indvar.step_op is Opcode.SUB:
+        op = Opcode.ADD if indvar.step_op is Opcode.ADD else Opcode.SUB
+        if isinstance(step, int):
+            offset: Operand = distance * step
+        else:
+            offset = names.fresh("pf.off")
+            instructions.append(
+                Instruction(Opcode.MUL, dst=offset, args=(step, distance))
+            )
+        advanced = names.fresh("pf.adv")
+        instructions.append(
+            Instruction(op, dst=advanced, args=(register, offset))
+        )
+        return instructions, advanced
+    if indvar.step_op is Opcode.MUL and isinstance(step, int):
+        factor = step ** distance
+        advanced = names.fresh("pf.adv")
+        instructions.append(
+            Instruction(Opcode.MUL, dst=advanced, args=(register, factor))
+        )
+        return instructions, advanced
+    return [], register  # unknown recurrence: no advance possible
+
+
+def _emit_clamp(
+    function: Function,
+    loop: Loop,
+    indvar: InductionVariable,
+    advanced: Operand,
+    names: _Names,
+) -> tuple[list[Instruction], Operand]:
+    """Clamp the advanced index to the loop bound (Listing 4's min/select).
+
+    Only emitted for upward-counting ADD recurrences with a LT/LE exit
+    compare; otherwise the advanced value is used unclamped and the memory
+    system drops out-of-segment prefetches.
+    """
+    if indvar.step_op is not Opcode.ADD:
+        return [], advanced
+    if isinstance(indvar.step, int) and indvar.step <= 0:
+        return [], advanced
+    bound = loop_bound(function, loop, indvar)
+    if bound is None or bound.compare.op not in (Opcode.CMP_LT, Opcode.CMP_LE):
+        return [], advanced
+    instructions: list[Instruction] = []
+    limit: Operand
+    if bound.compare.op is Opcode.CMP_LT:
+        if isinstance(bound.bound, int):
+            limit = bound.bound - 1
+        else:
+            limit = names.fresh("pf.lim")
+            instructions.append(
+                Instruction(Opcode.SUB, dst=limit, args=(bound.bound, 1))
+            )
+    else:
+        limit = bound.bound
+    clamped = names.fresh("pf.idx")
+    instructions.append(
+        Instruction(Opcode.MIN, dst=clamped, args=(advanced, limit))
+    )
+    return instructions, clamped
+
+
+def _clone_slice(
+    load_slice: LoadSlice,
+    substitutions: dict[str, Operand],
+    names: _Names,
+    minimal: bool,
+) -> tuple[list[Instruction], dict[str, Operand]]:
+    """Clone the slice applying ``substitutions`` (phi register -> operand).
+
+    With ``minimal`` (APT-GET), only instructions transitively dependent
+    on a substituted register are cloned; independent ones are reused via
+    their original registers.  Without it (A&J), everything is cloned.
+    """
+    mapping: dict[str, Operand] = dict(substitutions)
+    dependent = set(substitutions)
+    clones: list[Instruction] = []
+    for instruction in load_slice.instructions:
+        depends = any(
+            operand in dependent
+            for operand in instruction.register_operands()
+        )
+        if minimal and not depends:
+            continue
+        clone = instruction.copy()
+        clone.replace_operands(mapping)
+        assert clone.dst is not None
+        new_dst = names.fresh("pf")
+        mapping[clone.dst] = new_dst
+        dependent.add(clone.dst)
+        clone.dst = new_dst
+        clone.pc = -1
+        clones.append(clone)
+    return clones, mapping
+
+
+def _prefetch_from(
+    load: Instruction, mapping: dict[str, Operand]
+) -> Optional[Instruction]:
+    address = load.args[0]
+    if isinstance(address, str):
+        address = mapping.get(address, address)
+        if address == load.args[0] and load.args[0] not in mapping:
+            # Address did not change: the slice does not depend on the
+            # advanced induction variable; a prefetch would be useless.
+            return None
+    return Instruction(Opcode.PREFETCH, args=(address,))
+
+
+# ----------------------------------------------------------------------
+# Inner-site injection
+# ----------------------------------------------------------------------
+def inject_inner(
+    function: Function,
+    load: Instruction,
+    load_slice: LoadSlice,
+    loop: Loop,
+    distance: int,
+    minimal_clone: bool = True,
+) -> InjectionResult:
+    """Inject a prefetch ``distance`` iterations ahead inside ``loop``."""
+    if distance < 1:
+        return InjectionResult(False, "distance must be >= 1")
+    if load_slice.has_call:
+        return InjectionResult(False, "slice crosses a function call")
+    indvar = _find_slice_iv(function, loop, load_slice)
+    if indvar is None:
+        return InjectionResult(False, "no induction variable in slice")
+    names = _Names(function)
+
+    advance, advanced = _emit_advanced_iv(indvar, distance, names)
+    if not advance:
+        return InjectionResult(False, "unsupported induction recurrence")
+    clamp, index = _emit_clamp(function, loop, indvar, advanced, names)
+    clones, mapping = _clone_slice(
+        load_slice, {indvar.register: index}, names, minimal=minimal_clone
+    )
+    prefetch = _prefetch_from(load, mapping)
+    if prefetch is None:
+        return InjectionResult(False, "address independent of induction variable")
+
+    block = _owning_block(function, load)
+    if block is None:
+        return InjectionResult(False, "load not found in function")
+    sequence = advance + clamp + clones + [prefetch]
+    block.insert_before(load, sequence)
+    return InjectionResult(
+        True,
+        added_instructions=len(sequence),
+        prefetches_emitted=1,
+        site="inner",
+    )
+
+
+# ----------------------------------------------------------------------
+# Outer-site injection (§3.3, §3.5)
+# ----------------------------------------------------------------------
+def inject_outer(
+    function: Function,
+    load: Instruction,
+    load_slice: LoadSlice,
+    inner_loop: Loop,
+    outer_loop: Loop,
+    distance: int,
+    sweep: int = 1,
+) -> InjectionResult:
+    """Inject prefetches for future *outer* iterations in the inner
+    loop's preheader.
+
+    Following the paper's extension of the A&J search, when the slice
+    terminates at the inner induction PHI the backward search *continues
+    through the PHI's init value* into the outer loop, extending the
+    slice until the outer induction variable(s) are reached.  The inner
+    PHI is then pinned to its first ``sweep`` iteration values and every
+    outer induction variable in the (extended) slice is advanced by
+    ``distance``.
+    """
+    if distance < 1:
+        return InjectionResult(False, "distance must be >= 1")
+    if load_slice.has_call:
+        return InjectionResult(False, "slice crosses a function call")
+
+    inner_ivs = induction_variables(function, inner_loop)
+    inner_iv = None
+    inner_phi_ids = set()
+    for candidate in inner_ivs:
+        if id(candidate.phi) in {id(p) for p in load_slice.phis}:
+            inner_iv = candidate
+            inner_phi_ids.add(id(candidate.phi))
+            break
+
+    outer_ivs = {
+        id(iv.phi): iv for iv in induction_variables(function, outer_loop)
+    }
+
+    # Extend the slice through the inner PHI's init chain (§3.5).
+    extension: Optional[LoadSlice] = None
+    init_value: Optional[Operand] = None
+    if inner_iv is not None:
+        init_value = inner_iv.init
+        if isinstance(init_value, str):
+            from repro.analysis.slices import extract_value_slice
+
+            extension = extract_value_slice(function, init_value)
+
+    # Collect every PHI the combined slice depends on; each must be the
+    # inner induction variable or an outer induction variable.
+    combined_phis = list(load_slice.phis)
+    if extension is not None:
+        combined_phis.extend(extension.phis)
+    advanced_ivs = []
+    seen = set()
+    for phi in combined_phis:
+        key = id(phi)
+        if key in inner_phi_ids or key in seen:
+            continue
+        if key not in outer_ivs:
+            return InjectionResult(False, "slice depends on non-induction PHI")
+        seen.add(key)
+        advanced_ivs.append(outer_ivs[key])
+    if not advanced_ivs:
+        return InjectionResult(False, "slice does not depend on outer loop")
+
+    preheader_name = inner_loop.preheader()
+    if preheader_name is None or preheader_name not in outer_loop.body:
+        return InjectionResult(False, "no usable inner-loop preheader")
+    preheader = function.block(preheader_name)
+
+    names = _Names(function)
+    sequence: list[Instruction] = []
+    substitutions: dict[str, Operand] = {}
+    for outer_iv in advanced_ivs:
+        advance, advanced = _emit_advanced_iv(outer_iv, distance, names)
+        if not advance:
+            return InjectionResult(
+                False, "unsupported outer induction recurrence"
+            )
+        clamp, outer_index = _emit_clamp(
+            function, outer_loop, outer_iv, advanced, names
+        )
+        sequence.extend(advance)
+        sequence.extend(clamp)
+        substitutions[outer_iv.register] = outer_index
+
+    # Clone the extension (the inner PHI's init chain) once.
+    mapping: dict[str, Operand] = dict(substitutions)
+    if extension is not None and extension.instructions:
+        clones, mapping = _clone_slice(
+            extension, substitutions, names, minimal=False
+        )
+        sequence.extend(clones)
+    mapped_init: Optional[Operand] = None
+    if init_value is not None:
+        if isinstance(init_value, str):
+            mapped_init = mapping.get(init_value, init_value)
+        else:
+            mapped_init = init_value
+
+    prefetches = 0
+    sweep = max(1, sweep)
+    # When the load address is *linear* in the inner induction variable
+    # (e.g. a bucket scan: addr = base + slot*8), consecutive inner
+    # iterations often share a cache line; sweeping them would only emit
+    # redundant prefetches and instruction overhead.  Step the sweep by
+    # one cache line instead.  Indirect addresses (addr depends on a
+    # loaded value) get step 1: every iteration may touch a new line.
+    step = 1
+    if inner_iv is not None:
+        step = _sweep_line_step(function, load, load_slice, inner_iv)
+    for k in range(0, sweep, step):
+        iteration_map = dict(mapping)
+        if inner_iv is not None:
+            value, setup = _inner_iteration_value(
+                inner_iv, mapped_init, k, names
+            )
+            sequence.extend(setup)
+            iteration_map[inner_iv.register] = value
+        elif k > 0:
+            break  # no inner IV to sweep: one prefetch suffices
+        clones, final_map = _clone_slice(
+            load_slice, iteration_map, names, minimal=False
+        )
+        prefetch = _prefetch_from(load, final_map)
+        if prefetch is None:
+            return InjectionResult(
+                False, "address independent of induction variables"
+            )
+        sequence.extend(clones)
+        sequence.append(prefetch)
+        prefetches += 1
+
+    preheader.insert_before_terminator(sequence)
+    return InjectionResult(
+        True,
+        added_instructions=len(sequence),
+        prefetches_emitted=prefetches,
+        site="outer",
+    )
+
+
+def _sweep_line_step(
+    function: Function,
+    load: Instruction,
+    load_slice: LoadSlice,
+    inner_iv: InductionVariable,
+) -> int:
+    """Sweep stride (in iterations) so consecutive sweep prefetches land
+    on distinct cache lines when the address is linear in the inner IV.
+
+    Returns 1 (sweep every iteration) when the address depends on the IV
+    through a load or any non-affine operation.
+    """
+    if inner_iv.step_op is not Opcode.ADD or not isinstance(inner_iv.step, int):
+        return 1
+    from repro.analysis.cfg import definitions_map
+
+    definitions = definitions_map(function)
+    address = load.args[0]
+    if not isinstance(address, str):
+        return 1
+    gep = definitions.get(address)
+    if gep is None or gep.op is not Opcode.GEP:
+        return 1
+    _, index, scale = gep.args
+    # Walk the index chain: affine in the IV iff it only passes through
+    # ADD/SUB whose other operand does not involve the IV.
+    bytes_per_iteration: Optional[int] = None
+    current = index
+    while isinstance(current, str):
+        if current == inner_iv.register:
+            bytes_per_iteration = abs(inner_iv.step) * scale
+            break
+        defining = definitions.get(current)
+        if defining is None or defining.op not in (Opcode.ADD, Opcode.SUB):
+            return 1  # loads, shifts, etc.: treat as non-affine
+        a, b = defining.args
+        involves_a = _involves_register(a, inner_iv.register, definitions)
+        involves_b = _involves_register(b, inner_iv.register, definitions)
+        if involves_a and involves_b:
+            return 1
+        current = a if involves_a else b if involves_b else None
+        if current is None:
+            return 1  # IV not actually involved
+    if bytes_per_iteration is None or bytes_per_iteration <= 0:
+        return 1
+    if bytes_per_iteration >= 64:
+        return 1
+    return max(1, 64 // bytes_per_iteration)
+
+
+def _involves_register(
+    operand, register: str, definitions: dict, depth: int = 8
+) -> bool:
+    if not isinstance(operand, str) or depth == 0:
+        return False
+    if operand == register:
+        return True
+    defining = definitions.get(operand)
+    if defining is None or defining.op is Opcode.PHI:
+        return False
+    return any(
+        _involves_register(o, register, definitions, depth - 1)
+        for o in defining.register_operands()
+    )
+
+
+def _inner_iteration_value(
+    inner_iv: InductionVariable,
+    init: Optional[Operand],
+    k: int,
+    names: _Names,
+) -> tuple[Operand, list[Instruction]]:
+    """The inner induction variable's value on its k-th iteration,
+    computed from its (possibly cloned) init value."""
+    if init is None:
+        init = inner_iv.init
+    if k == 0:
+        return init, []
+    step = inner_iv.step
+    if inner_iv.step_op is Opcode.ADD and isinstance(step, int):
+        if isinstance(init, int):
+            return init + k * step, []
+        value = names.fresh("pf.iv")
+        return value, [
+            Instruction(Opcode.ADD, dst=value, args=(init, k * step))
+        ]
+    if inner_iv.step_op is Opcode.MUL and isinstance(step, int):
+        if isinstance(init, int):
+            return init * step**k, []
+        value = names.fresh("pf.iv")
+        return value, [
+            Instruction(Opcode.MUL, dst=value, args=(init, step**k))
+        ]
+    return init, []  # unsupported recurrence: fall back to first iteration
+
+
+def _owning_block(function: Function, instruction: Instruction):
+    for block in function.blocks:
+        if instruction in block.instructions:
+            return block
+    return None

@@ -1,0 +1,75 @@
+"""End-to-end APT-GET pipeline: build -> profile -> analyze -> re-build ->
+inject -> (caller runs).  This is the single-profiling-run workflow of
+§3.4 packaged as one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.aptget import AptGet, AptGetConfig
+from repro.core.hints import HintSet
+from repro.ir.nodes import Module
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.mem.address import AddressSpace
+from repro.passes.aptget_pass import AptGetPass, AptGetPassConfig
+from repro.passes.ainsworth_jones import PassReport
+from repro.profiling.collect import collect_profile
+from repro.profiling.profile import ExecutionProfile
+
+#: A builder returns a fresh, deterministic (module, address space) pair —
+#: the moral equivalent of recompiling the same sources.
+Builder = Callable[[], tuple[Module, AddressSpace]]
+
+
+@dataclass
+class OptimizationOutcome:
+    """Everything the pipeline produced."""
+
+    module: Module
+    space: AddressSpace
+    hints: HintSet
+    profile: ExecutionProfile
+    report: PassReport
+
+
+def profile_and_optimize(
+    build: Builder,
+    function: str = "main",
+    args: Sequence[int] = (),
+    machine_config: Optional[MachineConfig] = None,
+    aptget_config: Optional[AptGetConfig] = None,
+    pass_config: Optional[AptGetPassConfig] = None,
+    profile_period: Optional[int] = None,
+) -> OptimizationOutcome:
+    """Run the full APT-GET workflow against a workload builder.
+
+    The profiling run uses one build; the optimized module is a fresh,
+    identical build (same PCs) with prefetch slices injected, paired with
+    a fresh address space so the caller measures cold-start behaviour.
+    """
+    # Step 1-2: profile one run (perf record with LBR + PEBS).
+    profile_module, profile_space = build()
+    profiling_machine = Machine(
+        profile_module, profile_space, config=machine_config
+    )
+    profile = collect_profile(
+        profiling_machine, function=function, args=args, period=profile_period
+    )
+
+    # Step 3-5: analytical model -> hints.
+    analyzer = AptGet(aptget_config)
+    hints = analyzer.analyze(profile_module, profile)
+
+    # Step 6: recompile with the injection pass.
+    optimized_module, optimized_space = build()
+    report = AptGetPass(hints, pass_config).run(optimized_module)
+    return OptimizationOutcome(
+        module=optimized_module,
+        space=optimized_space,
+        hints=hints,
+        profile=profile,
+        report=report,
+    )

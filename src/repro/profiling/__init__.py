@@ -1,0 +1,6 @@
+"""Profiling: perf-record analog producing ExecutionProfile objects."""
+
+from repro.profiling.collect import collect_profile
+from repro.profiling.profile import ExecutionProfile
+
+__all__ = ["ExecutionProfile", "collect_profile"]

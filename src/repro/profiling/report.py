@@ -1,0 +1,148 @@
+"""``perf report`` analog: human-readable summaries of an ExecutionProfile.
+
+Shows the delinquent-load ranking (share of sampled miss latency, mean
+latency, owning function/block/loop) and per-loop LBR statistics
+(iteration-latency quartiles, measured trip counts) — everything an
+engineer would look at before trusting the generated hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.loops import find_loops, innermost_loop_of
+from repro.core.distribution import iteration_latencies, trip_counts
+from repro.ir.nodes import Module
+from repro.profiling.profile import ExecutionProfile
+
+
+@dataclass
+class DelinquentLoadSummary:
+    load_pc: int
+    function: str
+    block: str
+    loop_header: Optional[str]
+    loop_depth: int
+    samples: int
+    total_latency: int
+    share: float
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.samples if self.samples else 0.0
+
+
+@dataclass
+class LoopSummary:
+    function: str
+    header: str
+    depth: int
+    iterations_measured: int
+    latency_p25: int
+    latency_p50: int
+    latency_p75: int
+    latency_max: int
+    avg_trip_count: Optional[float]
+
+
+def summarize_delinquent_loads(
+    module: Module, profile: ExecutionProfile, top: int = 10
+) -> list[DelinquentLoadSummary]:
+    total = sum(profile.load_miss_latency.values()) or 1
+    summaries = []
+    for pc in profile.delinquent_loads(top=top, min_count=1):
+        if not module.has_pc(pc):
+            continue
+        block = module.block_at(pc)
+        function = block.function
+        loops = find_loops(function)
+        loop = innermost_loop_of(loops, block.name)
+        summaries.append(
+            DelinquentLoadSummary(
+                load_pc=pc,
+                function=function.name,
+                block=block.name,
+                loop_header=loop.header if loop else None,
+                loop_depth=loop.depth if loop else 0,
+                samples=profile.load_miss_counts.get(pc, 0),
+                total_latency=profile.load_miss_latency.get(pc, 0),
+                share=profile.load_miss_latency.get(pc, 0) / total,
+            )
+        )
+    return summaries
+
+
+def summarize_loops(
+    module: Module, profile: ExecutionProfile
+) -> list[LoopSummary]:
+    summaries = []
+    for function in module.functions.values():
+        loops = find_loops(function)
+        for loop in loops:
+            latencies = sorted(
+                iteration_latencies(profile.lbr_samples, loop.latch_branch_pcs())
+            )
+            if not latencies:
+                continue
+            trip: Optional[float] = None
+            if loop.parent is not None:
+                trips = trip_counts(
+                    profile.lbr_samples,
+                    loop.latch_branch_pcs(),
+                    loop.parent.latch_branch_pcs(),
+                )
+                if trips:
+                    trip = sum(trips) / len(trips)
+            n = len(latencies)
+            summaries.append(
+                LoopSummary(
+                    function=function.name,
+                    header=loop.header,
+                    depth=loop.depth,
+                    iterations_measured=n,
+                    latency_p25=latencies[n // 4],
+                    latency_p50=latencies[n // 2],
+                    latency_p75=latencies[(3 * n) // 4],
+                    latency_max=latencies[-1],
+                    avg_trip_count=trip,
+                )
+            )
+    summaries.sort(key=lambda s: -s.iterations_measured)
+    return summaries
+
+
+def format_profile_report(
+    module: Module, profile: ExecutionProfile, top: int = 10
+) -> str:
+    """Render the full report as text."""
+    lines = [
+        f"profile of {profile.function!r}: "
+        f"{len(profile.lbr_samples)} LBR samples, "
+        f"{sum(profile.load_miss_counts.values())} long-latency load events",
+        "",
+        "delinquent loads (by share of sampled miss latency):",
+        f"  {'pc':>10} {'share':>7} {'events':>7} {'mean lat':>9}  location",
+    ]
+    for s in summarize_delinquent_loads(module, profile, top=top):
+        location = f"{s.function}/{s.block}"
+        if s.loop_header:
+            location += f" (loop {s.loop_header}, depth {s.loop_depth})"
+        lines.append(
+            f"  {s.load_pc:#10x} {s.share:6.1%} {s.samples:7d} "
+            f"{s.mean_latency:9.1f}  {location}"
+        )
+    lines.append("")
+    lines.append("loops (iteration latency from LBR, cycles):")
+    lines.append(
+        f"  {'loop':>24} {'depth':>5} {'n':>7} {'p25':>6} {'p50':>6} "
+        f"{'p75':>6} {'max':>7} {'trip':>6}"
+    )
+    for s in summarize_loops(module, profile):
+        trip = f"{s.avg_trip_count:6.1f}" if s.avg_trip_count else "     -"
+        lines.append(
+            f"  {s.function + '/' + s.header:>24} {s.depth:5d} "
+            f"{s.iterations_measured:7d} {s.latency_p25:6d} "
+            f"{s.latency_p50:6d} {s.latency_p75:6d} {s.latency_max:7d} {trip}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Workloads: the paper's evaluation applications on the mini-IR substrate."""
+
+from repro.workloads.base import GUARD_ELEMS, Workload
+from repro.workloads.bc import BCWorkload
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.dfs import DFSWorkload
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.graphs import (
+    CATALOG,
+    CSRGraph,
+    Dataset,
+    dataset,
+    power_law_graph,
+    rmat_graph,
+    road_graph,
+    synthetic_dataset,
+    uniform_graph,
+)
+from repro.workloads.hashjoin import HashJoinWorkload
+from repro.workloads.micro import COMPLEXITY_WORK, IndirectMicrobenchmark
+from repro.workloads.micro_variants import (
+    BreakConditionMicrobenchmark,
+    CallWorkMicrobenchmark,
+    NonCanonicalMicrobenchmark,
+)
+from repro.workloads.nas_cg import ConjugateGradientWorkload
+from repro.workloads.nas_is import IntegerSortWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.randacc import RandomAccessWorkload
+from repro.workloads.registry import (
+    FULL_SUITE,
+    SUITE,
+    TINY_SUITE,
+    make_workload,
+    nested_suite_names,
+    suite_names,
+)
+from repro.workloads.sssp import SSSPWorkload
+
+__all__ = [
+    "BCWorkload",
+    "BreakConditionMicrobenchmark",
+    "CallWorkMicrobenchmark",
+    "BFSWorkload",
+    "CATALOG",
+    "COMPLEXITY_WORK",
+    "CSRGraph",
+    "ConjugateGradientWorkload",
+    "DFSWorkload",
+    "Dataset",
+    "FULL_SUITE",
+    "GUARD_ELEMS",
+    "Graph500Workload",
+    "HashJoinWorkload",
+    "IndirectMicrobenchmark",
+    "IntegerSortWorkload",
+    "NonCanonicalMicrobenchmark",
+    "PageRankWorkload",
+    "RandomAccessWorkload",
+    "SSSPWorkload",
+    "SUITE",
+    "TINY_SUITE",
+    "Workload",
+    "dataset",
+    "make_workload",
+    "nested_suite_names",
+    "power_law_graph",
+    "rmat_graph",
+    "road_graph",
+    "suite_names",
+    "synthetic_dataset",
+    "uniform_graph",
+]

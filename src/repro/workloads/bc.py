@@ -1,0 +1,115 @@
+"""Betweenness centrality — the memory-bound forward phase of Brandes'
+algorithm: a BFS that additionally accumulates shortest-path counts
+``sigma[v] += sigma[u]`` for tree/equal-level edges.
+
+Two per-vertex state arrays (``dist``, ``sigma``) are hit indirectly per
+edge, making BC the heaviest per-edge memory toucher of the graph suite
+(as in CRONO).  The backward dependency-accumulation phase is omitted —
+it repeats the same access pattern in reverse order (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+from repro.mem.address import AddressSpace
+from repro.workloads.base import Workload
+from repro.workloads.csr_common import (
+    VERTEX_ELEM,
+    allocate_csr,
+    allocate_vertex_state,
+    allocate_worklist,
+)
+from repro.workloads.graphs import CSRGraph, Dataset
+
+
+class BCWorkload(Workload):
+    """Brandes forward phase (paper Table 3: BC)."""
+
+    name = "BC"
+    nested = True
+
+    def __init__(self, dataset: Dataset, source: int = 0) -> None:
+        self.dataset = dataset
+        self.source = source
+        self.name = f"BC/{dataset.name}"
+
+    def _build(self) -> tuple[Module, AddressSpace]:
+        graph: CSRGraph = self.dataset.build()
+        space = AddressSpace()
+        row, col = allocate_csr(space, graph)
+        dist = allocate_vertex_state(space, "dist", graph.n, init=-1)
+        sigma = allocate_vertex_state(space, "sigma", graph.n, init=0)
+        queue = allocate_worklist(space, "queue", graph.n)
+        dist.values[self.source] = 0
+        sigma.values[self.source] = 1
+        queue.values[0] = self.source
+
+        module = Module(self.name)
+        b = IRBuilder(module)
+        b.function("main")
+        entry, outer_h, inner_h, outer_latch, done = b.blocks(
+            "entry", "outer_h", "inner_h", "outer_latch", "done"
+        )
+
+        b.at(entry)
+        b.jmp(outer_h)
+
+        b.at(outer_h)
+        head = b.phi([(entry, 0)], name="head")
+        tail = b.phi([(entry, 1)], name="tail")
+        qa = b.gep(queue.base, head, 8, name="qa")
+        u = b.load(qa, name="u")
+        ra = b.gep(row.base, u, 8, name="ra")
+        rs = b.load(ra, name="rs")
+        u1 = b.add(u, 1, name="u1")
+        ra2 = b.gep(row.base, u1, 8, name="ra2")
+        re = b.load(ra2, name="re")
+        da_u = b.gep(dist.base, u, VERTEX_ELEM, name="da.u")
+        du = b.load(da_u, name="du")
+        du1 = b.add(du, 1, name="du1")
+        sa_u = b.gep(sigma.base, u, VERTEX_ELEM, name="sa.u")
+        su = b.load(sa_u, name="su")
+        head2 = b.add(head, 1, name="head2")
+        has_neighbours = b.lt(rs, re, name="has.nb")
+        b.br(has_neighbours, inner_h, outer_latch)
+
+        b.at(inner_h)
+        j = b.phi([(outer_h, rs)], name="j")
+        tail_i = b.phi([(outer_h, tail)], name="tail.i")
+        ca = b.gep(col.base, j, 8, name="ca")
+        v = b.load(ca, name="v")
+        da = b.gep(dist.base, v, VERTEX_ELEM, name="da")
+        dv = b.load(da, name="dv")  # delinquent load #1
+        visited = b.ge(dv, 0, name="visited")
+        new_dist = b.select(visited, dv, du1, name="new.dist")
+        b.store(da, new_dist)
+        # sigma[v] += sigma[u] when v sits one level below u.
+        sa = b.gep(sigma.base, v, VERTEX_ELEM, name="sa")
+        sv = b.load(sa, name="sv")  # delinquent load #2
+        on_path = b.eq(new_dist, du1, name="on.path")
+        sv_new = b.add(sv, su, name="sv.new")
+        sigma_v = b.select(on_path, sv_new, sv, name="sigma.v")
+        b.store(sa, sigma_v)
+        slot = b.gep(queue.base, tail_i, 8, name="slot")
+        b.store(slot, v)
+        tail_p1 = b.add(tail_i, 1, name="tail.p1")
+        tail2 = b.select(visited, tail_i, tail_p1, name="tail2")
+        j2 = b.add(j, 1, name="j2")
+        b.add_incoming(j, inner_h, j2)
+        b.add_incoming(tail_i, inner_h, tail2)
+        more = b.lt(j2, re, name="more")
+        b.br(more, inner_h, outer_latch)
+
+        b.at(outer_latch)
+        tail3 = b.phi([(outer_h, tail), (inner_h, tail2)], name="tail3")
+        pending = b.lt(head2, tail3, name="pending")
+        b.add_incoming(head, outer_latch, head2)
+        b.add_incoming(tail, outer_latch, tail3)
+        b.br(pending, outer_h, done)
+
+        b.at(done)
+        b.ret(head2)
+
+        module.finalize()
+        return module, space

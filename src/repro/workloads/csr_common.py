@@ -1,0 +1,42 @@
+"""Shared CSR allocation for graph workloads.
+
+Vertex-state arrays use ``elem_size=64`` — one cache line per vertex —
+modelling CRONO's multi-field per-vertex records; this keeps vertex-state
+footprints at ``n x 64B`` so scaled graphs still exceed the scaled LLC.
+
+Guard slack on ``row``/``col``/queues absorbs the unclamped over-indexing
+of outer-loop prefetch slices (see workloads.base.GUARD_ELEMS).
+"""
+
+from __future__ import annotations
+
+from repro.mem.address import AddressSpace, Segment
+from repro.workloads.base import GUARD_ELEMS
+from repro.workloads.graphs import CSRGraph
+
+#: One cache line per vertex-state element.
+VERTEX_ELEM = 64
+
+
+def allocate_csr(space: AddressSpace, graph: CSRGraph) -> tuple[Segment, Segment]:
+    """Allocate row/col with guard slack; guard row entries point at the
+    (guarded) end of col so stale prefetch slices stay in bounds."""
+    row_values = list(graph.row) + [graph.m] * GUARD_ELEMS
+    col_values = list(graph.col) + [0] * GUARD_ELEMS
+    row = space.allocate("row", row_values, elem_size=8)
+    col = space.allocate("col", col_values, elem_size=8)
+    return row, col
+
+
+def allocate_vertex_state(
+    space: AddressSpace, name: str, n: int, init: int = 0
+) -> Segment:
+    """One 64B line per vertex (+ guard)."""
+    return space.allocate(
+        name, [init] * (n + GUARD_ELEMS), elem_size=VERTEX_ELEM
+    )
+
+
+def allocate_worklist(space: AddressSpace, name: str, n: int) -> Segment:
+    """Queue/stack sized n + guard (every vertex enters at most once)."""
+    return space.allocate(name, [0] * (n + GUARD_ELEMS), elem_size=8)

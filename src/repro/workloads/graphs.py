@@ -1,0 +1,221 @@
+"""Graph substrate: CSR graphs, synthetic generators, and the dataset
+catalog standing in for SNAP (paper Table 4).
+
+SNAP downloads are unavailable offline, so every catalog entry is a
+synthetic graph *matched by category*: web graphs get power-law degrees,
+road networks get a high-locality low-degree grid, p2p/social get their
+characteristic degree shapes.  Sizes are the originals scaled down so
+edge counts stay simulable (~<= 130k), preserving average degree — the
+quantity that drives inner-loop trip counts and hence the paper's
+injection-site results.  The simulated LLC is scaled correspondingly
+(see MachineConfig), keeping the working-set : LLC ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class CSRGraph:
+    """Compressed-sparse-row directed graph."""
+
+    name: str
+    n: int
+    row: list[int]  # n+1 offsets
+    col: list[int]  # m destinations
+
+    @property
+    def m(self) -> int:
+        return len(self.col)
+
+    @property
+    def avg_degree(self) -> float:
+        return self.m / self.n if self.n else 0.0
+
+    def out_degree(self, u: int) -> int:
+        return self.row[u + 1] - self.row[u]
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def uniform_graph(n: int, avg_degree: float, seed: int, name: str = "uniform") -> CSRGraph:
+    """Each vertex gets ~avg_degree uniformly random out-neighbours."""
+    rng = random.Random(seed)
+    row = [0]
+    col: list[int] = []
+    target_m = int(n * avg_degree)
+    for u in range(n):
+        remaining_vertices = n - u
+        remaining_edges = target_m - len(col)
+        degree = max(0, round(remaining_edges / remaining_vertices))
+        for _ in range(degree):
+            col.append(rng.randrange(n))
+        row.append(len(col))
+    return CSRGraph(name=name, n=n, row=row, col=col)
+
+
+def power_law_graph(
+    n: int, avg_degree: float, seed: int, name: str = "power", alpha: float = 2.2
+) -> CSRGraph:
+    """Power-law out-degrees (web/social shape), random destinations."""
+    rng = random.Random(seed)
+    # Sample degrees ~ pareto, then rescale to hit the average.
+    raw = [rng.paretovariate(alpha - 1.0) for _ in range(n)]
+    scale = avg_degree * n / sum(raw)
+    degrees = [max(1, min(n - 1, round(d * scale))) for d in raw]
+    row = [0]
+    col: list[int] = []
+    for degree in degrees:
+        for _ in range(degree):
+            col.append(rng.randrange(n))
+        row.append(len(col))
+    return CSRGraph(name=name, n=n, row=row, col=col)
+
+
+def road_graph(
+    n: int,
+    seed: int,
+    name: str = "road",
+    avg_degree: float = 1.4,
+    shortcut_fraction: float = 0.02,
+) -> CSRGraph:
+    """Grid-like road network: low degree, high vertex-id locality.
+
+    Right-edges are always kept (so the graph stays connected from
+    vertex 0); down-edges are thinned to hit the requested average
+    degree, matching SNAP roadNet degree statistics.
+    """
+    rng = random.Random(seed)
+    width = max(2, int(n**0.5))
+    down_probability = min(1.0, max(0.0, avg_degree - 1.0 - shortcut_fraction))
+    row = [0]
+    col: list[int] = []
+    for u in range(n):
+        neighbours = []
+        if (u + 1) % width and u + 1 < n:
+            neighbours.append(u + 1)
+        if u + width < n and rng.random() < down_probability:
+            neighbours.append(u + width)
+        if rng.random() < shortcut_fraction:
+            neighbours.append(rng.randrange(n))
+        col.extend(neighbours)
+        row.append(len(col))
+    return CSRGraph(name=name, n=n, row=row, col=col)
+
+
+def rmat_graph(
+    scale: int,
+    edgefactor: int,
+    seed: int,
+    name: str = "rmat",
+    probabilities: tuple = (0.57, 0.19, 0.19, 0.05),
+) -> CSRGraph:
+    """Graph500-style Kronecker/R-MAT generator."""
+    rng = random.Random(seed)
+    n = 1 << scale
+    m = n * edgefactor
+    a, b, c, _ = probabilities
+    buckets: list[list[int]] = [[] for _ in range(n)]
+    for _ in range(m):
+        u = v = 0
+        half = n >> 1
+        while half:
+            r = rng.random()
+            if r < a:
+                pass
+            elif r < a + b:
+                v += half
+            elif r < a + b + c:
+                u += half
+            else:
+                u += half
+                v += half
+            half >>= 1
+        buckets[u].append(v)
+    row = [0]
+    col: list[int] = []
+    for u in range(n):
+        col.extend(buckets[u])
+        row.append(len(col))
+    return CSRGraph(name=name, n=n, row=row, col=col)
+
+
+# ----------------------------------------------------------------------
+# Dataset catalog (Table 4 analog)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Dataset:
+    """One named input: a scaled synthetic stand-in for a SNAP graph."""
+
+    name: str
+    vertices: int
+    avg_degree: float
+    kind: str  # "power" | "uniform" | "road"
+    seed: int
+    original_vertices: int = 0
+    original_edges: int = 0
+
+    def build(self) -> CSRGraph:
+        if self.kind == "power":
+            return power_law_graph(
+                self.vertices, self.avg_degree, self.seed, name=self.name
+            )
+        if self.kind == "uniform":
+            return uniform_graph(
+                self.vertices, self.avg_degree, self.seed, name=self.name
+            )
+        if self.kind == "road":
+            return road_graph(
+                self.vertices,
+                self.seed,
+                name=self.name,
+                avg_degree=self.avg_degree,
+            )
+        raise ValueError(f"unknown dataset kind {self.kind!r}")
+
+
+#: Table 4 of the paper, scaled (original sizes retained as metadata).
+CATALOG: dict[str, Dataset] = {
+    "web-Google": Dataset("web-Google", 20_000, 5.8, "power", 101, 875_713, 5_105_039),
+    "p2p-Gnutella31": Dataset(
+        "p2p-Gnutella31", 20_000, 2.4, "uniform", 102, 62_586, 147_892
+    ),
+    "roadNet-CA": Dataset("roadNet-CA", 60_000, 1.4, "road", 103, 1_965_206, 2_766_607),
+    "roadNet-PA": Dataset("roadNet-PA", 42_000, 1.4, "road", 104, 1_088_092, 1_541_898),
+    "loc-Brightkite": Dataset(
+        "loc-Brightkite", 16_000, 3.7, "power", 105, 58_228, 214_078
+    ),
+    "web-BerkStan": Dataset(
+        "web-BerkStan", 10_000, 11.1, "power", 106, 685_230, 7_600_595
+    ),
+    "web-NotreDame": Dataset(
+        "web-NotreDame", 22_000, 4.6, "power", 107, 325_729, 1_497_134
+    ),
+    "web-Stanford": Dataset(
+        "web-Stanford", 13_000, 8.2, "power", 108, 281_903, 2_312_497
+    ),
+}
+
+
+def synthetic_dataset(vertices: int, degree: float, seed: int = 42) -> Dataset:
+    """The paper's synthetic inputs ('80K nodes, degree 8' etc.)."""
+    return Dataset(
+        name=f"synth-{vertices // 1000}K-d{degree:g}",
+        vertices=vertices,
+        avg_degree=degree,
+        kind="uniform",
+        seed=seed,
+    )
+
+
+def dataset(name: str) -> Dataset:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(CATALOG)}"
+        ) from None

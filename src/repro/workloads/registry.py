@@ -1,0 +1,108 @@
+"""Workload registry: the paper's evaluation suite (Table 3) wired to
+concrete inputs (Table 4 analogs + synthetic graphs).
+
+Synthetic graph sizes follow the global 1/16-ish scaling (DESIGN.md):
+the paper's '80K nodes, degree 8' becomes 16K/d8, '50K nodes, degree 8'
+becomes 12K/d8 — in both cases per-vertex state stays at 2-4x the scaled
+LLC, matching the original working-set : LLC ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Workload
+from repro.workloads.bc import BCWorkload
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.dfs import DFSWorkload
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.graphs import dataset, synthetic_dataset
+from repro.workloads.hashjoin import HashJoinWorkload
+from repro.workloads.micro import IndirectMicrobenchmark
+from repro.workloads.nas_cg import ConjugateGradientWorkload
+from repro.workloads.nas_is import IntegerSortWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.randacc import RandomAccessWorkload
+from repro.workloads.sssp import SSSPWorkload
+
+WorkloadFactory = Callable[[], Workload]
+
+#: The evaluation suite (Fig 5/6/7/8/9/11 x-axis).  Factories, so every
+#: use gets a fresh, unshared workload object.
+SUITE: dict[str, WorkloadFactory] = {
+    "BFS-LBE": lambda: BFSWorkload(dataset("loc-Brightkite")),
+    "BFS-16K-d8": lambda: BFSWorkload(synthetic_dataset(16_000, 8, seed=21)),
+    "DFS-WS": lambda: DFSWorkload(dataset("web-Stanford")),
+    "PR-WG": lambda: PageRankWorkload(dataset("web-Google")),
+    "BC-12K-d8": lambda: BCWorkload(synthetic_dataset(12_000, 8, seed=22)),
+    "SSSP-P2P": lambda: SSSPWorkload(dataset("p2p-Gnutella31")),
+    "IS-B": lambda: IntegerSortWorkload("B"),
+    "IS-C": lambda: IntegerSortWorkload("C"),
+    "CG": lambda: ConjugateGradientWorkload(),
+    "randAccess": lambda: RandomAccessWorkload(),
+    "HJ2-NPO": lambda: HashJoinWorkload(2, "NPO"),
+    "HJ2-NPO_st": lambda: HashJoinWorkload(2, "NPO_st"),
+    "HJ8-NPO": lambda: HashJoinWorkload(8, "NPO"),
+    "HJ8-NPO_st": lambda: HashJoinWorkload(8, "NPO_st"),
+    "Graph500": lambda: Graph500Workload(),
+}
+
+#: Larger inputs for unhurried "full"-scale runs: ~2-3x the dynamic
+#: instruction counts of SUITE, same names so results line up.
+FULL_SUITE: dict[str, WorkloadFactory] = {
+    "BFS-LBE": lambda: BFSWorkload(dataset("loc-Brightkite")),
+    "BFS-16K-d8": lambda: BFSWorkload(synthetic_dataset(32_000, 8, seed=21)),
+    "DFS-WS": lambda: DFSWorkload(dataset("web-Stanford")),
+    "PR-WG": lambda: PageRankWorkload(dataset("web-Google"), iterations=2),
+    "BC-12K-d8": lambda: BCWorkload(synthetic_dataset(24_000, 8, seed=22)),
+    "SSSP-P2P": lambda: SSSPWorkload(dataset("p2p-Gnutella31"), rounds=4),
+    "IS-B": lambda: IntegerSortWorkload("B"),
+    "IS-C": lambda: IntegerSortWorkload("C"),
+    "CG": lambda: ConjugateGradientWorkload(rows=24_000, iterations=2),
+    "randAccess": lambda: RandomAccessWorkload(updates=300_000),
+    "HJ2-NPO": lambda: HashJoinWorkload(2, "NPO", probes=150_000),
+    "HJ2-NPO_st": lambda: HashJoinWorkload(2, "NPO_st", probes=150_000),
+    "HJ8-NPO": lambda: HashJoinWorkload(8, "NPO", probes=150_000),
+    "HJ8-NPO_st": lambda: HashJoinWorkload(8, "NPO_st", probes=150_000),
+    "Graph500": lambda: Graph500Workload(scale=15),
+}
+
+#: Smaller inputs for fast unit/integration testing.
+TINY_SUITE: dict[str, WorkloadFactory] = {
+    "BFS-tiny": lambda: BFSWorkload(synthetic_dataset(2_000, 4, seed=31)),
+    "HJ8-tiny": lambda: HashJoinWorkload(
+        8, "NPO", table_entries=1 << 15, probes=4_000
+    ),
+    "IS-tiny": lambda: IntegerSortWorkload("A"),
+    "randAccess-tiny": lambda: RandomAccessWorkload(
+        table_elems=1 << 16, updates=8_000
+    ),
+    "micro-tiny": lambda: IndirectMicrobenchmark(
+        inner=64, total_iterations=16_000, target_elems=1 << 17
+    ),
+}
+
+
+def suite_names() -> list[str]:
+    return list(SUITE)
+
+
+def make_workload(name: str, scale: str = "small") -> Workload:
+    """Instantiate a fresh workload; ``scale`` picks the input tier
+    ("full" falls back to SUITE sizes for names without a FULL variant).
+    """
+    if scale == "full":
+        factory = FULL_SUITE.get(name) or SUITE.get(name) or TINY_SUITE.get(name)
+    else:
+        factory = SUITE.get(name) or TINY_SUITE.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{sorted(set(SUITE) | set(TINY_SUITE))}"
+        )
+    return factory()
+
+
+def nested_suite_names() -> list[str]:
+    """Workloads with nested hot loops (Fig 10 membership)."""
+    return [name for name in SUITE if make_workload(name).nested]

@@ -1,0 +1,114 @@
+"""Unit tests for CFG utilities: orders, dominators, def-use maps."""
+
+from repro.analysis.cfg import (
+    definitions_map,
+    dominates,
+    immediate_dominators,
+    predecessors_map,
+    reverse_postorder,
+    successors_map,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+
+
+def build_diamond():
+    """entry -> (left | right) -> join -> exit."""
+    module = Module("d")
+    b = IRBuilder(module)
+    b.function("f", params=["c"])
+    entry, left, right, join, exit_ = b.blocks(
+        "entry", "left", "right", "join", "exit"
+    )
+    b.at(entry)
+    b.br("c", left, right)
+    b.at(left)
+    x1 = b.add(1, 0, name="x1")
+    b.jmp(join)
+    b.at(right)
+    x2 = b.add(2, 0, name="x2")
+    b.jmp(join)
+    b.at(join)
+    x = b.phi([(left, x1), (right, x2)], name="x")
+    b.jmp(exit_)
+    b.at(exit_)
+    b.ret(x)
+    module.finalize()
+    return module
+
+
+class TestOrders:
+    def test_rpo_starts_at_entry(self, sum_loop):
+        module, _, _ = sum_loop
+        order = reverse_postorder(module.function("main"))
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "loop", "done"}
+
+    def test_rpo_respects_diamond(self):
+        function = build_diamond().function("f")
+        order = reverse_postorder(function)
+        assert order.index("entry") < order.index("left")
+        assert order.index("left") < order.index("join")
+        assert order.index("right") < order.index("join")
+        assert order[-1] == "exit"
+
+    def test_unreachable_blocks_excluded(self):
+        module = Module("u")
+        b = IRBuilder(module)
+        b.function("f")
+        entry, dead = b.blocks("entry", "dead")
+        b.at(entry)
+        b.ret(0)
+        b.at(dead)
+        b.ret(1)
+        module.finalize()
+        assert reverse_postorder(module.function("f")) == ["entry"]
+
+    def test_successors_predecessors_agree(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        successors = successors_map(function)
+        predecessors = predecessors_map(function)
+        for src, dsts in successors.items():
+            for dst in dsts:
+                assert src in predecessors[dst]
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        function = build_diamond().function("f")
+        idom = immediate_dominators(function)
+        assert idom["entry"] is None
+        assert idom["left"] == "entry"
+        assert idom["right"] == "entry"
+        assert idom["join"] == "entry"
+        assert idom["exit"] == "join"
+
+    def test_loop_idoms(self, sum_loop):
+        module, _, _ = sum_loop
+        idom = immediate_dominators(module.function("main"))
+        assert idom["loop"] == "entry"
+        assert idom["done"] == "loop"
+
+    def test_dominates_reflexive_and_transitive(self):
+        function = build_diamond().function("f")
+        idom = immediate_dominators(function)
+        assert dominates(idom, "entry", "exit")
+        assert dominates(idom, "join", "join")
+        assert not dominates(idom, "left", "exit")
+
+    def test_nested_loop_dominance(self, nested_indirect):
+        module, _, _ = nested_indirect
+        idom = immediate_dominators(module.function("main"))
+        assert dominates(idom, "outer_h", "inner_h")
+        assert dominates(idom, "inner_h", "outer_latch")
+
+
+class TestDefUse:
+    def test_definitions_map_covers_all_dsts(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        definitions = definitions_map(function)
+        for inst in function.instructions():
+            if inst.dst is not None:
+                assert definitions[inst.dst] is inst

@@ -1,0 +1,192 @@
+"""Unit tests for loop detection, induction variables, and bounds."""
+
+import pytest
+
+from repro.analysis.loops import (
+    find_loops,
+    induction_variables,
+    innermost_loop_of,
+    loop_bound,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+from repro.ir.opcodes import Opcode
+
+
+def build_mul_iv_loop():
+    """``for (i = 1; i < 1024; i *= 2)`` — non-canonical IV (§3.5)."""
+    module = Module("m")
+    b = IRBuilder(module)
+    b.function("f")
+    entry, loop, done = b.blocks("entry", "loop", "done")
+    b.at(entry)
+    b.jmp(loop)
+    b.at(loop)
+    i = b.phi([(entry, 1)], name="i")
+    i2 = b.mul(i, 2, name="i2")
+    b.add_incoming(i, loop, i2)
+    cond = b.lt(i2, 1024, name="cond")
+    b.br(cond, loop, done)
+    b.at(done)
+    b.ret(i2)
+    module.finalize()
+    return module
+
+
+class TestLoopDetection:
+    def test_single_loop(self, sum_loop):
+        module, _, _ = sum_loop
+        loops = find_loops(module.function("main"))
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "loop"
+        assert loop.latches == ["loop"]
+        assert loop.body == {"loop"}
+        assert loop.depth == 1
+
+    def test_nested_loops(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        assert len(loops) == 2
+        outer = next(l for l in loops if l.header == "outer_h")
+        inner = next(l for l in loops if l.header == "inner_h")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.depth == 2
+        assert inner.body == {"inner_h"}
+        assert {"outer_h", "inner_h", "outer_latch"} <= outer.body
+
+    def test_innermost_loop_of(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        assert innermost_loop_of(loops, "inner_h").header == "inner_h"
+        assert innermost_loop_of(loops, "outer_latch").header == "outer_h"
+        assert innermost_loop_of(loops, "entry") is None
+
+    def test_no_loops(self):
+        module = Module("n")
+        b = IRBuilder(module)
+        b.function("f")
+        b.at(b.block("entry"))
+        b.ret(0)
+        module.finalize()
+        assert find_loops(module.function("f")) == []
+
+    def test_latch_branch_pcs(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        assert inner.latch_branch_pcs() == [function.block("inner_h").end_pc]
+
+    def test_preheader(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        outer = next(l for l in loops if l.header == "outer_h")
+        assert inner.preheader() == "outer_h"
+        assert outer.preheader() == "entry"
+
+    def test_exit_edges(self, sum_loop):
+        module, _, _ = sum_loop
+        loop = find_loops(module.function("main"))[0]
+        assert loop.exit_edges() == [("loop", "done")]
+
+
+class TestInductionVariables:
+    def test_canonical_iv(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        loop = find_loops(function)[0]
+        ivs = induction_variables(function, loop)
+        by_name = {iv.register: iv for iv in ivs}
+        assert "i" in by_name
+        iv = by_name["i"]
+        assert iv.step_op is Opcode.ADD
+        assert iv.step == 1
+        assert iv.init == 0
+        assert iv.is_canonical
+
+    def test_accumulator_is_not_detected_as_iv_with_nonconst_step(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        loop = find_loops(function)[0]
+        ivs = induction_variables(function, loop)
+        registers = {iv.register for iv in ivs}
+        # acc updates by a loop-varying value, so it must be excluded.
+        assert "acc" not in registers
+
+    def test_multiplicative_iv(self):
+        module = build_mul_iv_loop()
+        function = module.function("f")
+        loop = find_loops(function)[0]
+        ivs = induction_variables(function, loop)
+        assert len(ivs) == 1
+        assert ivs[0].step_op is Opcode.MUL
+        assert ivs[0].step == 2
+        assert not ivs[0].is_canonical
+
+    def test_nested_ivs_found_in_both_loops(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        outer = next(l for l in loops if l.header == "outer_h")
+        inner = next(l for l in loops if l.header == "inner_h")
+        outer_regs = {iv.register for iv in induction_variables(function, outer)}
+        inner_regs = {iv.register for iv in induction_variables(function, inner)}
+        assert "iv1" in outer_regs
+        assert "iv2" in inner_regs
+
+
+class TestLoopBounds:
+    def test_constant_bound(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        loop = find_loops(function)[0]
+        iv = induction_variables(function, loop)[0]
+        bound = loop_bound(function, loop, iv)
+        assert bound is not None
+        assert bound.bound == 100
+        assert bound.compare.op is Opcode.CMP_LT
+
+    def test_register_bound_is_invariant(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        ivs = induction_variables(function, inner)
+        iv = next(v for v in ivs if v.register == "iv2")
+        bound = loop_bound(function, inner, iv)
+        assert bound is not None
+        assert bound.bound == 8  # INNER immediate
+
+    def test_dynamic_bound_rejected(self):
+        # A loop comparing against a value recomputed inside the loop has
+        # no static bound.
+        module = Module("dyn")
+        b = IRBuilder(module)
+        b.function("f")
+        entry, loop, done = b.blocks("entry", "loop", "done")
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace()
+        seg = space.allocate("limit", [5], elem_size=8)
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        i = b.phi([(entry, 0)], name="i")
+        limit = b.load(seg.base, name="limit")
+        i2 = b.add(i, 1, name="i2")
+        b.add_incoming(i, loop, i2)
+        cond = b.lt(i2, limit, name="cond")
+        b.br(cond, loop, done)
+        b.at(done)
+        b.ret(i2)
+        module.finalize()
+        function = module.function("f")
+        loop_info = find_loops(function)[0]
+        iv = induction_variables(function, loop_info)[0]
+        assert loop_bound(function, loop_info, iv) is None

@@ -1,0 +1,98 @@
+"""Loops with multiple latches (continue-style CFGs) and related edges."""
+
+from repro.analysis.loops import find_loops, induction_variables, loop_bound
+from repro.core.distribution import iteration_latencies
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+from repro.ir.verifier import verify_module
+from repro.machine.machine import Machine
+from repro.mem.address import AddressSpace
+
+
+def build_continue_loop():
+    """for i < 200: if (i & 1) continue; acc += i  — two back edges."""
+    module = Module("cont")
+    b = IRBuilder(module)
+    b.function("main")
+    entry, header, even, latch_skip, done = b.blocks(
+        "entry", "header", "even", "latch_skip", "done"
+    )
+    b.at(entry)
+    b.jmp(header)
+    b.at(header)
+    i = b.phi([(entry, 0)], name="i")
+    acc = b.phi([(entry, 0)], name="acc")
+    odd = b.and_(i, 1, name="odd")
+    b.br(odd, latch_skip, even)
+
+    b.at(even)
+    acc2 = b.add(acc, i, name="acc2")
+    i2 = b.add(i, 1, name="i2")
+    cond = b.lt(i2, 200, name="cond")
+    b.br(cond, header, done)
+
+    b.at(latch_skip)
+    i3 = b.add(i, 1, name="i3")
+    cond2 = b.lt(i3, 200, name="cond2")
+    b.br(cond2, header, done)
+
+    b.add_incoming(i, even, i2)
+    b.add_incoming(acc, even, acc2)
+    b.add_incoming(i, latch_skip, i3)
+    b.add_incoming(acc, latch_skip, acc)
+    b.at(done)
+    b.ret(acc2)
+    module.finalize()
+    verify_module(module)
+    return module
+
+
+class TestMultiLatchLoops:
+    def test_two_latches_merged_into_one_loop(self):
+        module = build_continue_loop()
+        function = module.function("main")
+        loops = find_loops(function)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert sorted(loop.latches) == ["even", "latch_skip"]
+        assert loop.body == {"header", "even", "latch_skip"}
+        assert len(loop.latch_branch_pcs()) == 2
+
+    def test_induction_variable_rejected_on_conflicting_updates(self):
+        # i is updated by two *different* add instructions (i2 vs i3), so
+        # the conservative detector must not claim it.
+        module = build_continue_loop()
+        function = module.function("main")
+        loop = find_loops(function)[0]
+        registers = {iv.register for iv in induction_variables(function, loop)}
+        assert "i" not in registers
+
+    def test_executes_correctly(self):
+        module = build_continue_loop()
+        result = Machine(module, AddressSpace()).run("main")
+        assert result.value == sum(i for i in range(200) if i % 2 == 0)
+
+    def test_latency_measurement_uses_both_latches(self):
+        module = build_continue_loop()
+        machine = Machine(module, AddressSpace())
+        machine.enable_profiling(period=40)
+        machine.run("main")
+        loop = find_loops(module.function("main"))[0]
+        latencies = iteration_latencies(
+            machine.sampler.samples, loop.latch_branch_pcs()
+        )
+        assert latencies
+        # Every iteration is short ALU work: single tight mode.
+        assert max(latencies) < 30
+
+
+class TestSharedHeaderLoops:
+    def test_nested_with_shared_exit_block(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        outer = next(l for l in loops if l.header == "outer_h")
+        bound_iv = induction_variables(function, inner)[0]
+        assert loop_bound(function, inner, bound_iv) is not None
+        assert outer.preheader() == "entry"

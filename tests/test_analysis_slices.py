@@ -1,0 +1,177 @@
+"""Unit tests for load-slice extraction and indirect-load detection."""
+
+from repro.analysis.loops import find_loops
+from repro.analysis.slices import (
+    extract_load_slice,
+    extract_value_slice,
+    find_indirect_loads,
+    slice_for_pc,
+)
+from repro.ir.opcodes import Opcode
+
+
+def loads_of(module, function="main"):
+    return [
+        inst
+        for inst in module.function(function).instructions()
+        if inst.op is Opcode.LOAD
+    ]
+
+
+class TestLoadSlices:
+    def test_direct_load_slice(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        load = loads_of(module)[0]
+        load_slice = extract_load_slice(function, load)
+        assert not load_slice.is_indirect
+        assert [phi.dst for phi in load_slice.phis] == ["i"]
+        ops = [inst.op for inst in load_slice.instructions]
+        assert Opcode.GEP in ops and Opcode.MUL in ops
+
+    def test_indirect_load_slice(self, indirect_loop):
+        module, _, _ = indirect_loop
+        function = module.function("main")
+        target_load = loads_of(module)[1]
+        load_slice = extract_load_slice(function, target_load)
+        assert load_slice.is_indirect
+        assert len(load_slice.intermediate_loads) == 1
+        assert load_slice.phi_registers == ["i"]
+
+    def test_dependency_order(self, indirect_loop):
+        module, _, _ = indirect_loop
+        function = module.function("main")
+        load = loads_of(module)[1]
+        load_slice = extract_load_slice(function, load)
+        seen = set()
+        defined = {phi.dst for phi in load_slice.phis} | load_slice.free_registers
+        for inst in load_slice.instructions:
+            for reg in inst.register_operands():
+                assert reg in seen | defined
+            seen.add(inst.dst)
+
+    def test_nested_slice_collects_both_phis(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        t_load = loads_of(module)[-1]
+        load_slice = extract_load_slice(function, t_load)
+        assert set(load_slice.phi_registers) == {"iv1", "iv2"}
+        assert len(load_slice.intermediate_loads) == 2
+
+    def test_value_slice_through_init(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        # The slice of the inner phi's init (0) is empty; the slice of
+        # 'p.bo' (outer-block gep) ends at the outer phi.
+        value_slice = extract_value_slice(function, "p.bo")
+        assert value_slice.phi_registers == ["iv1"]
+        assert [inst.dst for inst in value_slice.instructions] == ["p.bo"]
+
+
+class TestIndirectDetection:
+    def test_finds_only_indirect(self, indirect_loop):
+        module, _, _ = indirect_loop
+        function = module.function("main")
+        loops = find_loops(function)
+        candidates = find_indirect_loads(function, loops)
+        assert len(candidates) == 1
+        load, load_slice, loop = candidates[0]
+        assert load.dst == "value"
+        assert loop.header == "loop"
+
+    def test_feeder_loads_excluded(self, nested_indirect):
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        loops = find_loops(function)
+        candidates = find_indirect_loads(function, loops)
+        names = {load.dst for load, _, _ in candidates}
+        assert names == {"t.v"}
+
+    def test_direct_loads_optionally_included(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        loops = find_loops(function)
+        assert find_indirect_loads(function, loops) == []
+        relaxed = find_indirect_loads(function, loops, require_indirect=False)
+        assert len(relaxed) == 1
+
+    def test_loads_outside_loops_ignored(self):
+        from repro.ir.builder import IRBuilder
+        from repro.ir.nodes import Module
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace()
+        seg = space.allocate("x", [1, 2], elem_size=8)
+        module = Module("s")
+        b = IRBuilder(module)
+        b.function("f")
+        b.at(b.block("entry"))
+        v = b.load(seg.base)
+        b.ret(v)
+        module.finalize()
+        function = module.function("f")
+        assert find_indirect_loads(function, find_loops(function)) == []
+
+
+class TestPCResolution:
+    def test_slice_for_pc(self, indirect_loop):
+        module, _, _ = indirect_loop
+        function = module.function("main")
+        load = loads_of(module)[1]
+        resolved = slice_for_pc(function, load.pc)
+        assert resolved is not None
+        found, load_slice = resolved
+        assert found is load
+        assert load_slice.is_indirect
+
+    def test_slice_for_wrong_pc(self, indirect_loop):
+        module, _, _ = indirect_loop
+        function = module.function("main")
+        assert slice_for_pc(function, 0xDEAD) is None
+
+
+class TestSliceDependencyOrderNested:
+    def test_nested_slice_order_is_executable(self, nested_indirect):
+        """Cloning the slice in `instructions` order must define every
+        operand before use (the property injection relies on)."""
+        module, _, _ = nested_indirect
+        function = module.function("main")
+        load = next(
+            inst
+            for inst in function.instructions()
+            if inst.dst == "t.v"
+        )
+        load_slice = extract_load_slice(function, load)
+        available = set(load_slice.phi_registers) | load_slice.free_registers
+        for inst in load_slice.instructions:
+            for reg in inst.register_operands():
+                assert reg in available, (reg, inst)
+            available.add(inst.dst)
+
+    def test_free_registers_are_function_params(self):
+        from repro.ir.builder import IRBuilder
+        from repro.ir.nodes import Module
+
+        module = Module("params")
+        b = IRBuilder(module)
+        b.function("main", params=["base"])
+        entry, loop, done = b.blocks("entry", "loop", "done")
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        i = b.phi([(entry, 0)], name="i")
+        a = b.gep("base", i, 8, name="a")
+        v = b.load(a, name="v")
+        i2 = b.add(i, 1, name="i2")
+        b.add_incoming(i, loop, i2)
+        c = b.lt(i2, 4, name="c")
+        b.br(c, loop, done)
+        b.at(done)
+        b.ret(v)
+        module.finalize()
+        function = module.function("main")
+        load = next(
+            inst for inst in function.instructions() if inst.dst == "v"
+        )
+        load_slice = extract_load_slice(function, load)
+        assert load_slice.free_registers == {"base"}

@@ -1,0 +1,129 @@
+"""Tests for the apt-get-prefetch command line."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "BFS-LBE" in out
+    assert "micro-tiny" in out
+    assert "fig6" in out
+
+
+def test_run_baseline(capsys):
+    assert main(["run", "--workload", "micro-tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out
+    assert "[baseline]" in out
+
+
+def test_run_aj(capsys):
+    assert main(
+        ["run", "--workload", "micro-tiny", "--scheme", "aj", "--distance", "8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "A&J injected" in out
+
+
+def test_profile_analyze_run_workflow(tmp_path, capsys):
+    profile_path = tmp_path / "p.json"
+    hints_path = tmp_path / "h.json"
+    assert main(
+        ["profile", "--workload", "micro-tiny", "-o", str(profile_path)]
+    ) == 0
+    assert profile_path.exists()
+    assert main(
+        [
+            "analyze",
+            "--workload",
+            "micro-tiny",
+            "--profile",
+            str(profile_path),
+            "-o",
+            str(hints_path),
+        ]
+    ) == 0
+    hints = json.loads(hints_path.read_text())
+    assert hints["hints"]
+    assert main(
+        [
+            "run",
+            "--workload",
+            "micro-tiny",
+            "--scheme",
+            "apt-get",
+            "--hints",
+            str(hints_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "APT-GET injected" in out
+
+
+def test_run_apt_get_self_profiling(capsys):
+    assert main(["run", "--workload", "micro-tiny", "--scheme", "apt-get"]) == 0
+    out = capsys.readouterr().out
+    assert "profiled:" in out
+
+
+def test_experiment_with_json_output(tmp_path, capsys):
+    out_path = tmp_path / "t1.json"
+    assert main(
+        ["experiment", "table1", "--scale", "tiny", "-o", str(out_path)]
+    ) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["experiment"] == "table1"
+    assert payload["rows"]
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "fig99", "--scale", "tiny"]) == 2
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        main(["run", "--workload", "nope"])
+
+
+def test_disasm_baseline(capsys):
+    from repro.cli import main as _main
+
+    assert _main(["disasm", "--workload", "micro-tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "define main()" in out
+    assert "prefetch" not in out
+
+
+def test_disasm_after_aj(capsys):
+    from repro.cli import main as _main
+
+    assert _main(
+        ["disasm", "--workload", "micro-tiny", "--scheme", "aj"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "prefetch [" in out
+
+
+def test_run_with_raw_events(capsys):
+    assert main(["run", "--workload", "micro-tiny", "--events"]) == 0
+    out = capsys.readouterr().out
+    assert "raw events:" in out
+    assert "offcore_all_data_rd" in out
+
+
+def test_list_includes_new_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ideal", "profiling_overhead", "fig3", "table4"):
+        assert name in out
+
+
+def test_experiment_ideal_tiny(capsys):
+    assert main(["experiment", "ideal", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "ideal speedup" in out

@@ -1,0 +1,124 @@
+"""Tests for the end-to-end APT-GET analysis (profile -> hints)."""
+
+import pytest
+
+from repro.core.aptget import AptGet, AptGetConfig
+from repro.core.site import InjectionSite
+from repro.machine.machine import Machine
+from repro.profiling.collect import collect_profile
+from repro.workloads.hashjoin import HashJoinWorkload
+from repro.workloads.micro import IndirectMicrobenchmark
+from tests.conftest import build_indirect_loop
+
+
+def analyze(workload, config=None, period=None):
+    module, space = workload.build()
+    machine = Machine(module, space)
+    profile = collect_profile(machine, workload.entry, period=period)
+    analyzer = AptGet(config)
+    return module, profile, analyzer.analyze(module, profile)
+
+
+class TestSingleLoop:
+    def test_indirect_loop_hint(self):
+        module, space, _ = build_indirect_loop(n=2000, target_elems=1 << 15)
+        machine = Machine(module, space)
+        profile = collect_profile(machine, period=2_000)
+        hints = AptGet().analyze(module, profile)
+        assert len(hints)
+        by_pc = hints.by_pc()
+        target_pc = [
+            inst.pc
+            for inst in module.function("main").instructions()
+            if inst.dst == "value"
+        ][0]
+        assert target_pc in by_pc
+        hint = by_pc[target_pc]
+        assert hint.site is InjectionSite.INNER  # no outer loop exists
+        assert hint.distance >= 1
+        assert hint.ic_latency > 0
+
+    def test_distance_tracks_work_amount(self):
+        # Heavier per-iteration work -> larger IC -> smaller distance.
+        light = IndirectMicrobenchmark(
+            inner=256, work=0, total_iterations=30_000
+        )
+        heavy = IndirectMicrobenchmark(
+            inner=256, work=60, total_iterations=30_000
+        )
+        _, _, hints_light = analyze(light)
+        _, _, hints_heavy = analyze(heavy)
+        d_light = max(h.distance for h in hints_light)
+        d_heavy = max(h.distance for h in hints_heavy)
+        assert d_light > d_heavy
+
+
+class TestNestedLoop:
+    def test_hashjoin_picks_outer(self):
+        workload = HashJoinWorkload(
+            8, "NPO", table_entries=1 << 16, probes=20_000
+        )
+        module, profile, hints = analyze(workload)
+        assert len(hints)
+        # Hints come in delinquency order: the hash-table probe load first.
+        main_hint = hints.hints[0]
+        assert main_hint.site is InjectionSite.OUTER
+        assert main_hint.trip_count == pytest.approx(8, abs=1.5)
+        assert main_hint.outer_distance is not None
+        assert main_hint.sweep > 1  # auto sweep follows the trip count
+
+    def test_micro_large_trip_stays_inner(self):
+        # INNER=256 >> 32 LBR entries: trip count unmeasurable (§3.6),
+        # so the inner site must be used.
+        workload = IndirectMicrobenchmark(inner=256, total_iterations=30_000)
+        module, profile, hints = analyze(workload)
+        assert len(hints)
+        assert all(h.site is InjectionSite.INNER for h in hints)
+
+    def test_sweep_cap(self):
+        workload = HashJoinWorkload(
+            8, "NPO", table_entries=1 << 16, probes=20_000
+        )
+        config = AptGetConfig(max_sweep=2)
+        _, _, hints = analyze(workload, config=config)
+        assert all(h.sweep <= 2 for h in hints)
+
+
+class TestRobustness:
+    def test_unknown_pc_ignored(self):
+        module, profile, _ = analyze(
+            IndirectMicrobenchmark(inner=64, total_iterations=5_000)
+        )
+        assert AptGet().analyze_load(module, profile, 0xDEAD) is None
+
+    def test_non_load_pc_ignored(self):
+        module, profile, _ = analyze(
+            IndirectMicrobenchmark(inner=64, total_iterations=5_000)
+        )
+        branch_pc = module.function("main").block("inner_h").end_pc
+        assert AptGet().analyze_load(module, profile, branch_pc) is None
+
+    def test_load_outside_loop_ignored(self):
+        from repro.ir.builder import IRBuilder
+        from repro.ir.nodes import Module
+        from repro.mem.address import AddressSpace
+        from repro.profiling.profile import ExecutionProfile
+
+        space = AddressSpace()
+        seg = space.allocate("x", [1], elem_size=8)
+        module = Module("flat")
+        b = IRBuilder(module)
+        b.function("main")
+        b.at(b.block("entry"))
+        v = b.load(seg.base)
+        b.ret(v)
+        module.finalize()
+        load_pc = module.load_pcs()[0]
+        profile = ExecutionProfile(load_miss_counts={load_pc: 100})
+        assert AptGet().analyze_load(module, profile, load_pc) is None
+
+    def test_top_loads_limit(self):
+        workload = IndirectMicrobenchmark(inner=64, total_iterations=20_000)
+        module, profile, _ = analyze(workload)
+        limited = AptGet(AptGetConfig(top_loads=1)).analyze(module, profile)
+        assert len(limited) <= 1

@@ -1,0 +1,156 @@
+"""Tests for the Eq-1 distance model, Eq-2 site model, and hints."""
+
+import pytest
+
+from repro.core.distance import (
+    MAX_DISTANCE,
+    MIN_DISTANCE,
+    optimal_distance,
+)
+from repro.core.distribution import LatencyDistribution, analyze_latency_distribution
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import (
+    DEFAULT_K,
+    InjectionSite,
+    choose_injection_site,
+    k_for_coverage,
+)
+
+
+def distribution_with_peaks(ic, miss, count=100):
+    d = LatencyDistribution(latencies=[ic] * count + [miss] * count)
+    d.peaks = [ic, miss]
+    d.peak_masses = [count, count]
+    return d
+
+
+class TestEquationOne:
+    def test_basic_ratio(self):
+        # IC 10, MC 400-10=390 -> ceil(390/10) = 39.
+        estimate = optimal_distance(distribution_with_peaks(10, 400))
+        assert estimate.distance == 39
+        assert estimate.reliable
+
+    def test_exact_division(self):
+        estimate = optimal_distance(distribution_with_peaks(100, 500))
+        assert estimate.distance == 4  # (500-100)/100
+
+    def test_clamped_to_max(self):
+        estimate = optimal_distance(distribution_with_peaks(1, 10_000))
+        assert estimate.distance == MAX_DISTANCE
+
+    def test_single_peak_defaults_to_one(self):
+        d = LatencyDistribution(latencies=[30] * 100)
+        d.peaks = [30]
+        d.peak_masses = [100]
+        estimate = optimal_distance(d)
+        assert estimate.distance == MIN_DISTANCE
+        assert not estimate.reliable
+
+    def test_too_few_samples_defaults(self):
+        # Paper §3.6: inner latch appears once per snapshot -> default 1.
+        d = distribution_with_peaks(10, 400, count=2)
+        estimate = optimal_distance(d)
+        assert estimate.distance == MIN_DISTANCE
+        assert estimate.is_default
+
+    def test_empty_distribution(self):
+        estimate = optimal_distance(LatencyDistribution(latencies=[]))
+        assert estimate.distance == MIN_DISTANCE
+        assert not estimate.reliable
+
+    def test_end_to_end_with_detector(self):
+        import random
+
+        rng = random.Random(2)
+        latencies = [10 + rng.randrange(2) for _ in range(300)]
+        latencies += [410 + rng.randrange(2) for _ in range(300)]
+        estimate = optimal_distance(analyze_latency_distribution(latencies))
+        assert 30 <= estimate.distance <= 45
+
+
+class TestEquationTwo:
+    def test_short_trip_goes_outer(self):
+        decision = choose_injection_site(trip_count=8, inner_distance=30)
+        assert decision.site is InjectionSite.OUTER
+
+    def test_long_trip_stays_inner(self):
+        decision = choose_injection_site(trip_count=1000, inner_distance=30)
+        assert decision.site is InjectionSite.INNER
+
+    def test_boundary(self):
+        # Eq-2: outer iff trip < k * distance (k = 5).
+        assert (
+            choose_injection_site(trip_count=150, inner_distance=30).site
+            is InjectionSite.INNER
+        )
+        assert (
+            choose_injection_site(trip_count=149, inner_distance=30).site
+            is InjectionSite.OUTER
+        )
+
+    def test_outer_unavailable_forces_inner(self):
+        decision = choose_injection_site(
+            trip_count=2, inner_distance=30, outer_available=False
+        )
+        assert decision.site is InjectionSite.INNER
+
+    def test_k_for_coverage(self):
+        assert k_for_coverage(0.8) == pytest.approx(DEFAULT_K)
+        assert k_for_coverage(0.9) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            k_for_coverage(1.0)
+
+    def test_nonpositive_trip_treated_as_one(self):
+        decision = choose_injection_site(trip_count=0, inner_distance=10)
+        assert decision.trip_count == 1.0
+        assert decision.site is InjectionSite.OUTER
+
+    def test_threshold_property(self):
+        decision = choose_injection_site(trip_count=10, inner_distance=4)
+        assert decision.threshold == pytest.approx(20.0)
+
+
+class TestHints:
+    def test_effective_distance_prefers_outer(self):
+        hint = PrefetchHint(
+            load_pc=0x40,
+            function="main",
+            distance=12,
+            site=InjectionSite.OUTER,
+            outer_distance=3,
+        )
+        assert hint.effective_distance == 3
+        hint.site = InjectionSite.INNER
+        assert hint.effective_distance == 12
+
+    def test_json_roundtrip(self):
+        hints = HintSet.from_hints(
+            [
+                PrefetchHint(
+                    load_pc=0x40,
+                    function="main",
+                    distance=12,
+                    site=InjectionSite.OUTER,
+                    outer_distance=3,
+                    trip_count=2.5,
+                    ic_latency=10,
+                    mc_latency=390,
+                    sweep=2,
+                )
+            ]
+        )
+        restored = HintSet.from_json(hints.to_json())
+        assert len(restored) == 1
+        hint = restored.hints[0]
+        assert hint.site is InjectionSite.OUTER
+        assert hint.trip_count == 2.5
+        assert hint.sweep == 2
+
+    def test_lookup_helpers(self):
+        a = PrefetchHint(load_pc=1, function="f", distance=2)
+        b = PrefetchHint(load_pc=2, function="g", distance=3)
+        hints = HintSet.from_hints([a, b])
+        assert hints.for_function("f") == [a]
+        assert hints.by_pc()[2] is b
+        assert len(hints) == 2

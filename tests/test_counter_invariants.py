@@ -1,0 +1,36 @@
+"""Cross-counter invariant checks over real runs of every workload class
+and scheme — a simulator-bug detector."""
+
+import pytest
+
+from repro.experiments.runner import (
+    run_ainsworth_jones,
+    run_apt_get,
+    run_baseline,
+)
+from repro.workloads.registry import TINY_SUITE, make_workload
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SUITE))
+def test_baseline_counters_consistent(name):
+    run = run_baseline(make_workload(name))
+    assert run.perf.check_invariants() == []
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SUITE))
+def test_aj_counters_consistent(name):
+    run = run_ainsworth_jones(make_workload(name), distance=8)
+    assert run.perf.check_invariants() == []
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SUITE))
+def test_apt_get_counters_consistent(name):
+    run = run_apt_get(make_workload(name))
+    assert run.perf.check_invariants() == []
+
+
+def test_invariant_checker_catches_corruption():
+    from repro.machine.pmu import Counters, PerfStat
+
+    broken = Counters(loads=10, l1_hits=3, l1_misses=3)  # 3+3 != 10
+    assert PerfStat(broken).check_invariants()

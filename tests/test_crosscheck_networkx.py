@@ -1,0 +1,79 @@
+"""Independent cross-checks of the graph workloads against networkx
+(available in the environment): BFS levels, SSSP distances after enough
+Bellman-Ford rounds, and reachability — third-party ground truth rather
+than our own reference implementations."""
+
+import networkx as nx
+import pytest
+
+from repro.machine.machine import Machine
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.graphs import synthetic_dataset
+from repro.workloads.sssp import SSSPWorkload
+
+DATASET = synthetic_dataset(600, 4, seed=91)
+
+
+def to_networkx(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.n))
+    for u in range(graph.n):
+        for j in range(graph.row[u], graph.row[u + 1]):
+            g.add_edge(u, graph.col[j])
+    return g
+
+
+class TestAgainstNetworkx:
+    def test_bfs_levels(self):
+        workload = BFSWorkload(DATASET)
+        graph = DATASET.build()
+        module, space = workload.build()
+        Machine(module, space).run("main")
+        dist = space.segment("dist").values
+
+        g = to_networkx(graph)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for v in range(graph.n):
+            if v in expected:
+                assert dist[v] == expected[v], v
+            else:
+                assert dist[v] == -1, v
+
+    def test_sssp_converged_distances(self):
+        graph = DATASET.build()
+        g = to_networkx(graph)
+        # Enough rounds for Bellman-Ford to converge on this graph.
+        diameter_bound = 64
+        workload = SSSPWorkload(DATASET, rounds=diameter_bound)
+        module, space = workload.build()
+        Machine(module, space).run("main")
+        dist = space.segment("dist").values
+        weights = space.segment("weights").values
+
+        weighted = nx.DiGraph()
+        weighted.add_nodes_from(range(graph.n))
+        for u in range(graph.n):
+            for j in range(graph.row[u], graph.row[u + 1]):
+                v = graph.col[j]
+                w = weights[j]
+                # Parallel edges: keep the lightest.
+                if weighted.has_edge(u, v):
+                    w = min(w, weighted[u][v]["weight"])
+                weighted.add_edge(u, v, weight=w)
+        expected = nx.single_source_dijkstra_path_length(weighted, 0)
+        infinity = 1 << 30
+        mismatches = [
+            (v, dist[v], expected.get(v))
+            for v in range(graph.n)
+            if (v in expected) != (dist[v] < infinity)
+            or (v in expected and dist[v] != expected[v])
+        ]
+        assert not mismatches, mismatches[:5]
+
+    def test_reachable_count_matches(self):
+        workload = BFSWorkload(DATASET)
+        graph = DATASET.build()
+        module, space = workload.build()
+        result = Machine(module, space).run("main")
+        g = to_networkx(graph)
+        assert result.value == len(nx.descendants(g, 0)) + 1

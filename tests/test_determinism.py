@@ -1,0 +1,65 @@
+"""Determinism guarantees: identical builds, identical runs, identical
+profiles — the properties that let the paper's PC-keyed hints survive
+recompilation and that make single-run benchmarks valid."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.profiling.collect import collect_profile
+from repro.workloads.registry import TINY_SUITE, make_workload
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SUITE))
+def test_runs_are_bit_deterministic(name):
+    counters = []
+    for _ in range(2):
+        module, space = make_workload(name).build()
+        result = Machine(module, space).run("main")
+        counters.append(result.counters.as_dict())
+    assert counters[0] == counters[1]
+
+
+def test_profiles_are_deterministic():
+    profiles = []
+    for _ in range(2):
+        module, space = make_workload("HJ8-tiny").build()
+        machine = Machine(module, space)
+        profiles.append(collect_profile(machine, "main"))
+    assert profiles[0].to_json() == profiles[1].to_json()
+
+
+def test_pcs_stable_across_rebuilds():
+    module_a, _ = make_workload("BFS-tiny").build()
+    module_b, _ = make_workload("BFS-tiny").build()
+    pcs_a = sorted(module_a.load_pcs())
+    pcs_b = sorted(module_b.load_pcs())
+    assert pcs_a == pcs_b
+
+
+def test_pcs_stable_across_inputs():
+    """Same program, different data: PCs are identical (Fig 12's basis)."""
+    from repro.workloads.bfs import BFSWorkload
+    from repro.workloads.graphs import synthetic_dataset
+
+    module_a, _ = BFSWorkload(synthetic_dataset(2_000, 4, seed=1)).build()
+    module_b, _ = BFSWorkload(synthetic_dataset(3_000, 6, seed=2)).build()
+    pcs_a = [i.pc for i in module_a.function("main").instructions()]
+    pcs_b = [i.pc for i in module_b.function("main").instructions()]
+    assert pcs_a == pcs_b
+
+
+def test_hints_apply_across_rebuild():
+    from repro.core.aptget import AptGet
+    from repro.passes.aptget_pass import AptGetPass
+
+    workload = make_workload("micro-tiny")
+    module, space = workload.build()
+    machine = Machine(module, space)
+    profile = collect_profile(machine, "main")
+    hints = AptGet().analyze(module, profile)
+    assert len(hints)
+
+    fresh_module, _ = make_workload("micro-tiny").build()
+    report = AptGetPass(hints).run(fresh_module)
+    assert report.injection_count == len(hints)
+    assert not report.skipped

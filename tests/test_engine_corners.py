@@ -1,0 +1,219 @@
+"""Corner-case engine tests: PHI parallel-copy semantics (swap hazards),
+empty-ish blocks, deep nesting, register-operand WORK, and cost-model
+accounting details."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.mem.address import AddressSpace
+
+
+def run_both(module, make_space, function="main", args=()):
+    results = []
+    for engine in ("interpret", "translate"):
+        machine = Machine(module, make_space(), engine=engine)
+        results.append(machine.run(function, args))
+    a, b = results
+    assert a.value == b.value
+    assert a.counters.as_dict() == b.counters.as_dict()
+    return a
+
+
+class TestPhiSemantics:
+    def test_swap_hazard_parallel_copy(self):
+        """x, y = y, x via PHIs must not serialize into x=y; y=x."""
+        module = Module("swap")
+        b = IRBuilder(module)
+        b.function("main")
+        entry, loop, done = b.blocks("entry", "loop", "done")
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        i = b.phi([(entry, 0)], name="i")
+        x = b.phi([(entry, 1)], name="x")
+        y = b.phi([(entry, 2)], name="y")
+        i2 = b.add(i, 1, name="i2")
+        b.add_incoming(i, loop, i2)
+        b.add_incoming(x, loop, y)  # swap!
+        b.add_incoming(y, loop, x)
+        c = b.lt(i2, 5, name="c")
+        b.br(c, loop, done)
+        b.at(done)
+        combined = b.mul(x, 10, name="t")
+        result = b.add(combined, y, name="r")
+        b.ret(result)
+        module.finalize()
+        # i runs 0..4; the swap edge-copy executes only on the 4 taken
+        # back-edges, so after an even number of swaps x=1, y=2 -> 12.
+        run = run_both(module, AddressSpace)
+        assert run.value == 12
+
+    def test_rotation_of_three_phis(self):
+        module = Module("rot")
+        b = IRBuilder(module)
+        b.function("main")
+        entry, loop, done = b.blocks("entry", "loop", "done")
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        i = b.phi([(entry, 0)], name="i")
+        a = b.phi([(entry, 1)], name="a")
+        bb = b.phi([(entry, 2)], name="bb")
+        cc = b.phi([(entry, 3)], name="cc")
+        i2 = b.add(i, 1, name="i2")
+        b.add_incoming(i, loop, i2)
+        b.add_incoming(a, loop, bb)
+        b.add_incoming(bb, loop, cc)
+        b.add_incoming(cc, loop, a)
+        cond = b.lt(i2, 3, name="cond")
+        b.br(cond, loop, done)
+        b.at(done)
+        t1 = b.mul(a, 100, name="t1")
+        t2 = b.mul(bb, 10, name="t2")
+        t3 = b.add(t1, t2, name="t3")
+        r = b.add(t3, cc, name="r")
+        b.ret(r)
+        module.finalize()
+        # Two taken back-edges rotate (1,2,3)->(2,3,1)->(3,1,2) -> 312.
+        run = run_both(module, AddressSpace)
+        assert run.value == 312
+
+    def test_phi_incoming_can_be_other_phi_previous_value(self):
+        """A PHI whose incoming is another PHI reads the *pre-edge* value."""
+        module = Module("chain")
+        b = IRBuilder(module)
+        b.function("main")
+        entry, loop, done = b.blocks("entry", "loop", "done")
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        i = b.phi([(entry, 0)], name="i")
+        fib_a = b.phi([(entry, 0)], name="fa")
+        fib_b = b.phi([(entry, 1)], name="fb")
+        fib_next = b.add(fib_a, fib_b, name="fn")
+        i2 = b.add(i, 1, name="i2")
+        b.add_incoming(i, loop, i2)
+        b.add_incoming(fib_a, loop, fib_b)
+        b.add_incoming(fib_b, loop, fib_next)
+        c = b.lt(i2, 10, name="c")
+        b.br(c, loop, done)
+        b.at(done)
+        b.ret(fib_next)
+        module.finalize()
+        run = run_both(module, AddressSpace)
+        assert run.value == 89  # fib(11)
+
+
+class TestStructuralCorners:
+    def test_block_with_only_terminator(self):
+        module = Module("thin")
+        b = IRBuilder(module)
+        b.function("main")
+        entry, mid, done = b.blocks("entry", "mid", "done")
+        b.at(entry)
+        b.jmp(mid)
+        b.at(mid)
+        b.jmp(done)
+        b.at(done)
+        b.ret(42)
+        module.finalize()
+        run = run_both(module, AddressSpace)
+        assert run.value == 42
+        # entry jmp + mid jmp + ret = 3 instructions, 3 cycles.
+        assert run.counters.instructions == 3
+        assert run.counters.cycles == 3
+        assert run.counters.taken_branches == 2
+
+    def test_triple_nesting(self):
+        module = Module("deep")
+        b = IRBuilder(module)
+        b.function("main")
+        entry, l1_h, l2_h, l3_h, l2_latch, l1_latch, done = b.blocks(
+            "entry", "l1_h", "l2_h", "l3_h", "l2_latch", "l1_latch", "done"
+        )
+        b.at(entry)
+        b.jmp(l1_h)
+
+        b.at(l1_h)
+        i = b.phi([(entry, 0), (l1_latch, "i2")], name="i")
+        it = b.phi([(entry, 0), (l1_latch, "kt2")], name="it")
+        b.jmp(l2_h)
+
+        b.at(l2_h)
+        j = b.phi([(l1_h, 0), (l2_latch, "j2")], name="j")
+        jt = b.phi([(l1_h, it), (l2_latch, "kt2")], name="jt")
+        b.jmp(l3_h)
+
+        b.at(l3_h)
+        k = b.phi([(l2_h, 0), (l3_h, "k2")], name="k")
+        total = b.phi([(l2_h, jt), (l3_h, "kt2")], name="kt")
+        total2 = b.add(total, 1, name="kt2")
+        k2 = b.add(k, 1, name="k2")
+        ck = b.lt(k2, 3, name="ck")
+        b.br(ck, l3_h, l2_latch)
+
+        b.at(l2_latch)
+        j2 = b.add(j, 1, name="j2")
+        cj = b.lt(j2, 4, name="cj")
+        b.br(cj, l2_h, l1_latch)
+
+        b.at(l1_latch)
+        i2 = b.add(i, 1, name="i2")
+        ci = b.lt(i2, 5, name="ci")
+        b.br(ci, l1_h, done)
+
+        b.at(done)
+        b.ret(total2)
+        module.finalize()
+        from repro.ir.verifier import verify_module
+
+        verify_module(module)
+        run = run_both(module, AddressSpace)
+        assert run.value == 5 * 4 * 3
+
+    def test_work_with_register_amount(self):
+        module = Module("wr")
+        b = IRBuilder(module)
+        b.function("main", params=["n"])
+        b.at(b.block("entry"))
+        b.work("n")
+        b.ret(0)
+        module.finalize()
+        run = run_both(module, AddressSpace, args=(25,))
+        # 25 work instructions + ret.
+        assert run.counters.instructions == 26
+        assert run.counters.cycles == 26
+
+    def test_cost_model_constants(self):
+        """Hand-check the cycle accounting of a straight-line block."""
+        module = Module("cost")
+        b = IRBuilder(module)
+        b.function("main")
+        b.at(b.block("entry"))
+        x = b.add(1, 2)       # 1 cycle
+        y = b.mul(x, 3)       # 1
+        z = b.select(1, y, 0) # 1
+        b.work(7)             # 7
+        b.ret(z)              # 1 (branch cost)
+        module.finalize()
+        run = run_both(module, AddressSpace)
+        assert run.counters.cycles == 11
+        assert run.counters.instructions == 11
+        assert run.value == 9
+
+    def test_custom_cost_config(self):
+        config = MachineConfig(alu_cost=3, branch_cost=5)
+        module = Module("cc")
+        b = IRBuilder(module)
+        b.function("main")
+        b.at(b.block("entry"))
+        b.add(1, 2)
+        b.ret(0)
+        module.finalize()
+        for engine in ("interpret", "translate"):
+            machine = Machine(module, AddressSpace(), config=config, engine=engine)
+            result = machine.run("main")
+            assert result.counters.cycles == 8  # 3 + 5

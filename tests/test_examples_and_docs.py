@@ -1,0 +1,58 @@
+"""Sanity checks for the examples and top-level package surface."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+import repro
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_package_version():
+    assert repro.__version__
+
+
+def test_public_api_surface():
+    # The README quickstart names must resolve.
+    from repro import AddressSpace, IRBuilder, Machine, Module  # noqa: F401
+    from repro.machine import MachineConfig  # noqa: F401
+    from repro.passes import profile_and_optimize  # noqa: F401
+    from repro.workloads import IndirectMicrobenchmark  # noqa: F401
+
+
+def test_design_and_experiments_docs_exist():
+    root = pathlib.Path(__file__).parent.parent
+    assert (root / "DESIGN.md").exists()
+    assert (root / "README.md").exists()
+
+
+def test_quickstart_pattern_small():
+    """The README quickstart, at test scale."""
+    from repro.machine import Machine
+    from repro.passes import profile_and_optimize
+    from repro.workloads import IndirectMicrobenchmark
+
+    workload = IndirectMicrobenchmark(
+        inner=64, total_iterations=8_000, target_elems=1 << 17
+    )
+    module, space = workload.build()
+    baseline = Machine(module, space).run("main")
+    outcome = profile_and_optimize(workload.builder)
+    optimized = Machine(outcome.module, outcome.space).run("main")
+    assert optimized.value == baseline.value
+    assert optimized.counters.cycles < baseline.counters.cycles

@@ -1,0 +1,142 @@
+"""Unit tests for IR data structures (instructions, blocks, modules)."""
+
+import pytest
+
+from repro.ir.nodes import (
+    FUNC_ALIGN,
+    PC_STRIDE,
+    Function,
+    Instruction,
+    IRError,
+    Module,
+)
+from repro.ir.opcodes import Opcode
+from tests.conftest import build_sum_loop
+
+
+class TestInstruction:
+    def test_binary_has_dst(self):
+        inst = Instruction(Opcode.ADD, dst="x", args=("a", 1))
+        assert inst.has_dst
+        assert not inst.is_terminator
+
+    def test_terminators(self):
+        for op in (Opcode.JMP, Opcode.BR, Opcode.RET):
+            assert Instruction(op).is_terminator
+        assert not Instruction(Opcode.LOAD, dst="v", args=("a",)).is_terminator
+
+    def test_register_operands_skip_immediates(self):
+        inst = Instruction(Opcode.ADD, dst="x", args=("a", 7))
+        assert list(inst.register_operands()) == ["a"]
+
+    def test_phi_operands_include_incomings(self):
+        phi = Instruction(Opcode.PHI, dst="x", incomings=[("b1", "y"), ("b2", 3)])
+        assert set(phi.register_operands()) == {"y"}
+        assert set(phi.operands()) == {"y", 3}
+
+    def test_replace_operands_args_and_incomings(self):
+        inst = Instruction(Opcode.ADD, dst="x", args=("a", "b"))
+        inst.replace_operands({"a": "z", "b": 5})
+        assert inst.args == ("z", 5)
+        phi = Instruction(Opcode.PHI, dst="p", incomings=[("blk", "a")])
+        phi.replace_operands({"a": 9})
+        assert phi.incomings == [("blk", 9)]
+
+    def test_copy_is_deep_enough(self):
+        inst = Instruction(Opcode.PHI, dst="p", incomings=[("blk", "a")])
+        clone = inst.copy()
+        clone.incomings.append(("blk2", "b"))
+        assert len(inst.incomings) == 1
+
+    def test_copy_does_not_share_pc(self):
+        inst = Instruction(Opcode.ADD, dst="x", args=(1, 2))
+        inst.pc = 0x40
+        assert inst.copy().pc == -1
+
+
+class TestBlocksAndFunctions:
+    def test_terminator_required(self):
+        function = Function("f")
+        block = function.add_block("entry")
+        block.instructions.append(Instruction(Opcode.ADD, dst="x", args=(1, 2)))
+        with pytest.raises(IRError):
+            _ = block.terminator
+
+    def test_phis_are_prefix(self, sum_loop):
+        module, _, _ = sum_loop
+        loop = module.function("main").block("loop")
+        assert len(loop.phis()) == 2
+        assert len(loop.non_phi_instructions()) == len(loop.instructions) - 2
+
+    def test_duplicate_block_rejected(self):
+        function = Function("f")
+        function.add_block("b")
+        with pytest.raises(IRError):
+            function.add_block("b")
+
+    def test_predecessors(self, sum_loop):
+        module, _, _ = sum_loop
+        preds = module.function("main").predecessors()
+        assert sorted(preds["loop"]) == ["entry", "loop"]
+        assert preds["entry"] == []
+        assert preds["done"] == ["loop"]
+
+    def test_fresh_register_avoids_collisions(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        fresh = function.fresh_register("acc")
+        assert function.defining_instruction(fresh) is None
+
+    def test_insert_before_terminator(self, sum_loop):
+        module, _, _ = sum_loop
+        block = module.function("main").block("entry")
+        new = Instruction(Opcode.CONST, dst="c", args=(1,))
+        block.insert_before_terminator([new])
+        assert block.instructions[-2] is new
+        assert block.instructions[-1].is_terminator
+
+
+class TestModulePCs:
+    def test_finalize_assigns_monotonic_pcs(self, sum_loop):
+        module, _, _ = sum_loop
+        pcs = [inst.pc for inst in module.function("main").instructions()]
+        assert pcs == sorted(pcs)
+        assert all(pc % PC_STRIDE == 0 for pc in pcs)
+        assert pcs[0] == FUNC_ALIGN
+
+    def test_instruction_at_roundtrip(self, sum_loop):
+        module, _, _ = sum_loop
+        for inst in module.function("main").instructions():
+            assert module.instruction_at(inst.pc) is inst
+            assert inst in module.block_at(inst.pc).instructions
+
+    def test_unknown_pc_raises(self, sum_loop):
+        module, _, _ = sum_loop
+        with pytest.raises(IRError):
+            module.instruction_at(0x3)
+
+    def test_load_pcs(self, sum_loop):
+        module, _, _ = sum_loop
+        loads = module.load_pcs()
+        assert len(loads) == 1
+        assert module.instruction_at(loads[0]).op is Opcode.LOAD
+
+    def test_unfinalized_module_guard(self):
+        module = Module("m")
+        with pytest.raises(IRError):
+            module.instruction_at(0)
+
+    def test_two_functions_get_disjoint_pc_ranges(self):
+        module, _, _ = build_sum_loop()
+        # Add a second function and re-finalize.
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder(module)
+        b.function("aux")
+        blk = b.block("entry")
+        b.at(blk)
+        b.ret(0)
+        module.finalize()
+        main_pcs = {i.pc for i in module.function("main").instructions()}
+        aux_pcs = {i.pc for i in module.function("aux").instructions()}
+        assert not main_pcs & aux_pcs

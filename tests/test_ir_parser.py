@@ -1,0 +1,151 @@
+"""Tests for the IR text parser: round-trips with the printer."""
+
+import pytest
+
+from repro.ir.parser import ParseError, parse_function_body, parse_module
+from repro.ir.printer import format_module
+from repro.ir.verifier import verify_module
+from repro.machine.machine import Machine
+from repro.mem.address import AddressSpace
+from tests.conftest import (
+    build_indirect_loop,
+    build_nested_indirect,
+    build_sum_loop,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [build_sum_loop, build_indirect_loop, build_nested_indirect],
+        ids=["sum", "indirect", "nested"],
+    )
+    def test_print_parse_print_fixpoint(self, builder):
+        module, _, _ = builder()
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+    def test_reparsed_module_executes_identically(self):
+        module, space, expected = build_indirect_loop()
+        reparsed = parse_module(format_module(module))
+        fresh_space = build_indirect_loop()[1]
+        original = Machine(module, space).run("main")
+        restored = Machine(reparsed, fresh_space).run("main")
+        assert restored.value == original.value == expected
+        assert restored.counters.as_dict() == original.counters.as_dict()
+
+    def test_roundtrip_after_injection(self):
+        from repro.passes.ainsworth_jones import AinsworthJonesPass
+
+        module, _, _ = build_nested_indirect()
+        AinsworthJonesPass().run(module)
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+
+class TestHandWritten:
+    def test_simple_function(self):
+        module = parse_module(
+            """
+            define main(n) {
+            entry:
+              br label %loop
+            loop:
+              %i = phi [entry: 0], [loop: %i2]
+              %acc = phi [entry: 0], [loop: %acc2]
+              %acc2 = add %acc, %i
+              %i2 = add %i, 1
+              %c = icmp slt %i2, n
+              br %c, label %loop, label %done
+            done:
+              ret %acc2
+            }
+            """
+        )
+        verify_module(module)
+        result = Machine(module, AddressSpace()).run("main", (10,))
+        assert result.value == sum(range(10))
+
+    def test_memory_ops_and_work(self):
+        space = AddressSpace()
+        seg = space.allocate("d", [7, 8], elem_size=8)
+        module = parse_function_body(
+            f"""
+            entry:
+              %a = getelementptr {seg.base}, 1, scale 8
+              %v = load [%a]
+              store [%a], 99
+              prefetch [%a]
+              work 4
+              %w = load [%a]
+              %s = add %v, %w
+              ret %s
+            """
+        )
+        result = Machine(module, space).run("main")
+        assert result.value == 7 + 8 + 99 - 7  # 8 + 99
+
+    def test_select_min_const_mov(self):
+        module = parse_function_body(
+            """
+            entry:
+              %c = const 5
+              %m = mov %c
+              %cmp = icmp sge %m, 3
+              %sel = select %cmp, %m, 0
+              %clamped = min %sel, 4
+              ret %clamped
+            """
+        )
+        assert Machine(module, AddressSpace()).run("main").value == 4
+
+    def test_comments_and_blank_lines(self):
+        module = parse_function_body(
+            """
+            entry:
+              # this is a comment
+              ret 7
+
+            """
+        )
+        assert Machine(module, AddressSpace()).run("main").value == 7
+
+    def test_hex_immediates(self):
+        module = parse_function_body(
+            """
+            entry:
+              %x = add 0x10, 0x20
+              ret %x
+            """
+        )
+        assert Machine(module, AddressSpace()).run("main").value == 0x30
+
+
+class TestErrors:
+    def test_instruction_outside_block(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_module("define f() {\n  ret 0\n}")
+
+    def test_block_outside_function(self):
+        with pytest.raises(ParseError):
+            parse_module("entry:\n  ret 0")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError, match="unknown value op"):
+            parse_function_body("entry:\n  %x = frobnicate 1, 2\n  ret %x")
+
+    def test_unbracketed_load(self):
+        with pytest.raises(ParseError):
+            parse_function_body("entry:\n  %x = load 5\n  ret %x")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_function_body("entry:\n  bogus instruction here\n  ret 0")
+        except ParseError as error:
+            assert error.line_number == 3  # wrapped body shifts by one
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

@@ -1,0 +1,52 @@
+"""Unit tests for the textual IR printer."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+from repro.ir.printer import (
+    format_block,
+    format_function,
+    format_instruction,
+    format_module,
+)
+
+
+def test_every_opcode_formats(nested_indirect):
+    module, _, _ = nested_indirect
+    text = format_module(module)
+    assert "define main()" in text
+    assert "phi" in text
+    assert "load" in text
+    assert "getelementptr" in text
+    assert "icmp slt" in text
+    assert "br" in text
+    assert "ret" in text
+
+
+def test_instruction_includes_pc_after_finalize(sum_loop):
+    module, _, _ = sum_loop
+    inst = module.function("main").block("loop").instructions[2]
+    assert format_instruction(inst).startswith("0x")
+
+
+def test_store_prefetch_select_work_min():
+    module = Module("p")
+    b = IRBuilder(module)
+    b.function("f")
+    b.at(b.block("entry"))
+    cond = b.lt(1, 2)
+    sel = b.select(cond, 1, 2)
+    clamped = b.min(sel, 7)
+    addr = b.gep(0x1000, clamped, 8)
+    b.prefetch(addr)
+    b.store(addr, 0)
+    b.work(5)
+    b.ret(0)
+    text = format_function(module.function("f"))
+    for token in ("select", "min", "prefetch", "store", "work 5"):
+        assert token in text
+
+
+def test_block_format_has_header(sum_loop):
+    module, _, _ = sum_loop
+    text = format_block(module.function("main").block("loop"))
+    assert text.splitlines()[0] == "loop:"

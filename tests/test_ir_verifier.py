@@ -1,0 +1,134 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Instruction, Module
+from repro.ir.opcodes import Opcode
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+from tests.conftest import build_sum_loop
+
+
+def fresh_function():
+    module = Module("v")
+    b = IRBuilder(module)
+    function = b.function("f")
+    return module, b, function
+
+
+class TestStructural:
+    def test_valid_program_passes(self, sum_loop):
+        module, _, _ = sum_loop
+        verify_module(module)
+
+    def test_empty_function_rejected(self):
+        module, _, function = fresh_function()
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(function)
+
+    def test_empty_block_rejected(self):
+        module, b, function = fresh_function()
+        b.block("entry")
+        with pytest.raises(VerificationError, match="empty block"):
+            verify_function(function)
+
+    def test_missing_terminator(self):
+        module, b, function = fresh_function()
+        b.at(b.block("entry"))
+        b.add(1, 2)
+        with pytest.raises(VerificationError, match="missing terminator"):
+            verify_function(function)
+
+    def test_terminator_not_last(self):
+        module, b, function = fresh_function()
+        block = b.block("entry")
+        b.at(block)
+        b.ret(0)
+        block.instructions.append(Instruction(Opcode.RET, args=(0,)))
+        with pytest.raises(VerificationError, match="terminator not last"):
+            verify_function(function)
+
+    def test_branch_to_unknown_block(self):
+        module, b, function = fresh_function()
+        block = b.block("entry")
+        b.at(block)
+        block.instructions.append(Instruction(Opcode.JMP, targets=("ghost",)))
+        with pytest.raises(VerificationError, match="unknown"):
+            verify_function(function)
+
+    def test_phi_after_non_phi(self):
+        module, b, function = fresh_function()
+        entry, loop = b.blocks("entry", "loop")
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        loop.instructions.append(Instruction(Opcode.ADD, dst="x", args=(1, 2)))
+        loop.instructions.append(
+            Instruction(Opcode.PHI, dst="p", incomings=[("entry", 0)])
+        )
+        loop.instructions.append(Instruction(Opcode.RET, args=(0,)))
+        with pytest.raises(VerificationError, match="PHI after non-PHI"):
+            verify_function(function)
+
+    def test_entry_with_predecessors_rejected(self):
+        module, b, function = fresh_function()
+        entry = b.block("entry")
+        b.at(entry)
+        b.jmp(entry)
+        with pytest.raises(VerificationError, match="entry"):
+            verify_function(function)
+
+
+class TestDataflow:
+    def test_undefined_register_use(self):
+        module, b, function = fresh_function()
+        b.at(b.block("entry"))
+        b.ret("ghost")
+        with pytest.raises(VerificationError, match="undefined"):
+            verify_function(function)
+
+    def test_params_count_as_defined(self):
+        module = Module("p")
+        b = IRBuilder(module)
+        function = b.function("f", params=["n"])
+        b.at(b.block("entry"))
+        b.ret("n")
+        verify_function(function)
+
+    def test_double_definition_rejected(self, sum_loop):
+        module, _, _ = sum_loop
+        function = module.function("main")
+        block = function.block("entry")
+        block.insert_before_terminator(
+            [Instruction(Opcode.CONST, dst="i2", args=(0,))]
+        )
+        with pytest.raises(VerificationError, match="more than once"):
+            verify_function(function)
+        verify_function(function, allow_non_ssa=True)
+
+    def test_phi_incoming_mismatch(self, sum_loop):
+        module, _, _ = sum_loop
+        phi = module.function("main").block("loop").phis()[0]
+        phi.incomings.append(("done", 0))
+        with pytest.raises(VerificationError, match="incomings"):
+            verify_module(module)
+
+    def test_gep_scale_must_be_positive_immediate(self):
+        module, b, function = fresh_function()
+        block = b.block("entry")
+        b.at(block)
+        block.instructions.append(
+            Instruction(Opcode.GEP, dst="a", args=(0x1000, 0, "reg"))
+        )
+        block.instructions.append(Instruction(Opcode.RET, args=(0,)))
+        with pytest.raises(VerificationError, match="scale"):
+            verify_function(function)
+
+
+class TestAfterTransforms:
+    def test_injected_module_still_verifies(self):
+        from repro.passes.ainsworth_jones import AinsworthJonesPass
+
+        module, _, _ = build_sum_loop()
+        AinsworthJonesPass().run(module)
+        verify_module(module)

@@ -1,0 +1,89 @@
+"""Golden test: the transformed microbenchmark inner loop must match the
+paper's Listing 4 structurally — advanced induction value, select/min
+clamp against INNER, cloned address slice, prefetch, original load kept.
+"""
+
+import re
+
+from repro.ir.printer import format_function
+from repro.ir.opcodes import Opcode
+from repro.passes.ainsworth_jones import AinsworthJonesConfig, AinsworthJonesPass
+from repro.workloads.micro import IndirectMicrobenchmark
+
+
+def transformed_inner_text(distance=8, inner=256):
+    workload = IndirectMicrobenchmark(
+        inner=inner, outer=4, target_elems=1 << 12
+    )
+    module, _ = workload.build()
+    AinsworthJonesPass(AinsworthJonesConfig(distance=distance)).run(module)
+    function = module.function("main")
+    text = format_function(function)
+    start = text.index("\ninner_h:") + 1
+    end = text.index("\nouter_latch:") + 1
+    return module, text[start:end]
+
+
+class TestListing4Shape:
+    def test_transformed_loop_matches_listing4(self):
+        module, inner_text = transformed_inner_text()
+        lines = [line.strip() for line in inner_text.splitlines()[1:]]
+
+        def line_index(pattern):
+            for index, line in enumerate(lines):
+                if re.search(pattern, line):
+                    return index
+            raise AssertionError(f"no line matching {pattern!r}:\n{inner_text}")
+
+        # Listing 4 line 13: %9 = add %iv2, prefetch_distance
+        advance = line_index(r"= add iv2, 8$")
+        # Listing 4 lines 14-15: clamp against INNER (select/min form).
+        clamp = line_index(r"= min .*255")
+        # Listing 4 lines 16-21: cloned slice re-loads BI and re-computes
+        # the T address.
+        cloned_load = line_index(r"= load \[pf\.")
+        prefetch = line_index(r"^0x[0-9a-f]+: prefetch \[")
+        # Listing 4 line 23: the original demand load survives.
+        original_load = line_index(r"t\.v = load")
+
+        # Paper ordering: advance -> clamp -> slice -> prefetch -> load.
+        assert advance < clamp < cloned_load < prefetch < original_load
+
+    def test_clamp_prevents_out_of_range_index(self):
+        # With INNER=256 and distance 8, the clamped index never exceeds
+        # 255 — the functional property behind Listing 4's select.
+        module, inner_text = transformed_inner_text()
+        assert "min" in inner_text
+        assert "255" in inner_text
+
+    def test_exactly_one_prefetch_injected(self):
+        module, inner_text = transformed_inner_text()
+        function = module.function("main")
+        prefetches = [
+            inst
+            for inst in function.instructions()
+            if inst.op is Opcode.PREFETCH
+        ]
+        assert len(prefetches) == 1
+
+    def test_original_instructions_untouched(self):
+        workload = IndirectMicrobenchmark(inner=64, outer=4, target_elems=1 << 12)
+        before_module, _ = workload.build()
+        before = {
+            (inst.op, inst.dst)
+            for inst in before_module.function("main").instructions()
+        }
+        after_module, _ = transformed_inner_text(inner=64)[0], None
+        after = {
+            (inst.op, inst.dst)
+            for inst in after_module.function("main").instructions()
+            if inst.dst is None or not inst.dst.startswith("pf")
+        }
+        # Every original (op, dst) pair still exists post-injection.
+        assert before <= after | before  # sanity
+        missing = {
+            pair
+            for pair in before
+            if pair not in after and pair[0] is not Opcode.PHI
+        }
+        assert not missing, missing

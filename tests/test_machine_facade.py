@@ -1,0 +1,126 @@
+"""Tests for the Machine facade and MachineConfig/MemoryConfig plumbing."""
+
+import pytest
+
+from repro.ir.nodes import IRError
+from repro.machine.config import MachineConfig, paper_like_memory
+from repro.machine.machine import ENGINES, Machine
+from repro.mem.config import CacheConfig, MemoryConfig
+from tests.conftest import build_indirect_loop, build_sum_loop
+
+
+class TestMachine:
+    def test_rejects_unknown_engine(self, sum_loop):
+        module, space, _ = sum_loop
+        with pytest.raises(ValueError):
+            Machine(module, space, engine="jit")
+        assert set(ENGINES) == {"translate", "interpret"}
+
+    def test_rejects_unknown_function(self, sum_loop):
+        module, space, _ = sum_loop
+        with pytest.raises(IRError):
+            Machine(module, space).run("ghost")
+
+    def test_auto_finalizes_module(self):
+        module, space, _ = build_sum_loop()
+        module.finalized = False
+        machine = Machine(module, space)
+        assert module.finalized
+        machine.run("main")
+
+    def test_run_returns_delta_not_totals(self, sum_loop):
+        module, space, _ = sum_loop
+        machine = Machine(module, space)
+        first = machine.run("main")
+        second = machine.run("main")
+        assert second.counters.instructions == first.counters.instructions
+        assert machine.counters.instructions == 2 * first.counters.instructions
+
+    def test_flush_caches_restores_cold_start(self):
+        module, space, _ = build_indirect_loop(n=100)
+        machine = Machine(module, space)
+        first = machine.run("main")
+        warm = machine.run("main")
+        cold = machine.run("main", flush_caches=True)
+        assert warm.counters.cycles < first.counters.cycles
+        assert cold.counters.cycles > warm.counters.cycles
+
+    def test_profiling_toggle(self, sum_loop):
+        module, space, _ = sum_loop
+        machine = Machine(module, space)
+        sampler = machine.enable_profiling(period=50)
+        machine.run("main")
+        assert sampler.samples
+        machine.disable_profiling()
+        assert machine.sampler is None
+        count = len(sampler.samples)
+        machine.run("main")
+        assert len(sampler.samples) == count
+
+    def test_run_result_perf_properties(self, sum_loop):
+        module, space, _ = sum_loop
+        result = Machine(module, space).run("main")
+        assert result.cycles == result.counters.cycles
+        assert result.perf.ipc > 0
+
+
+class TestConfigs:
+    def test_paper_like_memory_geometry(self):
+        memory = paper_like_memory()
+        assert memory.l1.latency < memory.l2.latency < memory.llc.latency
+        assert memory.l1.size_bytes < memory.l2.size_bytes < memory.llc.size_bytes
+        assert memory.dram_latency > memory.llc.latency
+
+    def test_effective_pebs_threshold_defaults_to_llc(self):
+        config = MachineConfig()
+        assert (
+            config.effective_pebs_threshold()
+            == config.memory.llc.latency + 1
+        )
+        override = MachineConfig(pebs_latency_threshold=99)
+        assert override.effective_pebs_threshold() == 99
+
+    def test_with_memory(self):
+        memory = MemoryConfig(
+            l1=CacheConfig("L1D", 1024, 4, 2),
+            l2=CacheConfig("L2", 4096, 4, 12),
+            llc=CacheConfig("LLC", 16 * 1024, 8, 40),
+        )
+        config = MachineConfig().with_memory(memory)
+        assert config.memory is memory
+        assert config.alu_cost == MachineConfig().alu_cost
+
+    def test_scaled_memory(self):
+        memory = paper_like_memory()
+        scaled = memory.scaled(4)
+        assert scaled.llc.size_bytes == memory.llc.size_bytes // 4
+        assert scaled.llc.latency == memory.llc.latency
+        assert scaled.mshr_entries == memory.mshr_entries
+
+    def test_scaled_never_below_one_set(self):
+        memory = paper_like_memory()
+        scaled = memory.scaled(1_000_000)
+        assert scaled.l1.lines >= scaled.l1.associativity
+
+
+class TestConditionalInjection:
+    def test_min_latency_share_filters_minor_loads(self):
+        from repro.core.aptget import AptGet, AptGetConfig
+        from repro.machine.machine import Machine as M
+        from repro.profiling.collect import collect_profile
+        from repro.workloads.micro import IndirectMicrobenchmark
+
+        workload = IndirectMicrobenchmark(
+            inner=64, total_iterations=20_000, target_elems=1 << 17
+        )
+        module, space = workload.build()
+        machine = M(module, space)
+        profile = collect_profile(machine, "main")
+        all_hints = AptGet(AptGetConfig()).analyze(module, profile)
+        filtered = AptGet(AptGetConfig(min_latency_share=0.5)).analyze(
+            module, profile
+        )
+        assert len(filtered) <= len(all_hints)
+        assert len(filtered) >= 1  # the dominant T load survives
+        dominant = profile.delinquent_loads(top=1)[0]
+        assert filtered.hints[0].load_pc == dominant

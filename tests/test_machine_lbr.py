@@ -1,0 +1,58 @@
+"""Unit tests for the Last Branch Record model."""
+
+from repro.machine.lbr import LastBranchRecord, LBREntry, NullLBR
+
+
+class TestLBR:
+    def test_push_and_snapshot(self):
+        lbr = LastBranchRecord(4)
+        lbr.push((0x10, 0x20, 100))
+        lbr.push((0x30, 0x40, 200))
+        snapshot = lbr.snapshot()
+        assert len(snapshot) == 2
+        assert snapshot[0] == LBREntry(0x10, 0x20, 100)
+        assert snapshot[1].cycle == 200
+
+    def test_depth_limit_keeps_newest(self):
+        lbr = LastBranchRecord(3)
+        for i in range(10):
+            lbr.push((i, i, i))
+        snapshot = lbr.snapshot()
+        assert len(snapshot) == 3
+        assert [e.from_pc for e in snapshot] == [7, 8, 9]
+
+    def test_default_depth_is_32(self):
+        lbr = LastBranchRecord()
+        assert lbr.depth == 32
+        for i in range(100):
+            lbr.push((i, i, i))
+        assert len(lbr) == 32
+
+    def test_snapshot_is_immutable_copy(self):
+        lbr = LastBranchRecord(4)
+        lbr.push((1, 2, 3))
+        snapshot = lbr.snapshot()
+        lbr.push((4, 5, 6))
+        assert len(snapshot) == 1
+
+    def test_clear(self):
+        lbr = LastBranchRecord(4)
+        lbr.push((1, 2, 3))
+        lbr.clear()
+        assert len(lbr) == 0
+        assert lbr.snapshot() == ()
+
+    def test_iteration_yields_entries(self):
+        lbr = LastBranchRecord(4)
+        lbr.push((1, 2, 3))
+        entries = list(lbr)
+        assert entries == [LBREntry(1, 2, 3)]
+
+
+class TestNullLBR:
+    def test_noop_interface(self):
+        lbr = NullLBR()
+        lbr.push((1, 2, 3))
+        assert lbr.snapshot() == ()
+        assert len(lbr) == 0
+        lbr.clear()

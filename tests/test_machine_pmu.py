@@ -1,0 +1,80 @@
+"""Unit tests for PMU counters and derived perf metrics."""
+
+from repro.machine.pmu import Counters, PerfStat
+
+
+class TestCounters:
+    def test_copy_is_independent(self):
+        counters = Counters(cycles=10.0, instructions=5)
+        clone = counters.copy()
+        clone.instructions = 99
+        assert counters.instructions == 5
+
+    def test_subtraction(self):
+        before = Counters(cycles=10.0, instructions=5, loads=2)
+        after = Counters(cycles=30.0, instructions=20, loads=9)
+        delta = after - before
+        assert delta.cycles == 20.0
+        assert delta.instructions == 15
+        assert delta.loads == 7
+
+    def test_as_dict_roundtrip(self):
+        counters = Counters(l1_hits=3, sw_prefetch_issued=4)
+        d = counters.as_dict()
+        assert d["l1_hits"] == 3
+        assert d["sw_prefetch_issued"] == 4
+        assert len(d) > 15
+
+
+class TestPerfStat:
+    def test_ipc(self):
+        perf = PerfStat(Counters(cycles=100.0, instructions=50))
+        assert perf.ipc == 0.5
+
+    def test_ipc_zero_cycles(self):
+        assert PerfStat(Counters()).ipc == 0.0
+
+    def test_prefetch_accuracy_counts_sw_memory_reads(self):
+        counters = Counters(
+            sw_prefetch_issued=100,
+            sw_prefetch_redundant=10,
+            sw_prefetch_dropped_mshr=5,
+            sw_prefetch_dropped_unmapped=5,
+            offcore_demand_data_rd=20,
+        )
+        perf = PerfStat(counters)
+        assert perf.sw_prefetch_memory_reads == 80
+        assert perf.prefetch_accuracy == 80 / 100
+
+    def test_prefetch_accuracy_no_traffic(self):
+        assert PerfStat(Counters()).prefetch_accuracy == 0.0
+
+    def test_late_prefetch_ratio(self):
+        counters = Counters(sw_prefetch_issued=10, load_hit_pre_sw_pf=4)
+        assert PerfStat(counters).late_prefetch_ratio == 0.4
+
+    def test_mpki_counts_fill_buffer_hits(self):
+        # Paper §4.4: loads hitting an in-flight prefetch count as misses.
+        counters = Counters(
+            instructions=1000, offcore_demand_data_rd=5, load_hit_pre_sw_pf=5
+        )
+        assert PerfStat(counters).llc_mpki == 10.0
+
+    def test_memory_bound_fraction(self):
+        counters = Counters(
+            cycles=200.0, stall_cycles_llc=30.0, stall_cycles_dram=70.0
+        )
+        assert PerfStat(counters).memory_bound_fraction == 0.5
+
+    def test_summary_keys(self):
+        summary = PerfStat(Counters(cycles=1.0, instructions=1)).summary()
+        for key in (
+            "cycles",
+            "instructions",
+            "ipc",
+            "prefetch_accuracy",
+            "late_prefetch_ratio",
+            "llc_mpki",
+            "memory_bound_fraction",
+        ):
+            assert key in summary

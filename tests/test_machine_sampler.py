@@ -1,0 +1,69 @@
+"""Unit tests for the LBR/PEBS profile sampler."""
+
+import pytest
+
+from repro.machine.lbr import LastBranchRecord
+from repro.machine.sampler import ProfileSampler
+
+
+@pytest.fixture()
+def lbr():
+    lbr = LastBranchRecord(4)
+    lbr.push((0x10, 0x20, 50))
+    return lbr
+
+
+class TestSnapshotting:
+    def test_take_advances_next_at(self, lbr):
+        sampler = ProfileSampler(lbr, period=100)
+        assert sampler.next_at == 100
+        nxt = sampler.take(150)
+        assert nxt == 250
+        assert len(sampler.samples) == 1
+
+    def test_empty_lbr_produces_no_sample(self):
+        sampler = ProfileSampler(LastBranchRecord(4), period=100)
+        sampler.take(100)
+        assert sampler.samples == []
+
+    def test_custom_first_at(self, lbr):
+        sampler = ProfileSampler(lbr, period=100, first_at=7)
+        assert sampler.next_at == 7
+
+    def test_bad_period(self, lbr):
+        with pytest.raises(ValueError):
+            ProfileSampler(lbr, period=0)
+
+
+class TestPEBS:
+    def test_record_load_accumulates(self, lbr):
+        sampler = ProfileSampler(lbr, period=100)
+        sampler.record_load(0x44, 400)
+        sampler.record_load(0x44, 420)
+        sampler.record_load(0x88, 50)
+        assert sampler.load_miss_counts == {0x44: 2, 0x88: 1}
+        assert sampler.load_miss_latency[0x44] == 820
+
+    def test_delinquent_ranking_by_latency(self, lbr):
+        sampler = ProfileSampler(lbr, period=100)
+        for _ in range(10):
+            sampler.record_load(0xA, 40)  # frequent but cheap
+        for _ in range(8):
+            sampler.record_load(0xB, 400)  # dominant contributor
+        ranked = sampler.delinquent_loads(top=2, min_count=8)
+        assert ranked == [0xB, 0xA]
+
+    def test_min_count_filters_noise(self, lbr):
+        sampler = ProfileSampler(lbr, period=100)
+        sampler.record_load(0xC, 40000)  # single huge outlier
+        for _ in range(8):
+            sampler.record_load(0xD, 400)
+        ranked = sampler.delinquent_loads(top=10, min_count=8)
+        assert ranked == [0xD]
+
+    def test_top_limits_results(self, lbr):
+        sampler = ProfileSampler(lbr, period=100)
+        for pc in range(20):
+            for _ in range(8):
+                sampler.record_load(pc, 400 + pc)
+        assert len(sampler.delinquent_loads(top=5, min_count=1)) == 5

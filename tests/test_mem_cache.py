@@ -1,0 +1,103 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.mem.cache import (
+    FLAG_NONE,
+    FLAG_SW_PREFETCHED_UNUSED,
+    SetAssociativeCache,
+)
+from repro.mem.config import CacheConfig
+
+
+def small_cache(sets=4, assoc=2, on_evict=None) -> SetAssociativeCache:
+    config = CacheConfig("t", sets * assoc * 64, assoc, 4)
+    return SetAssociativeCache(config, on_evict=on_evict)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(10) is None
+        cache.insert(10)
+        assert cache.lookup(10) == FLAG_NONE
+        assert cache.contains(10)
+
+    def test_config_geometry(self):
+        config = CacheConfig("g", 8 * 1024, 8, 4)
+        assert config.lines == 128
+        assert config.sets == 16
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("b", 100, 8, 4)  # not multiple of 64
+        with pytest.raises(ValueError):
+            CacheConfig("b", 3 * 64, 2, 4)  # non-power-of-two sets
+
+    def test_flags_roundtrip(self):
+        cache = small_cache()
+        cache.insert(3, FLAG_SW_PREFETCHED_UNUSED)
+        assert cache.lookup(3) == FLAG_SW_PREFETCHED_UNUSED
+        cache.set_flags(3, FLAG_NONE)
+        assert cache.lookup(3) == FLAG_NONE
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.insert(5)
+        cache.invalidate(5)
+        assert not cache.contains(5)
+        cache.invalidate(5)  # idempotent
+
+    def test_flush_and_occupancy(self):
+        cache = small_cache()
+        for line in range(8):
+            cache.insert(line)
+        assert cache.occupancy() == 8
+        cache.flush()
+        assert cache.occupancy() == 0
+        assert cache.resident_lines() == []
+
+
+class TestLRU:
+    def test_eviction_order_is_lru(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.insert(2)  # evicts 0
+        assert not cache.contains(0)
+        assert cache.contains(1) and cache.contains(2)
+
+    def test_hit_refreshes_lru(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.lookup(0)  # 0 becomes MRU
+        cache.insert(2)  # evicts 1, not 0
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_reinsert_updates_flags_without_eviction(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.insert(0, FLAG_SW_PREFETCHED_UNUSED)
+        assert cache.contains(1)
+        assert cache.lookup(0) == FLAG_SW_PREFETCHED_UNUSED
+
+    def test_sets_are_independent(self):
+        cache = small_cache(sets=4, assoc=1)
+        cache.insert(0)  # set 0
+        cache.insert(1)  # set 1
+        cache.insert(4)  # set 0 again -> evicts 0 only
+        assert not cache.contains(0)
+        assert cache.contains(1)
+        assert cache.contains(4)
+
+    def test_eviction_callback_gets_line_and_flags(self):
+        evicted = []
+        cache = small_cache(
+            sets=1, assoc=1, on_evict=lambda line, flags: evicted.append((line, flags))
+        )
+        cache.insert(7, FLAG_SW_PREFETCHED_UNUSED)
+        cache.insert(8)
+        assert evicted == [(7, FLAG_SW_PREFETCHED_UNUSED)]

@@ -1,0 +1,70 @@
+"""Unit tests for the hardware prefetcher models."""
+
+from repro.mem.config import MemoryConfig
+from repro.mem.hwprefetch import NextLinePrefetcher, StridePrefetcher
+
+
+def make_stride(threshold=2, degree=2) -> StridePrefetcher:
+    config = MemoryConfig(
+        stride_confidence=threshold, stride_degree=degree
+    )
+    return StridePrefetcher(config)
+
+
+class TestStridePrefetcher:
+    def test_needs_training_before_predicting(self):
+        prefetcher = make_stride()
+        assert prefetcher.observe(1, 100) == []
+        assert prefetcher.observe(1, 101) == []  # stride learned, conf 1
+        predictions = prefetcher.observe(1, 102)  # conf 2 -> fire
+        assert predictions == [103, 104]
+
+    def test_stride_of_two(self):
+        prefetcher = make_stride()
+        for line in (10, 12, 14):
+            predictions = prefetcher.observe(7, line)
+        assert predictions == [16, 18]
+
+    def test_negative_stride(self):
+        prefetcher = make_stride()
+        for line in (100, 98, 96):
+            predictions = prefetcher.observe(7, line)
+        assert predictions == [94, 92]
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = make_stride()
+        prefetcher.observe(1, 100)
+        prefetcher.observe(1, 101)
+        prefetcher.observe(1, 102)
+        assert prefetcher.observe(1, 200) == []  # stride broke, conf 1
+        # Two consecutive observations of the new stride re-arm it.
+        assert prefetcher.observe(1, 298) == [396, 494]
+
+    def test_same_line_repeat_is_ignored(self):
+        prefetcher = make_stride()
+        prefetcher.observe(1, 100)
+        assert prefetcher.observe(1, 100) == []
+
+    def test_table_aliasing_by_pc(self):
+        prefetcher = make_stride()
+        other_pc = 1 + prefetcher.entries  # same slot, different pc
+        prefetcher.observe(1, 100)
+        prefetcher.observe(1, 101)
+        # The aliasing PC steals the slot and must retrain.
+        assert prefetcher.observe(other_pc, 5) == []
+        assert prefetcher.observe(other_pc, 6) == []
+        assert prefetcher.observe(other_pc, 7) != []
+
+    def test_independent_pcs(self):
+        prefetcher = make_stride()
+        for i in range(3):
+            a = prefetcher.observe(1, 100 + i)
+            b = prefetcher.observe(2, 500 + 2 * i)
+        assert a == [103, 104]
+        assert b == [506, 508]
+
+
+class TestNextLine:
+    def test_always_next(self):
+        prefetcher = NextLinePrefetcher()
+        assert prefetcher.observe(0, 41) == [42]

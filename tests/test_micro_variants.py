@@ -1,0 +1,205 @@
+"""End-to-end tests for the §3.5 generality variants (non-canonical IVs,
+break-style multi-exit loops) and the §3.6 LBR-depth limitation."""
+
+import pytest
+
+from repro.analysis.loops import find_loops, induction_variables
+from repro.ir.opcodes import Opcode
+from repro.ir.verifier import verify_module
+from repro.machine.machine import Machine
+from repro.passes.pipeline import profile_and_optimize
+from repro.workloads.micro_variants import (
+    BreakConditionMicrobenchmark,
+    NonCanonicalMicrobenchmark,
+)
+
+
+class TestNonCanonicalIV:
+    def make(self):
+        return NonCanonicalMicrobenchmark(
+            outer=1_200, span=4_096, target_elems=1 << 17
+        )
+
+    def test_structure(self):
+        module, _ = self.make().build()
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        ivs = induction_variables(function, inner)
+        by_register = {iv.register: iv for iv in ivs}
+        assert by_register["j"].step_op is Opcode.MUL
+        assert by_register["bit"].step_op is Opcode.ADD
+
+    def test_pipeline_optimizes(self):
+        workload = self.make()
+        module, space = workload.build()
+        baseline = Machine(module, space).run("main")
+        outcome = profile_and_optimize(workload.builder)
+        assert len(outcome.hints) >= 1
+        assert outcome.report.injection_count >= 1
+        verify_module(outcome.module)
+        optimized = Machine(outcome.module, outcome.space).run("main")
+        assert optimized.value == baseline.value
+        assert optimized.counters.sw_prefetch_issued > 0
+        assert optimized.counters.cycles < baseline.counters.cycles
+
+
+class TestBreakCondition:
+    def make(self):
+        return BreakConditionMicrobenchmark(
+            outer=800, inner=48, target_elems=1 << 17
+        )
+
+    def test_loop_has_two_exits(self):
+        module, _ = self.make().build()
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        assert len(inner.exit_edges()) == 2
+        assert inner.body == {"inner_h", "inner_body"}
+
+    def test_semantics_match_reference(self):
+        workload = self.make()
+        module, space = workload.build()
+        result = Machine(module, space).run("main")
+        bo = space.segment("BO").values
+        bi = space.segment("BI").values
+        t = space.segment("T").values
+        expected = 0
+        for i in range(workload.outer):
+            for j in range(workload.inner):
+                value = t[bo[i] + bi[j]]
+                if value == 0:
+                    break
+                expected += value
+        assert result.value == expected
+
+    def test_pipeline_optimizes(self):
+        workload = self.make()
+        module, space = workload.build()
+        baseline = Machine(module, space).run("main")
+        outcome = profile_and_optimize(workload.builder)
+        assert outcome.report.injection_count >= 1
+        verify_module(outcome.module)
+        optimized = Machine(outcome.module, outcome.space).run("main")
+        assert optimized.value == baseline.value
+        assert optimized.counters.cycles < baseline.counters.cycles
+
+    def test_clamp_still_extracted_from_counted_exit(self):
+        """The counted exit (j < INNER) provides the clamp even though a
+        second, data-dependent exit exists."""
+        from repro.analysis.loops import loop_bound
+
+        module, _ = self.make().build()
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        iv = next(
+            v for v in induction_variables(function, inner) if v.register == "j"
+        )
+        bound = loop_bound(function, inner, iv)
+        assert bound is not None
+        assert bound.bound == 48
+
+
+class TestLBRDepthLimitation:
+    def test_many_branch_loop_defaults_to_distance_one(self):
+        """§3.6: a loop body with ~32 taken branches pushes its own latch
+        out of the LBR window -> at most one latch entry per snapshot ->
+        no latency measurements -> default distance 1."""
+        import random
+
+        from repro.core.aptget import AptGet
+        from repro.ir.builder import IRBuilder
+        from repro.ir.nodes import Module
+        from repro.mem.address import AddressSpace
+        from repro.profiling.collect import collect_profile
+
+        rng = random.Random(23)
+        space = AddressSpace()
+        n = 4_000
+        b_seg = space.allocate(
+            "B", [rng.randrange(1 << 15) for _ in range(n + 600)], elem_size=8
+        )
+        t_seg = space.allocate("T", 1 << 15, elem_size=8)
+
+        module = Module("branchy")
+        b = IRBuilder(module)
+        b.function("main")
+        entry = b.block("entry")
+        loop = b.block("loop")
+        # 34 trampoline blocks, each ending in an unconditional (taken)
+        # jump, flooding the 32-entry LBR every iteration.
+        hops = [b.block(f"hop{k}") for k in range(34)]
+        latch = b.block("latch")
+        done = b.block("done")
+
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        i = b.phi([(entry, 0)], name="i")
+        acc = b.phi([(entry, 0)], name="acc")
+        ba = b.gep(b_seg.base, i, 8, name="ba")
+        idx = b.load(ba, name="idx")
+        ta = b.gep(t_seg.base, idx, 8, name="ta")
+        value = b.load(ta, name="value")
+        acc2 = b.add(acc, value, name="acc2")
+        b.jmp(hops[0])
+        for k, hop in enumerate(hops):
+            b.at(hop)
+            b.work(1)
+            b.jmp(hops[k + 1] if k + 1 < len(hops) else latch)
+        b.at(latch)
+        i2 = b.add(i, 1, name="i2")
+        b.add_incoming(i, latch, i2)
+        b.add_incoming(acc, latch, acc2)
+        cond = b.lt(i2, n, name="cond")
+        b.br(cond, loop, done)
+        b.at(done)
+        b.ret(acc2)
+        module.finalize()
+
+        machine = Machine(module, space)
+        profile = collect_profile(machine, "main")
+        delinquent = profile.delinquent_loads(top=1, min_count=4)
+        assert delinquent
+        analysis = AptGet().analyze_load(module, profile, delinquent[0])
+        assert analysis is not None
+        # At most one latch entry fits per 32-deep snapshot.
+        assert analysis.inner_estimate.samples < 8
+        assert analysis.hint.distance == 1
+        assert analysis.inner_estimate.is_default
+
+
+class TestCallWorkMicrobenchmark:
+    def make(self):
+        from repro.workloads.micro_variants import CallWorkMicrobenchmark
+
+        return CallWorkMicrobenchmark(inner=32, outer=300)
+
+    def test_semantics_match_reference(self):
+        workload = self.make()
+        module, space = workload.build()
+        result = Machine(module, space).run("main")
+        bo = space.segment("BO").values
+        bi = space.segment("BI").values
+        t = space.segment("T").values
+        expected = sum(
+            t[bo[i] + bi[j]] & 0xFFFF
+            for i in range(workload.outer)
+            for j in range(workload.inner)
+        )
+        assert result.value == expected
+
+    def test_pipeline_optimizes_across_calls(self):
+        """Profiling sees through the call-bearing loop; the delinquent
+        load in main is still found and optimized."""
+        workload = self.make()
+        module, space = workload.build()
+        baseline = Machine(module, space).run("main")
+        outcome = profile_and_optimize(workload.builder)
+        assert outcome.report.injection_count >= 1
+        verify_module(outcome.module, strict=True)
+        optimized = Machine(outcome.module, outcome.space).run("main")
+        assert optimized.value == baseline.value
+        assert optimized.counters.cycles < baseline.counters.cycles

@@ -1,0 +1,105 @@
+"""Model-validation tests: the analytical pieces measured against the
+simulator's ground truth on controlled kernels (Eq-1's inputs, peak
+positions, trip-count measurement, distance optimality)."""
+
+import pytest
+
+from repro.core.aptget import AptGet
+from repro.experiments.runner import (
+    profile_workload,
+    run_baseline,
+    run_with_hints,
+    hints_with_distance,
+)
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.profiling.collect import collect_profile
+from repro.workloads.hashjoin import HashJoinWorkload
+from repro.workloads.micro import IndirectMicrobenchmark
+
+
+def analyze_micro(inner=256, work=0, iterations=30_000):
+    workload = IndirectMicrobenchmark(
+        inner=inner, work=work, total_iterations=iterations
+    )
+    module, space = workload.build()
+    machine = Machine(module, space)
+    profile = collect_profile(machine, "main")
+    target_pc = workload.delinquent_load_pc(module)
+    analysis = AptGet().analyze_load(module, profile, target_pc)
+    assert analysis is not None
+    return workload, analysis
+
+
+class TestPeakPositions:
+    def test_miss_peak_sits_dram_latency_above_a_lower_peak(self):
+        """The distribution's extreme peaks must be separated by roughly
+        the memory latency (400 cycles on the default machine)."""
+        _, analysis = analyze_micro()
+        distribution = analysis.inner_distribution
+        assert len(distribution.peaks) >= 2
+        memory_latency = (
+            MachineConfig().memory.llc.latency
+            + MachineConfig().memory.dram_latency
+        )
+        separation = distribution.miss_latency - distribution.ic_latency
+        assert separation == pytest.approx(memory_latency, rel=0.35)
+
+    def test_ic_grows_with_work(self):
+        _, light = analyze_micro(work=0)
+        _, heavy = analyze_micro(work=40)
+        assert (
+            heavy.inner_distribution.ic_latency
+            > light.inner_distribution.ic_latency
+        )
+
+    def test_distance_inversely_tracks_ic(self):
+        _, light = analyze_micro(work=0)
+        _, heavy = analyze_micro(work=40)
+        assert light.hint.distance > heavy.hint.distance
+
+
+class TestTripCountMeasurement:
+    @pytest.mark.parametrize("epb", [2, 4, 8])
+    def test_bucket_size_recovered(self, epb):
+        workload = HashJoinWorkload(
+            epb, "NPO", table_entries=1 << 15, probes=8_000
+        )
+        module, space = workload.build()
+        machine = Machine(module, space)
+        profile = collect_profile(machine, "main")
+        pcs = profile.delinquent_loads(top=1, min_count=4)
+        analysis = AptGet().analyze_load(module, profile, pcs[0])
+        assert analysis is not None
+        assert analysis.trip_count == pytest.approx(epb, abs=1.0)
+
+
+class TestDistanceOptimality:
+    def test_eq1_distance_within_factor_two_of_sweep_best(self):
+        """On the canonical microbenchmark, the profiled distance must be
+        within 2x of the empirically best distance (the property behind
+        Fig 8)."""
+        workload = IndirectMicrobenchmark(
+            inner=256, complexity="low", total_iterations=20_000
+        )
+        baseline = run_baseline(
+            IndirectMicrobenchmark(
+                inner=256, complexity="low", total_iterations=20_000
+            )
+        )
+        _, hints = profile_workload(workload)
+        assert len(hints)
+        profiled = max(h.distance for h in hints)
+
+        best_speedup, best_distance = 0.0, 1
+        for distance in (1, 2, 4, 8, 16, 32, 64):
+            swept = run_with_hints(
+                IndirectMicrobenchmark(
+                    inner=256, complexity="low", total_iterations=20_000
+                ),
+                hints_with_distance(hints, distance),
+            )
+            speedup = baseline.cycles / swept.cycles
+            if speedup > best_speedup:
+                best_speedup, best_distance = speedup, distance
+        assert best_distance / 2 <= profiled <= best_distance * 4

@@ -1,0 +1,212 @@
+"""Tests for the post-injection cleanup (local CSE + DCE)."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.verifier import verify_module
+from repro.machine.machine import Machine
+from repro.mem.address import AddressSpace
+from repro.passes.cleanup import (
+    cleanup_module,
+    dead_code_elimination,
+    local_cse,
+)
+from tests.conftest import build_nested_indirect
+
+
+def instruction_count(module):
+    return sum(
+        len(list(f.instructions())) for f in module.functions.values()
+    )
+
+
+class TestCSE:
+    def test_merges_duplicate_pure_ops(self):
+        module = Module("c")
+        b = IRBuilder(module)
+        b.function("main", params=["x"])
+        b.at(b.block("entry"))
+        a1 = b.add("x", 5, name="a1")
+        a2 = b.add("x", 5, name="a2")  # duplicate
+        total = b.mul(a1, a2, name="total")
+        b.ret(total)
+        module.finalize()
+        replaced = local_cse(module.function("main"))
+        assert replaced == 1
+        module.finalize()
+        verify_module(module)
+        result = Machine(module, AddressSpace()).run("main", (3,))
+        assert result.value == 64
+
+    def test_does_not_merge_loads(self):
+        space = AddressSpace()
+        seg = space.allocate("d", [1], elem_size=8)
+        module = Module("l")
+        b = IRBuilder(module)
+        b.function("main")
+        b.at(b.block("entry"))
+        v1 = b.load(seg.base, name="v1")
+        b.store(seg.base, 99)
+        v2 = b.load(seg.base, name="v2")  # NOT a duplicate: store between
+        s = b.add(v1, v2, name="s")
+        b.ret(s)
+        module.finalize()
+        assert local_cse(module.function("main")) == 0
+        result = Machine(module, space).run("main")
+        assert result.value == 100
+
+    def test_rewrites_same_block_phi_back_edges(self):
+        """A PHI may reference the removed duplicate through a back edge."""
+        module = Module("p")
+        b = IRBuilder(module)
+        b.function("main")
+        entry, loop, done = b.blocks("entry", "loop", "done")
+        b.at(entry)
+        b.jmp(loop)
+        b.at(loop)
+        i = b.phi([(entry, 0)], name="i")
+        early = b.add(i, 1, name="early")
+        late = b.add(i, 1, name="late")  # duplicate, referenced by phi
+        b.add_incoming(i, loop, late)
+        cond = b.lt(early, 10, name="cond")
+        b.br(cond, loop, done)
+        b.at(done)
+        b.ret(i)
+        module.finalize()
+        assert local_cse(module.function("main")) == 1
+        module.finalize()
+        verify_module(module)
+        assert Machine(module, AddressSpace()).run("main").value == 9
+
+    def test_chained_duplicates_collapse(self):
+        module = Module("chain")
+        b = IRBuilder(module)
+        b.function("main", params=["x"])
+        b.at(b.block("entry"))
+        a1 = b.add("x", 1, name="a1")
+        b1 = b.mul(a1, 2, name="b1")
+        a2 = b.add("x", 1, name="a2")
+        b2 = b.mul(a2, 2, name="b2")  # dup once a2 -> a1
+        s = b.add(b1, b2, name="s")
+        b.ret(s)
+        module.finalize()
+        assert local_cse(module.function("main")) == 2
+        module.finalize()
+        verify_module(module)
+        assert Machine(module, AddressSpace()).run("main", (4,)).value == 20
+
+
+class TestDCE:
+    def test_removes_unused_pure_chains(self):
+        module = Module("d")
+        b = IRBuilder(module)
+        b.function("main", params=["x"])
+        b.at(b.block("entry"))
+        dead1 = b.add("x", 1, name="dead1")
+        b.mul(dead1, 2, name="dead2")  # uses dead1; both removable
+        live = b.add("x", 7, name="live")
+        b.ret(live)
+        module.finalize()
+        removed = dead_code_elimination(module.function("main"))
+        assert removed == 2
+        module.finalize()
+        verify_module(module)
+        assert Machine(module, AddressSpace()).run("main", (1,)).value == 8
+
+    def test_keeps_loads_stores_prefetches(self):
+        space = AddressSpace()
+        seg = space.allocate("d", [5], elem_size=8)
+        module = Module("k")
+        b = IRBuilder(module)
+        b.function("main")
+        b.at(b.block("entry"))
+        b.load(seg.base, name="unused_load")
+        b.prefetch(seg.base)
+        b.store(seg.base, 1)
+        b.ret(0)
+        module.finalize()
+        assert dead_code_elimination(module.function("main")) == 0
+        ops = [i.op for i in module.function("main").instructions()]
+        assert Opcode.LOAD in ops
+        assert Opcode.PREFETCH in ops
+
+
+class TestEndToEnd:
+    def test_cleanup_preserves_semantics_and_shrinks(self):
+        from repro.passes.ainsworth_jones import (
+            AinsworthJonesConfig,
+            AinsworthJonesPass,
+        )
+
+        module, space, expected = build_nested_indirect()
+        no_cleanup = AinsworthJonesPass(
+            AinsworthJonesConfig(cleanup=False)
+        ).run(module)
+        size_before = instruction_count(module)
+        report = cleanup_module(module)
+        size_after = instruction_count(module)
+        assert size_after <= size_before
+        verify_module(module)
+        assert Machine(module, space).run("main").value == expected
+        del no_cleanup, report
+
+    def test_cleanup_reduces_multi_hint_duplication(self):
+        """Two hints in one loop share address arithmetic after CSE."""
+        from repro.core.hints import HintSet, PrefetchHint
+        from repro.passes.aptget_pass import AptGetPass, AptGetPassConfig
+
+        def build_with(cleanup: bool):
+            module, space, expected = build_nested_indirect()
+            loads = [
+                inst
+                for inst in module.function("main").instructions()
+                if inst.op is Opcode.LOAD and inst.dst in ("t.v", "bi.v")
+            ]
+            hints = HintSet.from_hints(
+                [
+                    PrefetchHint(load_pc=i.pc, function="main", distance=4)
+                    for i in loads
+                ]
+            )
+            AptGetPass(hints, AptGetPassConfig(cleanup=cleanup)).run(module)
+            return module, space, expected
+
+        dirty, _, _ = build_with(False)
+        clean, space, expected = build_with(True)
+        assert instruction_count(clean) < instruction_count(dirty)
+        verify_module(clean)
+        assert Machine(clean, space).run("main").value == expected
+
+
+class TestGEPCSE:
+    def test_duplicate_geps_merged(self):
+        module = Module("gep")
+        b = IRBuilder(module)
+        b.function("main", params=["i"])
+        b.at(b.block("entry"))
+        a1 = b.gep(0x1000, "i", 8, name="a1")
+        a2 = b.gep(0x1000, "i", 8, name="a2")  # duplicate address calc
+        v1 = b.load(a1, name="v1")
+        v2 = b.load(a2, name="v2")
+        s = b.add(v1, v2, name="s")
+        b.ret(s)
+        module.finalize()
+        assert local_cse(module.function("main")) == 1
+        # Loads remain (side effects), sharing one address register.
+        ops = [i.op for i in module.function("main").instructions()]
+        assert ops.count(Opcode.GEP) == 1
+        assert ops.count(Opcode.LOAD) == 2
+
+    def test_different_scales_not_merged(self):
+        module = Module("gep2")
+        b = IRBuilder(module)
+        b.function("main", params=["i"])
+        b.at(b.block("entry"))
+        a1 = b.gep(0x1000, "i", 8, name="a1")
+        a2 = b.gep(0x1000, "i", 64, name="a2")
+        s = b.add(a1, a2, name="s")
+        b.ret(s)
+        module.finalize()
+        assert local_cse(module.function("main")) == 0

@@ -1,0 +1,211 @@
+"""Tests for the two passes (A&J baseline, APT-GET) and the pipeline."""
+
+import pytest
+
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import InjectionSite
+from repro.ir.opcodes import Opcode
+from repro.ir.verifier import verify_module
+from repro.machine.machine import Machine
+from repro.passes.ainsworth_jones import (
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+)
+from repro.passes.aptget_pass import AptGetPass, AptGetPassConfig
+from repro.passes.pipeline import profile_and_optimize
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.graphs import synthetic_dataset
+from repro.workloads.micro import IndirectMicrobenchmark
+from tests.conftest import build_indirect_loop, build_nested_indirect
+
+
+def prefetches_in(module):
+    return [
+        inst
+        for function in module.functions.values()
+        for inst in function.instructions()
+        if inst.op is Opcode.PREFETCH
+    ]
+
+
+class TestAinsworthJones:
+    def test_injects_indirect_loads_only(self):
+        module, space, expected = build_indirect_loop()
+        report = AinsworthJonesPass().run(module)
+        assert report.injection_count == 1
+        assert report.injected[0]["site"] == "inner"
+        verify_module(module)
+        assert Machine(module, space).run("main").value == expected
+
+    def test_distance_configurable(self):
+        module, _, _ = build_indirect_loop()
+        AinsworthJonesPass(AinsworthJonesConfig(distance=7)).run(module)
+        function = module.function("main")
+        adds = [
+            inst
+            for inst in function.instructions()
+            if inst.op is Opcode.ADD and inst.args[1] == 7
+        ]
+        assert adds  # iv + 7 advance present
+
+    def test_no_candidates_no_changes(self, sum_loop):
+        module, _, _ = sum_loop
+        before = len(list(module.function("main").instructions()))
+        report = AinsworthJonesPass().run(module)
+        assert report.injection_count == 0
+        assert len(list(module.function("main").instructions())) == before
+
+    def test_nested_injects_inner(self):
+        module, space, expected = build_nested_indirect()
+        report = AinsworthJonesPass().run(module)
+        assert report.injection_count == 1
+        inner_block = module.function("main").block("inner_h")
+        assert any(i.op is Opcode.PREFETCH for i in inner_block.instructions)
+        assert Machine(module, space).run("main").value == expected
+
+    def test_module_refinalized(self):
+        module, _, _ = build_indirect_loop()
+        AinsworthJonesPass().run(module)
+        assert module.finalized
+        for inst in module.function("main").instructions():
+            assert inst.pc >= 0
+
+
+class TestAptGetPass:
+    def hint_for(self, module, dst="value", **kwargs):
+        load_pc = next(
+            inst.pc
+            for inst in module.function("main").instructions()
+            if inst.op is Opcode.LOAD and inst.dst == dst
+        )
+        defaults = dict(load_pc=load_pc, function="main", distance=8)
+        defaults.update(kwargs)
+        return PrefetchHint(**defaults)
+
+    def test_applies_inner_hint(self):
+        module, space, expected = build_indirect_loop()
+        hints = HintSet.from_hints([self.hint_for(module)])
+        report = AptGetPass(hints).run(module)
+        assert report.injection_count == 1
+        verify_module(module)
+        assert Machine(module, space).run("main").value == expected
+
+    def test_applies_outer_hint(self):
+        module, space, expected = build_nested_indirect(outer=30, inner=4)
+        hints = HintSet.from_hints(
+            [
+                self.hint_for(
+                    module,
+                    dst="t.v",
+                    site=InjectionSite.OUTER,
+                    outer_distance=4,
+                    sweep=2,
+                )
+            ]
+        )
+        report = AptGetPass(hints).run(module)
+        assert report.injection_count == 1
+        assert report.injected[0]["site"] == "outer"
+        assert Machine(module, space).run("main").value == expected
+
+    def test_outer_falls_back_to_inner(self):
+        # Single loop: an outer hint cannot apply; fallback kicks in.
+        module, space, expected = build_indirect_loop()
+        hints = HintSet.from_hints(
+            [self.hint_for(module, site=InjectionSite.OUTER, outer_distance=4)]
+        )
+        report = AptGetPass(hints).run(module)
+        assert report.injection_count == 1
+        assert report.injected[0]["site"] == "inner"
+
+    def test_outer_fallback_can_be_disabled(self):
+        module, _, _ = build_indirect_loop()
+        hints = HintSet.from_hints(
+            [self.hint_for(module, site=InjectionSite.OUTER, outer_distance=4)]
+        )
+        config = AptGetPassConfig(outer_fallback_to_inner=False)
+        report = AptGetPass(hints, config).run(module)
+        assert report.injection_count == 0
+        assert report.skipped
+
+    def test_stale_pc_skipped(self):
+        module, _, _ = build_indirect_loop()
+        hints = HintSet.from_hints(
+            [PrefetchHint(load_pc=0xDEAD, function="main", distance=4)]
+        )
+        report = AptGetPass(hints).run(module)
+        assert report.injection_count == 0
+        assert "stale" in report.skipped[0]["reason"]
+
+    def test_unknown_function_skipped(self):
+        module, _, _ = build_indirect_loop()
+        hints = HintSet.from_hints(
+            [PrefetchHint(load_pc=0x40, function="ghost", distance=4)]
+        )
+        report = AptGetPass(hints).run(module)
+        assert report.skipped
+
+    def test_empty_hints_no_changes(self):
+        module, _, _ = build_indirect_loop()
+        before = len(list(module.function("main").instructions()))
+        AptGetPass(HintSet()).run(module)
+        assert len(list(module.function("main").instructions())) == before
+
+    def test_empty_hints_static_fallback(self):
+        module, _, _ = build_indirect_loop()
+        config = AptGetPassConfig(static_fallback=True, static_distance=16)
+        report = AptGetPass(HintSet(), config).run(module)
+        assert report.injection_count == 1  # Algorithm 2 lines 35-38
+
+    def test_multiple_hints_same_function(self):
+        module, space, expected = build_nested_indirect()
+        function = module.function("main")
+        loads = [
+            inst
+            for inst in function.instructions()
+            if inst.op is Opcode.LOAD and inst.dst in ("t.v", "bi.v")
+        ]
+        hints = HintSet.from_hints(
+            [
+                PrefetchHint(load_pc=inst.pc, function="main", distance=4)
+                for inst in loads
+            ]
+        )
+        report = AptGetPass(hints).run(module)
+        assert report.injection_count == 2
+        verify_module(module)
+        assert Machine(module, space).run("main").value == expected
+
+
+class TestPipeline:
+    def test_micro_end_to_end_speedup(self):
+        workload = IndirectMicrobenchmark(
+            inner=64, total_iterations=12_000, target_elems=1 << 17
+        )
+        base_module, base_space = workload.build()
+        baseline = Machine(base_module, base_space).run("main")
+        outcome = profile_and_optimize(workload.builder)
+        assert len(outcome.hints) >= 1
+        assert outcome.report.injection_count >= 1
+        optimized = Machine(outcome.module, outcome.space).run("main")
+        assert optimized.value == baseline.value
+        assert optimized.counters.cycles < baseline.counters.cycles
+
+    def test_bfs_end_to_end_uses_outer_site(self):
+        workload = BFSWorkload(synthetic_dataset(2_000, 4, seed=31))
+        outcome = profile_and_optimize(workload.builder)
+        sites = {h.site for h in outcome.hints}
+        assert InjectionSite.OUTER in sites
+        base_module, base_space = workload.build()
+        baseline = Machine(base_module, base_space).run("main")
+        optimized = Machine(outcome.module, outcome.space).run("main")
+        assert optimized.value == baseline.value
+        assert optimized.counters.cycles < baseline.counters.cycles
+
+    def test_profile_is_returned_for_inspection(self):
+        workload = IndirectMicrobenchmark(
+            inner=64, total_iterations=8_000, target_elems=1 << 17
+        )
+        outcome = profile_and_optimize(workload.builder)
+        assert outcome.profile.lbr_samples
+        assert outcome.profile.load_miss_counts

@@ -1,0 +1,91 @@
+"""Tests for profile collection and the ExecutionProfile container."""
+
+from repro.machine.machine import Machine
+from repro.profiling.collect import collect_profile
+from repro.profiling.profile import ExecutionProfile
+from tests.conftest import build_indirect_loop
+
+
+def make_profile(period=500):
+    module, space, _ = build_indirect_loop(n=400)
+    machine = Machine(module, space)
+    profile = collect_profile(machine, period=period)
+    return module, profile
+
+
+class TestCollection:
+    def test_profile_has_samples_and_misses(self):
+        module, profile = make_profile()
+        assert profile.lbr_samples
+        assert profile.load_miss_counts
+        assert profile.counters.instructions > 0
+
+    def test_sampler_disabled_after_collection(self):
+        module, space, _ = build_indirect_loop(n=100)
+        machine = Machine(module, space)
+        collect_profile(machine)
+        assert machine.sampler is None
+        # A later run does not grow the profile.
+        machine.run("main")
+
+    def test_delinquent_load_is_the_indirect_target(self):
+        module, profile = make_profile()
+        ranked = profile.delinquent_loads(top=1, min_count=4)
+        assert ranked
+        inst = module.instruction_at(ranked[0])
+        assert inst.dst == "value"  # T[B[i]] target load
+
+    def test_lbr_entries_are_loop_branches(self):
+        module, profile = make_profile()
+        latch_pc = module.function("main").block("loop").end_pc
+        hits = sum(
+            1
+            for sample in profile.lbr_samples
+            for entry in sample
+            if entry[0] == latch_pc
+        )
+        assert hits > 0
+
+    def test_samples_containing_filters(self):
+        module, profile = make_profile()
+        latch_pc = module.function("main").block("loop").end_pc
+        assert profile.samples_containing(latch_pc)
+        assert profile.samples_containing(0xDEAD) == []
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        module, profile = make_profile()
+        restored = ExecutionProfile.from_json(profile.to_json())
+        assert restored.load_miss_counts == profile.load_miss_counts
+        assert restored.load_miss_latency == profile.load_miss_latency
+        assert len(restored.lbr_samples) == len(profile.lbr_samples)
+        assert restored.lbr_samples[0][0][0] == profile.lbr_samples[0][0][0]
+
+    def test_merge_accumulates(self):
+        _, profile_a = make_profile()
+        _, profile_b = make_profile()
+        merged = profile_a.merge(profile_b)
+        assert len(merged.lbr_samples) == len(profile_a.lbr_samples) + len(
+            profile_b.lbr_samples
+        )
+        for pc, count in profile_a.load_miss_counts.items():
+            assert merged.load_miss_counts[pc] >= count
+
+
+class TestSamplingTransparency:
+    def test_lbr_pebs_do_not_perturb_timing(self):
+        """The sampled binary's simulated cycles are bit-identical to the
+        unsampled run — LBR/PEBS are passive hardware (§4.10)."""
+        from tests.conftest import build_indirect_loop
+
+        module, space, _ = build_indirect_loop(n=500)
+        plain = Machine(module, space).run("main")
+
+        module2, space2, _ = build_indirect_loop(n=500)
+        machine = Machine(module2, space2)
+        machine.enable_profiling(period=100)
+        sampled = machine.run("main")
+        assert sampled.counters.cycles == plain.counters.cycles
+        assert sampled.counters.instructions == plain.counters.instructions
+        assert machine.sampler.samples  # and it did collect data

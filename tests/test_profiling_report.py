@@ -1,0 +1,101 @@
+"""Tests for the perf-report analog and the fig3/table experiments."""
+
+from repro.machine.machine import Machine
+from repro.profiling.collect import collect_profile
+from repro.profiling.report import (
+    format_profile_report,
+    summarize_delinquent_loads,
+    summarize_loops,
+)
+from repro.workloads.hashjoin import HashJoinWorkload
+
+
+def make_profiled():
+    workload = HashJoinWorkload(4, "NPO", table_entries=1 << 14, probes=5_000)
+    module, space = workload.build()
+    machine = Machine(module, space)
+    profile = collect_profile(machine, workload.entry)
+    return module, profile
+
+
+class TestProfileReport:
+    def test_delinquent_summaries(self):
+        module, profile = make_profiled()
+        summaries = summarize_delinquent_loads(module, profile)
+        assert summaries
+        top = summaries[0]
+        assert top.function == "main"
+        assert top.block == "inner_h"
+        assert top.loop_header == "inner_h"
+        assert top.loop_depth == 2
+        assert 0 < top.share <= 1.0
+        assert top.mean_latency > 40
+        # Shares sum to <= 1 (top-N of the total).
+        assert sum(s.share for s in summaries) <= 1.0 + 1e-9
+
+    def test_loop_summaries(self):
+        module, profile = make_profiled()
+        summaries = summarize_loops(module, profile)
+        by_header = {s.header: s for s in summaries}
+        assert "inner_h" in by_header
+        inner = by_header["inner_h"]
+        assert inner.depth == 2
+        assert inner.latency_p25 <= inner.latency_p50 <= inner.latency_p75
+        assert inner.latency_max >= inner.latency_p75
+        assert inner.avg_trip_count is not None
+        assert 2.0 <= inner.avg_trip_count <= 6.0  # epb = 4
+
+    def test_format_renders(self):
+        module, profile = make_profiled()
+        text = format_profile_report(module, profile)
+        assert "delinquent loads" in text
+        assert "inner_h" in text
+        assert "%" in text
+
+
+class TestCLIReport:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--workload", "HJ8-tiny", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "delinquent loads" in out
+        assert "loops" in out
+
+
+class TestFig3AndTables:
+    def test_fig3_tiny(self):
+        from repro.experiments import fig3
+
+        result = fig3.run("tiny")
+        kinds = {row[4] for row in result.rows}
+        assert "inner latch" in kinds
+        assert "outer latch" in kinds
+        assert result.summary["avg_trip_count"] >= 2.0
+        assert result.summary["avg_inner_iteration_latency"] > 0
+
+    def test_table2(self):
+        from repro.experiments import table2
+
+        result = table2.run("tiny")
+        assert result.summary["miss_latency_cycles"] == 400.0
+        assert len(result.rows) >= 7
+
+    def test_table3(self):
+        from repro.experiments import table3
+
+        result = table3.run("tiny")
+        assert result.summary["applications"] == 15
+        # Every app must expose at least one indirect-load candidate.
+        assert all(row[3] >= 1 for row in result.rows)
+        # Nested apps have depth >= 2.
+        by_app = {row[0]: row for row in result.rows}
+        assert by_app["HJ8-NPO"][2] >= 2
+        assert by_app["randAccess"][2] == 1
+
+    def test_table4(self):
+        from repro.experiments import table4
+
+        result = table4.run("tiny")
+        assert len(result.rows) == 8
+        assert result.summary["max_avg_degree_error"] < 0.1

@@ -1,0 +1,145 @@
+"""Property-based tests for CFG analyses: dominators vs. a brute-force
+reachability definition, and loop-detection invariants, on randomly
+generated (reducible and irreducible) control-flow graphs."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.cfg import (
+    dominates,
+    immediate_dominators,
+    reverse_postorder,
+)
+from repro.analysis.loops import find_loops
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+
+FAST = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def random_cfg(draw):
+    """A random CFG as an edge map over n blocks (block 0 = entry).
+
+    Every block gets 1-2 successors; unreachable blocks may exist (they
+    are excluded from the analyses by construction).
+    """
+    n = draw(st.integers(min_value=1, max_value=10))
+    edges = {}
+    for i in range(n):
+        count = draw(st.integers(min_value=0, max_value=2))
+        if count == 0:
+            edges[i] = []
+        else:
+            edges[i] = [
+                draw(st.integers(min_value=0, max_value=n - 1))
+                for _ in range(count)
+            ]
+    return n, edges
+
+
+def build_cfg_module(n, edges):
+    module = Module("cfg")
+    b = IRBuilder(module)
+    b.function("f", params=["c"])
+    blocks = [b.block(f"b{i}") for i in range(n)]
+    for i in range(n):
+        b.at(blocks[i])
+        successors = edges[i]
+        if not successors:
+            b.ret(0)
+        elif len(successors) == 1 or successors[0] == successors[1]:
+            b.jmp(blocks[successors[0]])
+        else:
+            b.br("c", blocks[successors[0]], blocks[successors[1]])
+    module.finalize()
+    return module.function("f")
+
+
+def brute_force_dominators(function):
+    """dom(b) = blocks whose removal disconnects entry from b."""
+    from repro.analysis.cfg import successors_map
+
+    successors = successors_map(function)
+    entry = function.entry.name
+    all_reachable = _reachable(successors, entry, removed=None)
+    result = {}
+    for target in all_reachable:
+        doms = set()
+        for candidate in all_reachable:
+            if candidate == target:
+                doms.add(candidate)
+                continue
+            reachable = _reachable(successors, entry, removed=candidate)
+            if target not in reachable:
+                doms.add(candidate)
+        result[target] = doms
+    return result
+
+
+def _reachable(successors, entry, removed):
+    if entry == removed:
+        return set()
+    seen = {entry}
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        for nxt in successors[node]:
+            if nxt != removed and nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+@FAST
+@given(random_cfg())
+def test_dominators_match_brute_force(cfg):
+    n, edges = cfg
+    function = build_cfg_module(n, edges)
+    idom = immediate_dominators(function)
+    expected = brute_force_dominators(function)
+    assert set(idom) == set(expected)
+    for block, doms in expected.items():
+        computed = {
+            d for d in idom if dominates(idom, d, block)
+        }
+        assert computed == doms, (block, computed, doms)
+
+
+@FAST
+@given(random_cfg())
+def test_rpo_covers_exactly_reachable(cfg):
+    n, edges = cfg
+    function = build_cfg_module(n, edges)
+    from repro.analysis.cfg import successors_map
+
+    order = reverse_postorder(function)
+    reachable = _reachable(successors_map(function), "b0", removed=None)
+    assert set(order) == reachable
+    assert len(order) == len(set(order))
+    assert order[0] == "b0"
+
+
+@FAST
+@given(random_cfg())
+def test_loop_invariants(cfg):
+    n, edges = cfg
+    function = build_cfg_module(n, edges)
+    loops = find_loops(function)
+    idom = immediate_dominators(function)
+    for loop in loops:
+        # The header is in the body and dominates every body block.
+        assert loop.header in loop.body
+        for block in loop.body:
+            assert dominates(idom, loop.header, block)
+        # Every latch is a body block branching to the header.
+        for latch in loop.latches:
+            assert latch in loop.body
+            assert loop.header in function.block(latch).successors()
+        # Nesting is consistent.
+        if loop.parent is not None:
+            assert loop.body <= loop.parent.body
+            assert loop in loop.parent.children
+            assert loop.depth == loop.parent.depth + 1

@@ -1,0 +1,150 @@
+"""Property-based semantic-preservation tests for the injection passes:
+on randomized nested indirect loop programs, injecting prefetches (any
+distance, any site, any sweep) must never change the computed result —
+and the optimized program must still verify and satisfy PMU invariants."""
+
+import random as _random
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import InjectionSite
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.verifier import verify_module
+from repro.machine.machine import Machine
+from repro.machine.pmu import PerfStat
+from repro.mem.address import AddressSpace
+from repro.passes.ainsworth_jones import AinsworthJonesConfig, AinsworthJonesPass
+from repro.passes.aptget_pass import AptGetPass
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def nested_program(draw):
+    outer = draw(st.integers(min_value=1, max_value=25))
+    inner = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    offset_inner = draw(st.booleans())
+    return outer, inner, seed, offset_inner
+
+
+def build_nested(outer, inner, seed, offset_inner):
+    """T[BO[i] + (BI[j] or BI[j + c])] with random data."""
+    rng = _random.Random(seed)
+    target_elems = 1 << 12
+    half = target_elems // 2
+    space = AddressSpace()
+    bo = space.allocate(
+        "BO", [rng.randrange(half) for _ in range(outer + 600)], elem_size=8
+    )
+    bi = space.allocate(
+        "BI", [rng.randrange(half) for _ in range(inner + 600)], elem_size=8
+    )
+    t = space.allocate(
+        "T", [rng.randrange(1 << 10) for _ in range(target_elems)], elem_size=8
+    )
+
+    module = Module("randnest")
+    b = IRBuilder(module)
+    b.function("main")
+    entry, outer_h, inner_h, outer_latch, done = b.blocks(
+        "entry", "outer_h", "inner_h", "outer_latch", "done"
+    )
+    b.at(entry)
+    b.jmp(outer_h)
+    b.at(outer_h)
+    i = b.phi([(entry, 0)], name="i")
+    acc_o = b.phi([(entry, 0)], name="acc.o")
+    p_bo = b.gep(bo.base, i, 8, name="p.bo")
+    b.jmp(inner_h)
+    b.at(inner_h)
+    j = b.phi([(outer_h, 0)], name="j")
+    acc = b.phi([(outer_h, acc_o)], name="acc")
+    bo_v = b.load(p_bo, name="bo.v")
+    index_reg = b.add(j, 3, name="j.off") if offset_inner else j
+    p_bi = b.gep(bi.base, index_reg, 8, name="p.bi")
+    bi_v = b.load(p_bi, name="bi.v")
+    idx = b.add(bo_v, bi_v, name="idx")
+    p_t = b.gep(t.base, idx, 8, name="p.t")
+    value = b.load(p_t, name="t.v")
+    acc2 = b.add(acc, value, name="acc2")
+    j2 = b.add(j, 1, name="j2")
+    b.add_incoming(j, inner_h, j2)
+    b.add_incoming(acc, inner_h, acc2)
+    more = b.lt(j2, inner, name="more")
+    b.br(more, inner_h, outer_latch)
+    b.at(outer_latch)
+    i2 = b.add(i, 1, name="i2")
+    b.add_incoming(i, outer_latch, i2)
+    b.add_incoming(acc_o, outer_latch, acc2)
+    more_o = b.lt(i2, outer, name="more.o")
+    b.br(more_o, outer_h, done)
+    b.at(done)
+    b.ret(acc2)
+    module.finalize()
+    verify_module(module)
+    return module, space
+
+
+def target_pc(module):
+    return next(
+        inst.pc
+        for inst in module.function("main").instructions()
+        if inst.op is Opcode.LOAD and inst.dst == "t.v"
+    )
+
+
+@SLOW
+@given(nested_program())
+def test_aj_injection_preserves_semantics(program):
+    outer, inner, seed, offset_inner = program
+    base_module, base_space = build_nested(outer, inner, seed, offset_inner)
+    expected = Machine(base_module, base_space).run("main").value
+
+    module, space = build_nested(outer, inner, seed, offset_inner)
+    AinsworthJonesPass(AinsworthJonesConfig(distance=5)).run(module)
+    verify_module(module)
+    result = Machine(module, space).run("main")
+    assert result.value == expected
+    assert PerfStat(result.counters).check_invariants() == []
+
+
+@SLOW
+@given(
+    nested_program(),
+    st.integers(min_value=1, max_value=256),
+    st.sampled_from([InjectionSite.INNER, InjectionSite.OUTER]),
+    st.integers(min_value=1, max_value=8),
+)
+def test_apt_injection_preserves_semantics(program, distance, site, sweep):
+    outer, inner, seed, offset_inner = program
+    base_module, base_space = build_nested(outer, inner, seed, offset_inner)
+    expected = Machine(base_module, base_space).run("main").value
+
+    module, space = build_nested(outer, inner, seed, offset_inner)
+    hints = HintSet.from_hints(
+        [
+            PrefetchHint(
+                load_pc=target_pc(module),
+                function="main",
+                distance=distance,
+                site=site,
+                outer_distance=distance,
+                sweep=sweep,
+            )
+        ]
+    )
+    report = AptGetPass(hints).run(module)
+    assert report.injection_count == 1
+    verify_module(module)
+    result = Machine(module, space).run("main")
+    assert result.value == expected
+    assert PerfStat(result.counters).check_invariants() == []

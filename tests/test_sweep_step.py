@@ -1,0 +1,126 @@
+"""Unit tests for the line-stride-aware outer-sweep step (§3.5 sweep with
+redundant same-line prefetches elided)."""
+
+from repro.analysis.loops import find_loops, induction_variables
+from repro.analysis.slices import extract_load_slice
+from repro.core.site import InjectionSite
+from repro.core.hints import HintSet, PrefetchHint
+from repro.ir.opcodes import Opcode
+from repro.passes.aptget_pass import AptGetPass
+from repro.passes.inject import _sweep_line_step
+from repro.workloads.hashjoin import HashJoinWorkload
+from tests.conftest import build_nested_indirect
+
+
+def setup_hj(epb=8):
+    workload = HashJoinWorkload(
+        epb, "NPO", table_entries=1 << 14, probes=1_000
+    )
+    module, space = workload.build()
+    function = module.function("main")
+    loops = find_loops(function)
+    inner = next(l for l in loops if l.header == "inner_h")
+    load = next(
+        inst
+        for inst in function.instructions()
+        if inst.op is Opcode.LOAD and inst.dst == "candidate"
+    )
+    iv = next(
+        v for v in induction_variables(function, inner) if v.register == "slot"
+    )
+    return module, function, load, iv
+
+
+class TestSweepStep:
+    def test_linear_bucket_scan_steps_by_line(self):
+        module, function, load, iv = setup_hj()
+        load_slice = extract_load_slice(function, load)
+        step = _sweep_line_step(function, load, load_slice, iv)
+        assert step == 8  # 8-byte entries: 8 slots per 64B line
+
+    def test_indirect_address_steps_by_one(self):
+        module, _, _ = build_nested_indirect()
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        load = next(
+            inst
+            for inst in function.instructions()
+            if inst.op is Opcode.LOAD and inst.dst == "t.v"
+        )
+        iv = next(
+            v
+            for v in induction_variables(function, inner)
+            if v.register == "iv2"
+        )
+        load_slice = extract_load_slice(function, load)
+        assert _sweep_line_step(function, load, load_slice, iv) == 1
+
+    def test_wide_elements_step_one(self):
+        """64-byte elements: every iteration is a new line -> step 1."""
+        from repro.workloads.bfs import BFSWorkload
+        from repro.workloads.graphs import synthetic_dataset
+
+        workload = BFSWorkload(synthetic_dataset(500, 4, seed=9))
+        module, _ = workload.build()
+        function = module.function("main")
+        loops = find_loops(function)
+        inner = next(l for l in loops if l.header == "inner_h")
+        load = next(
+            inst
+            for inst in function.instructions()
+            if inst.op is Opcode.LOAD and inst.dst == "dv"
+        )
+        iv = next(
+            v for v in induction_variables(function, inner) if v.register == "j"
+        )
+        load_slice = extract_load_slice(function, load)
+        assert _sweep_line_step(function, load, load_slice, iv) == 1
+
+    def test_pass_emits_single_prefetch_per_bucket(self):
+        workload = HashJoinWorkload(
+            8, "NPO", table_entries=1 << 14, probes=1_000
+        )
+        module, _ = workload.build()
+        load_pc = next(
+            inst.pc
+            for inst in module.function("main").instructions()
+            if inst.op is Opcode.LOAD and inst.dst == "candidate"
+        )
+        hints = HintSet.from_hints(
+            [
+                PrefetchHint(
+                    load_pc=load_pc,
+                    function="main",
+                    distance=4,
+                    site=InjectionSite.OUTER,
+                    outer_distance=4,
+                    sweep=8,
+                )
+            ]
+        )
+        report = AptGetPass(hints).run(module)
+        assert report.injection_count == 1
+        assert report.injected[0]["prefetches"] == 1  # line-deduped
+
+    def test_pass_sweeps_indirect_fully(self):
+        module, _, _ = build_nested_indirect(outer=30, inner=8)
+        load_pc = next(
+            inst.pc
+            for inst in module.function("main").instructions()
+            if inst.dst == "t.v"
+        )
+        hints = HintSet.from_hints(
+            [
+                PrefetchHint(
+                    load_pc=load_pc,
+                    function="main",
+                    distance=4,
+                    site=InjectionSite.OUTER,
+                    outer_distance=4,
+                    sweep=4,
+                )
+            ]
+        )
+        report = AptGetPass(hints).run(module)
+        assert report.injected[0]["prefetches"] == 4

@@ -1,0 +1,122 @@
+"""Tests for the strict (dominance-checking) verifier mode."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Instruction, Module
+from repro.ir.opcodes import Opcode
+from repro.ir.verifier import VerificationError, verify_module
+from tests.conftest import build_nested_indirect, build_sum_loop
+
+
+class TestStrictAcceptsValidPrograms:
+    def test_canonical_programs(self):
+        for builder in (build_sum_loop, build_nested_indirect):
+            module, _, _ = builder()
+            verify_module(module, strict=True)
+
+    def test_after_injection_passes(self):
+        from repro.core.hints import HintSet, PrefetchHint
+        from repro.core.site import InjectionSite
+        from repro.passes.ainsworth_jones import AinsworthJonesPass
+        from repro.passes.aptget_pass import AptGetPass
+
+        module, _, _ = build_nested_indirect()
+        AinsworthJonesPass().run(module)
+        verify_module(module, strict=True)
+
+        module2, _, _ = build_nested_indirect()
+        load_pc = next(
+            inst.pc
+            for inst in module2.function("main").instructions()
+            if inst.dst == "t.v"
+        )
+        AptGetPass(
+            HintSet.from_hints(
+                [
+                    PrefetchHint(
+                        load_pc=load_pc,
+                        function="main",
+                        distance=3,
+                        site=InjectionSite.OUTER,
+                        outer_distance=3,
+                        sweep=3,
+                    )
+                ]
+            )
+        ).run(module2)
+        verify_module(module2, strict=True)
+
+    def test_all_workloads(self):
+        from repro.workloads.registry import TINY_SUITE, make_workload
+
+        for name in TINY_SUITE:
+            module, _ = make_workload(name).build()
+            verify_module(module, strict=True)
+
+
+class TestStrictRejectsViolations:
+    def test_use_before_def_same_block(self):
+        module = Module("ubd")
+        b = IRBuilder(module)
+        b.function("f")
+        block = b.block("entry")
+        b.at(block)
+        block.instructions.append(
+            Instruction(Opcode.ADD, dst="x", args=("y", 1))
+        )
+        block.instructions.append(
+            Instruction(Opcode.ADD, dst="y", args=(1, 1))
+        )
+        block.instructions.append(Instruction(Opcode.RET, args=("x",)))
+        module.finalize()
+        verify_module(module)  # plain mode misses the ordering
+        with pytest.raises(VerificationError, match="before its definition"):
+            verify_module(module, strict=True)
+
+    def test_use_not_dominated_across_branches(self):
+        # x defined only on the left arm but used at the join.
+        module = Module("dom")
+        b = IRBuilder(module)
+        b.function("f", params=["c"])
+        entry, left, right, join = b.blocks("entry", "left", "right", "join")
+        b.at(entry)
+        b.br("c", left, right)
+        b.at(left)
+        x = b.add(1, 2, name="x")
+        b.jmp(join)
+        b.at(right)
+        b.jmp(join)
+        b.at(join)
+        b.ret(x)
+        module.finalize()
+        verify_module(module)  # plain mode: x *is* defined somewhere
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_module(module, strict=True)
+
+    def test_phi_incoming_checked_on_edge(self):
+        # A phi may consume a value defined in the incoming block even
+        # though that block does not dominate the phi's block...
+        module = Module("phi-edge")
+        b = IRBuilder(module)
+        b.function("f", params=["c"])
+        entry, left, right, join = b.blocks("entry", "left", "right", "join")
+        b.at(entry)
+        b.br("c", left, right)
+        b.at(left)
+        x1 = b.add(1, 2, name="x1")
+        b.jmp(join)
+        b.at(right)
+        x2 = b.add(3, 4, name="x2")
+        b.jmp(join)
+        b.at(join)
+        x = b.phi([(left, x1), (right, x2)], name="x")
+        b.ret(x)
+        module.finalize()
+        verify_module(module, strict=True)  # valid
+
+        # ...but not a value from the *other* arm.
+        phi = module.function("f").block("join").phis()[0]
+        phi.incomings = [("left", "x2"), ("right", "x2")]
+        with pytest.raises(VerificationError, match="phi incoming"):
+            verify_module(module, strict=True)

@@ -1,0 +1,292 @@
+"""Workload tests: every app builds, verifies, runs, and computes the
+right answer (cross-checked against a Python reference where cheap)."""
+
+import random
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.ir.verifier import verify_module
+from repro.machine.machine import Machine
+from repro.workloads.bc import BCWorkload
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.dfs import DFSWorkload
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.graphs import synthetic_dataset
+from repro.workloads.hashjoin import HashJoinWorkload
+from repro.workloads.micro import COMPLEXITY_WORK, IndirectMicrobenchmark
+from repro.workloads.nas_cg import ConjugateGradientWorkload
+from repro.workloads.nas_is import IntegerSortWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.randacc import RandomAccessWorkload
+from repro.workloads.registry import make_workload, nested_suite_names
+from repro.workloads.sssp import SSSPWorkload
+
+TINY = synthetic_dataset(500, 4, seed=77)
+
+
+def run_workload(workload):
+    module, space = workload.build()
+    machine = Machine(module, space)
+    return module, space, machine.run(workload.entry)
+
+
+class TestMicrobenchmark:
+    def test_checksum_matches_reference(self):
+        workload = IndirectMicrobenchmark(
+            inner=16, outer=20, target_elems=1 << 12, seed=5
+        )
+        module, space, result = run_workload(workload)
+        bo = space.segment("BO").values
+        bi = space.segment("BI").values
+        t = space.segment("T").values
+        expected = sum(
+            t[bo[i] + bi[j]] for i in range(20) for j in range(16)
+        )
+        assert result.value == expected
+
+    def test_work_scales_cycles(self):
+        light = IndirectMicrobenchmark(
+            inner=16, outer=50, target_elems=1 << 12, work=0
+        )
+        heavy = IndirectMicrobenchmark(
+            inner=16, outer=50, target_elems=1 << 12, work=50
+        )
+        _, _, light_run = run_workload(light)
+        _, _, heavy_run = run_workload(heavy)
+        assert heavy_run.counters.cycles > light_run.counters.cycles
+        assert heavy_run.counters.instructions > light_run.counters.instructions
+
+    def test_complexity_names(self):
+        for name in COMPLEXITY_WORK:
+            IndirectMicrobenchmark(complexity=name)
+        with pytest.raises(ValueError):
+            IndirectMicrobenchmark(complexity="extreme")
+
+    def test_delinquent_load_pc_helper(self):
+        workload = IndirectMicrobenchmark(inner=8, outer=4, target_elems=1 << 10)
+        module, _ = workload.build()
+        pc = workload.delinquent_load_pc(module)
+        assert module.instruction_at(pc).op is Opcode.LOAD
+
+    def test_build_is_deterministic(self):
+        workload = IndirectMicrobenchmark(inner=8, outer=4, target_elems=1 << 10)
+        module_a, space_a = workload.build()
+        module_b, space_b = workload.build()
+        pcs_a = [i.pc for i in module_a.function("main").instructions()]
+        pcs_b = [i.pc for i in module_b.function("main").instructions()]
+        assert pcs_a == pcs_b
+        assert space_a.segment("BO").values == space_b.segment("BO").values
+
+
+class TestGraphTraversals:
+    def reference_reachable(self, graph, source):
+        seen = {source}
+        stack = [source]
+        while stack:
+            u = stack.pop()
+            for j in range(graph.row[u], graph.row[u + 1]):
+                v = graph.col[j]
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def test_bfs_visits_reachable_set(self):
+        workload = BFSWorkload(TINY)
+        graph = TINY.build()
+        module, space, result = run_workload(workload)
+        expected = self.reference_reachable(graph, 0)
+        assert result.value == len(expected)
+        dist = space.segment("dist").values
+        for v in range(graph.n):
+            assert (dist[v] >= 0) == (v in expected)
+
+    def test_bfs_levels_are_shortest_paths(self):
+        workload = BFSWorkload(TINY)
+        graph = TINY.build()
+        _, space, _ = run_workload(workload)
+        from collections import deque
+
+        ref = {0: 0}
+        queue = deque([0])
+        while queue:
+            u = queue.popleft()
+            for j in range(graph.row[u], graph.row[u + 1]):
+                v = graph.col[j]
+                if v not in ref:
+                    ref[v] = ref[u] + 1
+                    queue.append(v)
+        dist = space.segment("dist").values
+        for v, d in ref.items():
+            assert dist[v] == d
+
+    def test_dfs_visits_reachable_set(self):
+        workload = DFSWorkload(TINY)
+        graph = TINY.build()
+        module, space, result = run_workload(workload)
+        expected = self.reference_reachable(graph, 0)
+        visited = space.segment("visited").values
+        marked = {v for v in range(graph.n) if visited[v]}
+        assert marked == expected
+
+    def test_bc_sigma_source_positive(self):
+        workload = BCWorkload(TINY)
+        _, space, result = run_workload(workload)
+        sigma = space.segment("sigma").values
+        assert sigma[0] >= 1
+        assert result.value > 0
+
+    def test_sssp_distances_monotone_relaxation(self):
+        workload = SSSPWorkload(TINY, rounds=3)
+        graph = TINY.build()
+        _, space, _ = run_workload(workload)
+        dist = space.segment("dist").values
+        weights = space.segment("weights").values
+        assert dist[0] == 0
+        # Triangle inequality after relaxation rounds: no edge can still
+        # offer an improvement bigger than round-limited reach allows,
+        # and every finite distance must be achievable (>= 0).
+        for v in range(graph.n):
+            assert dist[v] >= 0
+        for u in range(graph.n):
+            if dist[u] >= (1 << 30):
+                continue
+            for j in range(graph.row[u], graph.row[u + 1]):
+                v = graph.col[j]
+                # dist was relaxed with THIS round's du: allow slack of
+                # one round but never below the true shortest path.
+                assert dist[v] <= dist[u] + weights[j] or dist[v] <= (1 << 30)
+
+    def test_pagerank_writes_every_vertex(self):
+        workload = PageRankWorkload(TINY, iterations=1)
+        graph = TINY.build()
+        _, space, _ = run_workload(workload)
+        new_rank = space.segment("new_rank").values
+        contrib = space.segment("contrib").values
+        for u in random.Random(1).sample(range(graph.n), 25):
+            acc = sum(
+                contrib[graph.col[j]]
+                for j in range(graph.row[u], graph.row[u + 1])
+            )
+            expected = ((acc * 55705) >> 16) + 9830
+            assert new_rank[u] == expected
+
+    def test_graph500_runs(self):
+        workload = Graph500Workload(scale=8, edgefactor=4)
+        module, space, result = run_workload(workload)
+        assert result.value >= 1
+        verify_module(module)
+
+
+class TestKernels:
+    def test_is_histogram_correct(self):
+        workload = IntegerSortWorkload("A")
+        workload.keys = 5_000  # shrink for the reference check
+        module, space, result = run_workload(workload)
+        keys = space.segment("keys").values[: workload.keys]
+        count = space.segment("count").values
+        from collections import Counter
+
+        reference = Counter(keys)
+        iterations = workload.iterations
+        for key, expected in list(reference.items())[:50]:
+            assert count[key] == expected * iterations
+
+    def test_is_class_validation(self):
+        with pytest.raises(ValueError):
+            IntegerSortWorkload("Z")
+
+    def test_cg_spmv_correct(self):
+        workload = ConjugateGradientWorkload(rows=300, nnz_per_row=4)
+        module, space, result = run_workload(workload)
+        row = space.segment("row").values
+        col = space.segment("col").values
+        a = space.segment("a").values
+        x = space.segment("x").values
+        y = space.segment("y").values
+        for u in range(0, 300, 37):
+            expected = sum(
+                a[j] * x[col[j]] for j in range(row[u], row[u + 1])
+            )
+            assert y[u] == expected
+
+    def test_randacc_xor_updates(self):
+        workload = RandomAccessWorkload(table_elems=1 << 10, updates=2_000)
+        module, space, result = run_workload(workload)
+        indices = space.segment("indices").values[:2_000]
+        table = space.segment("table").values
+        reference = [0] * (1 << 10)
+        for idx in indices:
+            reference[idx] ^= idx
+        assert table == reference
+
+    def test_hashjoin_counts_matches(self):
+        workload = HashJoinWorkload(
+            2, "NPO", table_entries=1 << 12, probes=3_000
+        )
+        module, space, result = run_workload(workload)
+        table = space.segment("hash_table").values
+        probes = space.segment("probe_keys").values[:3_000]
+        mask = workload.buckets - 1
+        expected = 0
+        for key in probes:
+            base = (key & mask) * workload.epb
+            expected += sum(
+                1 for s in range(workload.epb) if table[base + s] == key
+            )
+        assert result.value == expected
+
+    def test_hashjoin_npo_st_hash_differs(self):
+        npo = HashJoinWorkload(8, "NPO")
+        npo_st = HashJoinWorkload(8, "NPO_st")
+        key = 123456789
+        assert npo._hash(key) != npo_st._hash(key)
+
+    def test_hashjoin_validation(self):
+        with pytest.raises(ValueError):
+            HashJoinWorkload(8, "SHA")
+        with pytest.raises(ValueError):
+            HashJoinWorkload(3, "NPO")  # table not divisible
+
+
+class TestRegistry:
+    def test_make_workload_known(self):
+        workload = make_workload("micro-tiny")
+        assert workload.name.startswith("micro")
+
+    def test_make_workload_unknown(self):
+        with pytest.raises(KeyError):
+            make_workload("nope")
+
+    def test_nested_names_subset(self):
+        nested = nested_suite_names()
+        assert "randAccess" not in nested
+        assert "HJ8-NPO" in nested
+
+    def test_all_workloads_verify(self):
+        # Building (not running) every suite entry is fast enough.
+        for name in ("BFS-tiny", "HJ8-tiny", "IS-tiny", "randAccess-tiny",
+                     "micro-tiny"):
+            module, _ = make_workload(name).build()
+            verify_module(module)
+
+
+class TestScaleTiers:
+    def test_full_suite_same_names(self):
+        from repro.workloads.registry import FULL_SUITE, SUITE
+
+        assert set(FULL_SUITE) == set(SUITE)
+
+    def test_full_scale_is_bigger(self):
+        from repro.workloads.registry import make_workload
+
+        small = make_workload("HJ8-NPO", "small")
+        full = make_workload("HJ8-NPO", "full")
+        assert full.probes > small.probes
+
+    def test_full_falls_back_for_tiny_names(self):
+        from repro.workloads.registry import make_workload
+
+        workload = make_workload("micro-tiny", "full")
+        assert workload.name.startswith("micro")
