@@ -11,12 +11,8 @@ Scale can be overridden: ``REPRO_BENCH_SCALE=tiny pytest benchmarks/``.
 from __future__ import annotations
 
 import os
-import warnings
 
 import pytest
-
-# scipy's CWT peak finder divides by zero on flat noise estimates.
-warnings.filterwarnings("ignore", category=RuntimeWarning, module="scipy")
 
 
 @pytest.fixture(scope="session")

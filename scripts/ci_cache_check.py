@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI guard for the tuning-service artifact cache.
+
+Runs one experiment twice against a temporary cache directory and
+asserts that (a) the second run is served from the cache (persisted
+``cache.hits`` grew, zero misses on the warm pass) and (b) the two
+reproduced tables are byte-identical.  Exercises the store, the job
+pool and the metrics layer end-to-end on every push.
+
+Usage:
+    python scripts/ci_cache_check.py [--experiment fig6] [--scale tiny]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.service.store import ArtifactStore
+
+
+def run_experiment(name: str, scale: str, cache_dir: str, out: Path) -> None:
+    code = cli_main(
+        [
+            "experiment", name,
+            "--scale", scale,
+            "--jobs", "2",
+            "--cache-dir", cache_dir,
+            "--output", str(out),
+        ]
+    )
+    if code != 0:
+        raise SystemExit(f"experiment {name} exited with {code}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--experiment", default="fig6")
+    parser.add_argument("--scale", default="tiny")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-ci-cache-") as tmp:
+        cache_dir = str(Path(tmp) / "cache")
+        cold_out = Path(tmp) / "cold.json"
+        warm_out = Path(tmp) / "warm.json"
+
+        run_experiment(args.experiment, args.scale, cache_dir, cold_out)
+        store = ArtifactStore(cache_dir)
+        cold_metrics = store.read_metrics()
+        cold_hits = cold_metrics.get("cache.hits", 0)
+        if store.stats()["entries"] == 0:
+            print("FAIL: cold run stored no artifacts", file=sys.stderr)
+            return 1
+
+        run_experiment(args.experiment, args.scale, cache_dir, warm_out)
+        warm_metrics = store.read_metrics()
+        warm_hits = warm_metrics.get("cache.hits", 0)
+
+        if warm_hits <= cold_hits:
+            print(
+                f"FAIL: warm run added no cache hits "
+                f"(cold={cold_hits}, warm={warm_hits})",
+                file=sys.stderr,
+            )
+            return 1
+        if warm_metrics.get("cache.misses", 0) != cold_metrics.get(
+            "cache.misses", 0
+        ):
+            print("FAIL: warm run recorded cache misses", file=sys.stderr)
+            return 1
+        if json.loads(cold_out.read_text()) != json.loads(warm_out.read_text()):
+            print("FAIL: warm table differs from cold table", file=sys.stderr)
+            return 1
+
+        print(
+            f"OK: {args.experiment}@{args.scale} warm run served from cache "
+            f"({warm_hits - cold_hits} hit(s)), tables identical"
+        )
+        cli_main(["cache", "stats", "--cache-dir", cache_dir])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

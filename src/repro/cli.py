@@ -9,7 +9,9 @@ Mirrors the paper's workflow as subcommands:
 * ``run``         — run a workload under a scheme (baseline, the static
                     Ainsworth & Jones pass, or APT-GET end-to-end) and
                     print ``perf stat``-style results;
-* ``experiment``  — regenerate a paper table/figure.
+* ``experiment``  — regenerate a paper table/figure (optionally in
+                    parallel against a persistent artifact cache);
+* ``cache``       — inspect or clear a tuning-service artifact cache.
 """
 
 from __future__ import annotations
@@ -17,7 +19,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import warnings
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -29,8 +30,6 @@ from repro.passes.aptget_pass import AptGetPass
 from repro.profiling.collect import collect_profile
 from repro.profiling.profile import ExecutionProfile
 from repro.workloads.registry import SUITE, TINY_SUITE, make_workload
-
-warnings.filterwarnings("ignore", category=RuntimeWarning, module="scipy")
 
 
 def _print_perf(result) -> None:
@@ -159,13 +158,30 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.service.api import configure_service, get_service
 
     module = ALL_EXPERIMENTS.get(args.name)
     if module is None:
         print(f"unknown experiment {args.name!r}", file=sys.stderr)
         return 2
+    explicit_service = args.jobs is not None or args.cache_dir is not None
+    if explicit_service:
+        service = configure_service(
+            cache_dir=args.cache_dir, jobs=args.jobs or 1
+        )
+    else:
+        service = get_service()
     result = module.run(args.scale)
     print(result.to_text())
+    service.flush_metrics()
+    if explicit_service:
+        counters = service.metrics.counters()
+        print(
+            f"cache: {counters.get('cache.hits', 0)} hit(s), "
+            f"{counters.get('cache.misses', 0)} miss(es), "
+            f"{counters.get('service.jobs', 0)} job(s), "
+            f"{counters.get('service.errors', 0)} error(s)"
+        )
     if args.output:
         payload = {
             "experiment": result.experiment,
@@ -175,6 +191,33 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "summary": result.summary,
         }
         Path(args.output).write_text(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.service.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    stats = store.stats()
+    kinds = " ".join(f"{k}={v}" for k, v in stats["by_kind"].items()) or "-"
+    print(f"artifact cache at {stats['root']} (schema v{stats['schema']})")
+    print(f"  entries: {stats['entries']} ({kinds})")
+    print(f"  size: {stats['size_bytes']} bytes")
+    print(f"  quarantined: {stats['quarantined']}")
+    counters = store.read_metrics()
+    print("cumulative metrics:")
+    if not counters:
+        print("  (none recorded)")
+    for name, value in sorted(counters.items()):
+        print(f"  {name}: {value}")
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    from repro.service.store import ArtifactStore
+
+    removed = ArtifactStore(args.cache_dir).clear()
+    print(f"cleared {removed} cached artifact(s) from {args.cache_dir}")
     return 0
 
 
@@ -241,7 +284,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("--scale", choices=("tiny", "small", "full"), default="small")
     p.add_argument("--output", "-o", default=None, help="also write JSON")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for suite measurements (default: 1)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact cache directory (default: in-memory)",
+    )
     p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear a tuning-service artifact cache"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pc = cache_sub.add_parser("stats", help="entry counts + cumulative metrics")
+    pc.add_argument("--cache-dir", required=True)
+    pc.set_defaults(fn=cmd_cache_stats)
+    pc = cache_sub.add_parser("clear", help="delete every cached artifact")
+    pc.add_argument("--cache-dir", required=True)
+    pc.set_defaults(fn=cmd_cache_clear)
 
     return parser
 

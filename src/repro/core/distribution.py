@@ -11,6 +11,7 @@ robust clustering fallback for degenerate histograms.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -133,7 +134,13 @@ def analyze_latency_distribution(
     if bins >= 8:
         widths = np.arange(1, max(3, min(12, bins // 4)))
         try:
-            with np.errstate(divide="ignore", invalid="ignore"):
+            # scipy's CWT peak finder divides by zero on flat noise
+            # estimates; suppress that locally instead of mutating the
+            # process-global warning filters at import time.
+            with warnings.catch_warnings(), np.errstate(
+                divide="ignore", invalid="ignore"
+            ):
+                warnings.filterwarnings("ignore", category=RuntimeWarning)
                 raw = find_peaks_cwt(histogram.astype(float), widths)
         except Exception:  # pragma: no cover - scipy internals
             raw = []

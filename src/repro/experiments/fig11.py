@@ -19,6 +19,9 @@ def run(scale: str = "small") -> ExperimentResult:
     aj_overheads = []
     apt_overheads = []
     for name, comparison in comparisons.items():
+        if comparison.error:
+            rows.append([name, "error", "error"])
+            continue
         aj = comparison.instruction_overhead("aj")
         apt = comparison.instruction_overhead("apt-get")
         aj_overheads.append(aj)

@@ -18,6 +18,9 @@ def run(scale: str = "small") -> ExperimentResult:
     rows = []
     fractions = []
     for name, comparison in comparisons.items():
+        if comparison.error:
+            rows.append([name, "error", "error", "error"])
+            continue
         counters = comparison.baseline.result.counters
         perf = comparison.baseline.perf
         cycles = max(counters.cycles, 1.0)

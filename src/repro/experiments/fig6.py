@@ -18,6 +18,9 @@ def run(scale: str = "small") -> ExperimentResult:
     aj_speedups = []
     apt_speedups = []
     for name, comparison in comparisons.items():
+        if comparison.error:
+            rows.append([name, "error", "error"])
+            continue
         aj = comparison.speedup("aj")
         apt = comparison.speedup("apt-get")
         aj_speedups.append(aj)

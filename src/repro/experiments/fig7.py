@@ -19,6 +19,9 @@ def run(scale: str = "small") -> ExperimentResult:
     aj_reductions = []
     apt_reductions = []
     for name, comparison in comparisons.items():
+        if comparison.error:
+            rows.append([name, "error", "error", "error"])
+            continue
         base_mpki = comparison.mpki("baseline")
         aj_mpki = comparison.mpki("aj")
         apt_mpki = comparison.mpki("apt-get")

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Iterable, Optional
 
 from repro.core.aptget import AptGet, AptGetConfig
@@ -60,10 +59,15 @@ class SchemeRun:
 
 @dataclass
 class WorkloadComparison:
-    """Baseline + optimized runs of one workload."""
+    """Baseline + optimized runs of one workload.
+
+    ``error`` is set (and ``runs`` left empty) when the workload's
+    measurement job failed or timed out — the suite's error row.
+    """
 
     workload: str
     runs: dict[str, SchemeRun] = field(default_factory=dict)
+    error: Optional[str] = None
 
     @property
     def baseline(self) -> SchemeRun:
@@ -169,20 +173,24 @@ def hints_with_site(hints: HintSet, site: InjectionSite) -> HintSet:
 
 
 # ----------------------------------------------------------------------
-# Per-workload caches shared across experiments in one process: builds
-# are deterministic, so baselines and profiles are reusable (Figs 8/9/10
-# would otherwise re-profile the same binaries).
+# Per-workload caches shared across experiments, backed by the tuning
+# service's artifact store (Figs 8/9/10 would otherwise re-profile the
+# same binaries).  Every call returns fresh deserialized objects, so a
+# caller mutating a cached result cannot poison other consumers.
+# (Imports are deferred: repro.service.api imports this module.)
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=128)
 def cached_baseline(name: str, scale: str = "small") -> SchemeRun:
-    return run_baseline(make_workload(name, scale))
+    from repro.service.api import get_service
+
+    return get_service().baseline(name, scale)
 
 
-@lru_cache(maxsize=128)
 def cached_profile(
     name: str, scale: str = "small"
 ) -> tuple[ExecutionProfile, HintSet]:
-    return profile_workload(make_workload(name, scale))
+    from repro.service.api import get_service
+
+    return get_service().profile(name, scale)
 
 
 # ----------------------------------------------------------------------
@@ -194,23 +202,17 @@ def scale_suite(scale: str) -> list[str]:
     return list(SUITE)
 
 
-@lru_cache(maxsize=4)
 def suite_comparison(
     scale: str = "small",
     aj_distance: int = 32,
 ) -> dict[str, WorkloadComparison]:
-    """Run baseline + A&J + APT-GET over the whole suite once per process
-    (baselines and profiles shared with the other experiments' caches)."""
-    comparisons: dict[str, WorkloadComparison] = {}
-    for name in scale_suite(scale):
-        comparison = WorkloadComparison(workload=name)
-        comparison.runs["baseline"] = cached_baseline(name, scale)
-        comparison.runs["aj"] = run_ainsworth_jones(
-            make_workload(name, scale), distance=aj_distance
-        )
-        profile, hints = cached_profile(name, scale)
-        apt = run_with_hints(make_workload(name, scale), hints)
-        apt.profile = profile
-        comparison.runs["apt-get"] = apt
-        comparisons[name] = comparison
-    return comparisons
+    """Baseline + A&J + APT-GET over the whole suite via the tuning
+    service (artifacts shared with the other experiments' caches; runs
+    computed in parallel when the service is configured with workers).
+
+    A workload whose measurement failed comes back with
+    ``comparison.error`` set — render it as an error row, not a crash.
+    """
+    from repro.service.api import get_service
+
+    return get_service().compare_suite(scale=scale, aj_distance=aj_distance)

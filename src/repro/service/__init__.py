@@ -1,0 +1,36 @@
+"""The prefetch-tuning service layer: a persistent, parallel
+profile-and-tuning substrate underneath the CLI and the experiment
+harness.
+
+APT-GET is pitched as an AutoFDO-style profile-in-production workflow
+(paper §3.4): profiles are collected continuously, derived artifacts
+(hint files, run summaries) are cached, and tuning decisions are served
+to many consumers.  This package is that layer for the reproduction:
+
+* :mod:`repro.service.store`   — content-addressed, schema-versioned,
+  disk-backed artifact store (profiles, hint sets, run summaries);
+* :mod:`repro.service.pool`    — multiprocess job executor with
+  per-job timeouts, bounded retry and failure isolation;
+* :mod:`repro.service.metrics` — in-process counters and latency
+  histograms (cache hits/misses, job durations, retries, timeouts);
+* :mod:`repro.service.api`     — the :class:`TuningService` façade the
+  experiment runner and the CLI sit on top of.
+"""
+
+from repro.service.api import TuningService, configure_service, get_service
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import Job, JobOutcome, JobPool
+from repro.service.store import ArtifactStore, CacheKey, MemoryStore
+
+__all__ = [
+    "ArtifactStore",
+    "CacheKey",
+    "Job",
+    "JobOutcome",
+    "JobPool",
+    "MemoryStore",
+    "MetricsRegistry",
+    "TuningService",
+    "configure_service",
+    "get_service",
+]

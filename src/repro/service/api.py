@@ -1,0 +1,422 @@
+"""The :class:`TuningService` façade: cached, parallel profile/analyze/
+measure on top of the artifact store and the job pool.
+
+This is the AutoFDO-style service loop of the paper's deployment story
+(§3.4) in miniature: consumers ask for tuning artifacts (an execution
+profile, a hint set, a scheme-run summary, a whole suite comparison);
+the service answers from the content-addressed store when it can and
+schedules the missing work — in parallel across worker processes when
+configured — when it cannot.
+
+Cache hits return **fresh deserialized objects** on every call.  The
+old ``lru_cache`` layer in ``experiments/runner.py`` handed out shared
+mutable ``SchemeRun``/``HintSet`` instances, so one experiment mutating
+a cached object (e.g. ``run.profile = ...``) silently leaked into every
+other consumer; store-backed reads cannot alias.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import fields as dataclass_fields
+from typing import Iterable, Optional, Sequence
+
+from repro.core.hints import HintSet
+from repro.experiments.runner import (
+    SchemeRun,
+    WorkloadComparison,
+    profile_workload,
+    run_ainsworth_jones,
+    run_baseline,
+    run_with_hints,
+    scale_suite,
+)
+from repro.machine.config import MachineConfig
+from repro.machine.machine import RunResult
+from repro.machine.pmu import Counters
+from repro.passes.ainsworth_jones import PassReport
+from repro.profiling.profile import ExecutionProfile
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import Job, JobPool
+from repro.service.store import (
+    ArtifactStore,
+    CacheKey,
+    MemoryStore,
+    config_fingerprint,
+)
+from repro.workloads.registry import make_workload
+
+#: Default ceiling on one profile/measure job (seconds); generous for
+#: "full"-scale runs, small enough that a wedged worker cannot stall a
+#: suite forever.  Only enforced on the multiprocess path.
+DEFAULT_JOB_TIMEOUT = 1800.0
+DEFAULT_RETRIES = 1
+
+
+# ----------------------------------------------------------------------
+# Artifact (de)serialization: payloads are plain JSON-able dicts.
+# ----------------------------------------------------------------------
+def _counters_from_dict(raw: dict) -> Counters:
+    counters = Counters()
+    for f in dataclass_fields(Counters):
+        if f.name in raw:
+            setattr(counters, f.name, raw[f.name])
+    return counters
+
+
+def profile_to_payload(profile: ExecutionProfile, hints: HintSet) -> dict:
+    return {
+        "profile": json.loads(profile.to_json()),
+        "counters": profile.counters.as_dict(),
+        "hints": json.loads(hints.to_json()),
+    }
+
+
+def profile_from_payload(payload: dict) -> tuple[ExecutionProfile, HintSet]:
+    profile = ExecutionProfile.from_json(json.dumps(payload["profile"]))
+    profile.counters = _counters_from_dict(payload.get("counters", {}))
+    hints = HintSet.from_json(json.dumps(payload["hints"]))
+    return profile, hints
+
+
+def run_to_payload(run: SchemeRun) -> dict:
+    payload: dict = {
+        "scheme": run.scheme,
+        "value": run.result.value,
+        "counters": run.result.counters.as_dict(),
+        "report": None,
+        "hints": None,
+    }
+    if run.report is not None:
+        payload["report"] = {
+            "injected": run.report.injected,
+            "skipped": run.report.skipped,
+            "added_instructions": run.report.added_instructions,
+        }
+    if run.hints is not None:
+        payload["hints"] = json.loads(run.hints.to_json())
+    return payload
+
+
+def run_from_payload(payload: dict) -> SchemeRun:
+    report = None
+    if payload.get("report") is not None:
+        raw = payload["report"]
+        report = PassReport(
+            injected=list(raw.get("injected", [])),
+            skipped=list(raw.get("skipped", [])),
+            added_instructions=raw.get("added_instructions", 0),
+        )
+    hints = None
+    if payload.get("hints") is not None:
+        hints = HintSet.from_json(json.dumps(payload["hints"]))
+    return SchemeRun(
+        scheme=payload["scheme"],
+        result=RunResult(
+            value=payload["value"],
+            counters=_counters_from_dict(payload.get("counters", {})),
+        ),
+        report=report,
+        hints=hints,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker jobs (module-level: must be picklable for the process pool).
+# Each recomputes exactly the artifacts the parent found missing and
+# returns payload dicts; the parent owns all store writes, so the store
+# is single-writer even with many workers.
+# ----------------------------------------------------------------------
+def _suite_job(
+    name: str,
+    scale: str,
+    aj_distance: int,
+    needs: tuple[str, ...],
+    hints_payload: Optional[dict],
+    config: MachineConfig,
+) -> dict:
+    out: dict = {}
+    hints: Optional[HintSet] = None
+    if "profile" in needs:
+        profile, hints = profile_workload(
+            make_workload(name, scale), config=config
+        )
+        out["profile"] = profile_to_payload(profile, hints)
+    elif hints_payload is not None:
+        hints = HintSet.from_json(json.dumps(hints_payload))
+    if "baseline" in needs:
+        out["baseline"] = run_to_payload(
+            run_baseline(make_workload(name, scale), config=config)
+        )
+    if "aj" in needs:
+        out["aj"] = run_to_payload(
+            run_ainsworth_jones(
+                make_workload(name, scale),
+                distance=aj_distance,
+                config=config,
+            )
+        )
+    if "apt" in needs:
+        if hints is None:
+            raise RuntimeError(
+                f"apt run for {name!r} requested without hints"
+            )
+        out["apt"] = run_to_payload(
+            run_with_hints(make_workload(name, scale), hints, config=config)
+        )
+    return out
+
+
+#: Artifact pieces making up one workload's suite comparison.
+_SUITE_PIECES = ("profile", "baseline", "aj", "apt")
+
+
+class TuningService:
+    """Profile-and-tuning façade over the store, pool and metrics.
+
+    ``cache_dir=None`` (the default) uses an in-process
+    :class:`MemoryStore` — same semantics, no persistence — so library
+    users pay for a disk cache only when they ask for one.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str | os.PathLike] = None,
+        jobs: int = 1,
+        timeout: Optional[float] = DEFAULT_JOB_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
+        machine_config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.store: ArtifactStore | MemoryStore
+        if cache_dir is not None:
+            self.store = ArtifactStore(cache_dir, metrics=self.metrics)
+        else:
+            self.store = MemoryStore(metrics=self.metrics)
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.config = machine_config or MachineConfig()
+        self._fingerprint = config_fingerprint(self.config)
+        self._flushed_counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Keys + store access with hit/miss accounting.
+    # ------------------------------------------------------------------
+    def _key(self, kind: str, workload: str, scale: str, **params) -> CacheKey:
+        return CacheKey.make(
+            kind, workload, scale, self._fingerprint, **params
+        )
+
+    def _get(self, key: CacheKey) -> Optional[dict]:
+        payload = self.store.get(key)
+        if payload is None:
+            self.metrics.inc("cache.misses")
+            self.metrics.event(
+                "cache.miss", kind=key.kind, workload=key.workload
+            )
+        else:
+            self.metrics.inc("cache.hits")
+            self.metrics.event(
+                "cache.hit", kind=key.kind, workload=key.workload
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Single-artifact API (inline compute on miss).
+    # ------------------------------------------------------------------
+    def profile(
+        self, name: str, scale: str = "small"
+    ) -> tuple[ExecutionProfile, HintSet]:
+        """Cached profiling run + hint analysis (APT-GET steps 1-5)."""
+        key = self._key("profile", name, scale)
+        payload = self._get(key)
+        if payload is None:
+            profile, hints = profile_workload(
+                make_workload(name, scale), config=self.config
+            )
+            payload = profile_to_payload(profile, hints)
+            self.store.put(key, payload)
+        return profile_from_payload(payload)
+
+    def analyze(self, name: str, scale: str = "small") -> HintSet:
+        """The hint set APT-GET derives for a workload (cached)."""
+        return self.profile(name, scale)[1]
+
+    def baseline(self, name: str, scale: str = "small") -> SchemeRun:
+        """Cached non-prefetching baseline measurement."""
+        key = self._key("run", name, scale, scheme="baseline")
+        payload = self._get(key)
+        if payload is None:
+            payload = run_to_payload(
+                run_baseline(make_workload(name, scale), config=self.config)
+            )
+            self.store.put(key, payload)
+        return run_from_payload(payload)
+
+    # ------------------------------------------------------------------
+    # Suite comparison (parallel compute of misses).
+    # ------------------------------------------------------------------
+    def compare_suite(
+        self,
+        scale: str = "small",
+        aj_distance: int = 32,
+        names: Optional[Iterable[str]] = None,
+        jobs: Optional[int] = None,
+    ) -> dict[str, WorkloadComparison]:
+        """Baseline + A&J + APT-GET over a suite, cache-backed.
+
+        Missing per-workload artifacts are computed by the job pool.  A
+        workload whose job raises or times out (after retries) comes
+        back as a :class:`WorkloadComparison` with ``error`` set and no
+        runs — an error row — while every other workload completes.
+        """
+        names = list(names) if names is not None else scale_suite(scale)
+        state: dict[str, dict] = {}
+        errors: dict[str, str] = {}
+        pending: list[Job] = []
+        for name in names:
+            cached: dict[str, dict] = {}
+            for piece in _SUITE_PIECES:
+                key = self._piece_key(piece, name, scale, aj_distance)
+                payload = self._get(key)
+                if payload is not None:
+                    cached[piece] = payload
+            state[name] = cached
+            needs = tuple(p for p in _SUITE_PIECES if p not in cached)
+            if needs:
+                hints_payload = (
+                    cached["profile"]["hints"] if "profile" in cached else None
+                )
+                pending.append(
+                    Job(
+                        key=name,
+                        fn=_suite_job,
+                        args=(
+                            name,
+                            scale,
+                            aj_distance,
+                            needs,
+                            hints_payload,
+                            self.config,
+                        ),
+                    )
+                )
+
+        if pending:
+            pool = JobPool(
+                workers=jobs if jobs is not None else self.jobs,
+                timeout=self.timeout,
+                retries=self.retries,
+                backoff=self.backoff,
+                metrics=self.metrics,
+            )
+            for outcome in pool.run(pending):
+                if not outcome.ok:
+                    errors[outcome.key] = outcome.error
+                    self.metrics.inc("service.errors")
+                    continue
+                for piece, payload in outcome.value.items():
+                    key = self._piece_key(
+                        piece, outcome.key, scale, aj_distance
+                    )
+                    self.store.put(key, payload)
+                    state[outcome.key][piece] = payload
+
+        comparisons: dict[str, WorkloadComparison] = {}
+        for name in names:
+            if name in errors:
+                comparisons[name] = WorkloadComparison(
+                    workload=name, error=errors[name]
+                )
+                continue
+            comparisons[name] = self._build_comparison(name, state[name])
+        self.flush_metrics()
+        return comparisons
+
+    def _piece_key(
+        self, piece: str, name: str, scale: str, aj_distance: int
+    ) -> CacheKey:
+        if piece == "profile":
+            return self._key("profile", name, scale)
+        if piece == "baseline":
+            return self._key("run", name, scale, scheme="baseline")
+        if piece == "aj":
+            return self._key(
+                "run", name, scale, scheme="aj", distance=aj_distance
+            )
+        if piece == "apt":
+            return self._key("run", name, scale, scheme="apt-get")
+        raise ValueError(f"unknown suite piece {piece!r}")
+
+    def _build_comparison(
+        self, name: str, payloads: dict[str, dict]
+    ) -> WorkloadComparison:
+        comparison = WorkloadComparison(workload=name)
+        comparison.runs["baseline"] = run_from_payload(payloads["baseline"])
+        comparison.runs["aj"] = run_from_payload(payloads["aj"])
+        apt = run_from_payload(payloads["apt"])
+        profile, hints = profile_from_payload(payloads["profile"])
+        apt.profile = profile
+        if apt.hints is None:
+            apt.hints = hints
+        comparison.runs["apt-get"] = apt
+        return comparison
+
+    # ------------------------------------------------------------------
+    # Cache management + metrics persistence.
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        stats = self.store.stats()
+        stats["metrics"] = self.store.read_metrics()
+        return stats
+
+    def clear_cache(self) -> int:
+        return self.store.clear()
+
+    def flush_metrics(self) -> None:
+        """Fold this service's counter *deltas* into the store's
+        cumulative ``metrics.json`` (no-op for in-memory stores)."""
+        current = self.metrics.counters()
+        deltas = {
+            name: value - self._flushed_counters.get(name, 0)
+            for name, value in current.items()
+        }
+        self.store.merge_metrics(deltas)
+        self._flushed_counters = current
+
+
+# ----------------------------------------------------------------------
+# The process-global default service: what `experiments.runner`'s
+# cached_* helpers and the CLI use unless configured otherwise.
+# ----------------------------------------------------------------------
+_SERVICE: Optional[TuningService] = None
+
+
+def get_service() -> TuningService:
+    """The process-wide service (created on first use).
+
+    ``REPRO_CACHE_DIR`` / ``REPRO_JOBS`` environment variables seed the
+    default instance, so scripts and CI get a disk-backed, parallel
+    service without code changes.
+    """
+    global _SERVICE
+    if _SERVICE is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+        _SERVICE = TuningService(cache_dir=cache_dir, jobs=jobs)
+    return _SERVICE
+
+
+def configure_service(**kwargs) -> TuningService:
+    """Replace the process-wide service (CLI ``--jobs``/``--cache-dir``)."""
+    global _SERVICE
+    _SERVICE = TuningService(**kwargs)
+    return _SERVICE

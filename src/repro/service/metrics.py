@@ -1,0 +1,156 @@
+"""In-process service metrics: counters + latency histograms.
+
+The registry is deliberately tiny — the service needs cache hit/miss
+counts, job durations, retry/timeout tallies and a way to render them —
+but it keeps the Prometheus-style shape (monotonic counters, bucketed
+histograms with ``sum``/``count``) so a later PR can export it.
+
+Every mutation can also emit a structured ``logging`` event on the
+``repro.service`` logger (DEBUG level), so ``logging.basicConfig`` plus
+a level is enough to trace a run.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from typing import Optional, Sequence
+
+logger = logging.getLogger("repro.service")
+
+#: Default latency buckets (seconds): micro-jobs up to whole-suite runs.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with sum/count/min/max."""
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf tail
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def to_dict(self) -> dict:
+        buckets = {
+            str(bound): count
+            for bound, count in zip(self.buckets, self.bucket_counts)
+        }
+        buckets["+inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name, buckets)
+            return histogram
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def get(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    # ------------------------------------------------------------------
+    def event(self, name: str, **fields) -> None:
+        """Emit a structured log event on the ``repro.service`` logger."""
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug("%s %s", name, json.dumps(fields, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "histograms": {
+                    name: h.to_dict()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def report(self) -> str:
+        """Human-readable one-metric-per-line rendering."""
+        snapshot = self.to_dict()
+        lines = []
+        for name, value in snapshot["counters"].items():
+            lines.append(f"{name}: {value}")
+        for name, data in snapshot["histograms"].items():
+            lines.append(
+                f"{name}: count={data['count']} sum={data['sum']:.4f}s"
+                + (
+                    f" min={data['min']:.4f}s max={data['max']:.4f}s"
+                    if data["count"]
+                    else ""
+                )
+            )
+        return "\n".join(lines)

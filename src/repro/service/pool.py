@@ -1,0 +1,217 @@
+"""Multiprocess job execution for the tuning service.
+
+A :class:`JobPool` runs profile/analyze/measure jobs across worker
+processes (``concurrent.futures.ProcessPoolExecutor``) with:
+
+* **per-job timeouts** — a wedged simulation run is abandoned and
+  reported, not waited on forever;
+* **bounded retry with exponential backoff** — transient failures
+  (a killed worker, a flaky filesystem) are retried up to ``retries``
+  times, sleeping ``backoff * 2**attempt`` between attempts;
+* **failure isolation** — a job that still fails after its retries is
+  returned as a failed :class:`JobOutcome`; it never raises into the
+  caller, so one crashed workload degrades to an error row while the
+  rest of the suite completes.
+
+Job functions must be picklable (module-level) and deterministic;
+outcomes are returned in submission order, so ``workers=1`` and
+``workers=N`` produce identical result sequences.
+
+With ``workers <= 1`` jobs run inline in the calling process (no fork
+overhead, exact legacy semantics); per-job timeouts are only
+enforceable in the multiprocess path.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.service.metrics import MetricsRegistry
+
+
+@dataclass
+class Job:
+    """One unit of work: a picklable function plus arguments."""
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job, in submission order."""
+
+    key: str
+    ok: bool
+    value: Any = None
+    error: str = ""
+    attempts: int = 1
+    duration: float = 0.0
+    timed_out: bool = False
+
+
+class JobPool:
+    """Run jobs with retries, timeouts and failure isolation."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.metrics = metrics or MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> list[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.workers <= 1:
+            return [self._run_inline(job) for job in jobs]
+        return self._run_parallel(jobs)
+
+    # ------------------------------------------------------------------
+    def _record(self, outcome: JobOutcome) -> None:
+        self.metrics.inc("service.jobs")
+        self.metrics.observe("service.job_seconds", outcome.duration)
+        if not outcome.ok:
+            self.metrics.inc("service.job_failures")
+        self.metrics.event(
+            "job.done",
+            key=outcome.key,
+            ok=outcome.ok,
+            attempts=outcome.attempts,
+            duration=round(outcome.duration, 6),
+            timed_out=outcome.timed_out,
+        )
+
+    def _sleep_before_retry(self, attempt: int) -> None:
+        self.metrics.inc("service.job_retries")
+        if self.backoff > 0:
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, job: Job) -> JobOutcome:
+        start = time.perf_counter()
+        attempts = 0
+        error = ""
+        while attempts <= self.retries:
+            attempts += 1
+            try:
+                value = job.fn(*job.args, **job.kwargs)
+            except Exception:
+                error = traceback.format_exc(limit=4).strip()
+            else:
+                outcome = JobOutcome(
+                    key=job.key,
+                    ok=True,
+                    value=value,
+                    attempts=attempts,
+                    duration=time.perf_counter() - start,
+                )
+                self._record(outcome)
+                return outcome
+            if attempts <= self.retries:
+                self._sleep_before_retry(attempts)
+        outcome = JobOutcome(
+            key=job.key,
+            ok=False,
+            error=error,
+            attempts=attempts,
+            duration=time.perf_counter() - start,
+        )
+        self._record(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, jobs: list[Job]) -> list[JobOutcome]:
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(jobs))
+        )
+        try:
+            futures = [
+                executor.submit(job.fn, *job.args, **job.kwargs)
+                for job in jobs
+            ]
+            return [
+                self._await(executor, job, future)
+                for job, future in zip(jobs, futures)
+            ]
+        finally:
+            # Don't block on a wedged (timed-out) worker; queued work is
+            # cancelled, running processes are left to finish on their own.
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _await(
+        self, executor: ProcessPoolExecutor, job: Job, future
+    ) -> JobOutcome:
+        start = time.perf_counter()
+        attempts = 0
+        error = ""
+        timed_out = False
+        while True:
+            attempts += 1
+            retriable = True
+            try:
+                value = future.result(timeout=self.timeout)
+            except FutureTimeoutError:
+                timed_out = True
+                error = f"timed out after {self.timeout}s"
+                future.cancel()
+                self.metrics.inc("service.job_timeouts")
+            except BrokenProcessPool as exc:
+                # The pool itself is dead; resubmission cannot succeed.
+                error = f"BrokenProcessPool: {exc}"
+                retriable = False
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                outcome = JobOutcome(
+                    key=job.key,
+                    ok=True,
+                    value=value,
+                    attempts=attempts,
+                    duration=time.perf_counter() - start,
+                    timed_out=False,
+                )
+                self._record(outcome)
+                return outcome
+            if not retriable or attempts > self.retries:
+                outcome = JobOutcome(
+                    key=job.key,
+                    ok=False,
+                    error=error,
+                    attempts=attempts,
+                    duration=time.perf_counter() - start,
+                    timed_out=timed_out,
+                )
+                self._record(outcome)
+                return outcome
+            self._sleep_before_retry(attempts)
+            try:
+                future = executor.submit(job.fn, *job.args, **job.kwargs)
+            except (RuntimeError, BrokenProcessPool) as exc:
+                outcome = JobOutcome(
+                    key=job.key,
+                    ok=False,
+                    error=f"resubmit failed: {exc}",
+                    attempts=attempts,
+                    duration=time.perf_counter() - start,
+                    timed_out=timed_out,
+                )
+                self._record(outcome)
+                return outcome

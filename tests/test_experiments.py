@@ -87,7 +87,16 @@ class TestRunnerHelpers:
     def test_suite_comparison_cached(self):
         first = suite_comparison("tiny")
         second = suite_comparison("tiny")
-        assert first is second
+        # Store-backed cache: identical measurements, fresh objects.
+        assert first is not second
+        assert set(first) == set(second)
+        for name in first:
+            assert first[name].runs["baseline"].cycles == (
+                second[name].runs["baseline"].cycles
+            )
+            assert first[name].runs["apt-get"] is not (
+                second[name].runs["apt-get"]
+            )
         comparison = first["micro-tiny"]
         assert comparison.speedup("apt-get") > 0
         assert comparison.instruction_overhead("apt-get") >= 1.0
@@ -117,18 +126,33 @@ class TestFig4Histogram:
 
 
 class TestRunnerCaches:
-    def test_cached_baseline_identity(self):
+    def test_cached_baseline_not_aliased(self):
         from repro.experiments.runner import cached_baseline
 
-        assert cached_baseline("micro-tiny") is cached_baseline("micro-tiny")
+        first = cached_baseline("micro-tiny")
+        second = cached_baseline("micro-tiny")
+        assert first is not second
+        assert first.cycles == second.cycles
+        assert first.result.value == second.result.value
 
-    def test_cached_profile_identity(self):
+    def test_cached_profile_not_aliased(self):
+        """Regression: lru_cache used to hand every caller the same
+        mutable profile/hints — mutating one leaked into all others."""
         from repro.experiments.runner import cached_profile
 
         profile_a, hints_a = cached_profile("micro-tiny")
         profile_b, hints_b = cached_profile("micro-tiny")
-        assert profile_a is profile_b
-        assert hints_a is hints_b
+        assert profile_a is not profile_b
+        assert hints_a is not hints_b
+        assert profile_a.load_miss_counts == profile_b.load_miss_counts
+        assert len(hints_a) == len(hints_b)
+        # Mutations of a cache hit must not poison later hits.
+        profile_a.load_miss_counts.clear()
+        for hint in hints_a:
+            hint.distance = -1
+        profile_c, hints_c = cached_profile("micro-tiny")
+        assert profile_c.load_miss_counts == profile_b.load_miss_counts
+        assert all(h.distance != -1 for h in hints_c)
 
 
 class TestFormattingEdges:

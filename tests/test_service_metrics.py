@@ -1,0 +1,56 @@
+"""Unit tests for the service metrics registry."""
+
+from repro.service.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        metrics = MetricsRegistry()
+        assert metrics.get("cache.hits") == 0
+        metrics.inc("cache.hits")
+        metrics.inc("cache.hits", 4)
+        assert metrics.get("cache.hits") == 5
+
+    def test_counters_snapshot_sorted(self):
+        metrics = MetricsRegistry()
+        metrics.inc("b")
+        metrics.inc("a", 2)
+        assert metrics.counters() == {"a": 2, "b": 1}
+        assert list(metrics.counters()) == ["a", "b"]
+
+
+class TestHistograms:
+    def test_observe_tracks_sum_count_min_max(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        data = histogram.to_dict()
+        assert data["count"] == 3
+        assert data["sum"] == 0.05 + 0.5 + 5.0
+        assert data["min"] == 0.05
+        assert data["max"] == 5.0
+        assert data["buckets"] == {"0.1": 1, "1.0": 1, "+inf": 1}
+
+    def test_registry_observe_uses_default_buckets(self):
+        metrics = MetricsRegistry()
+        metrics.observe("service.job_seconds", 0.2)
+        data = metrics.to_dict()["histograms"]["service.job_seconds"]
+        assert data["count"] == 1
+        assert len(data["buckets"]) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestReporting:
+    def test_to_dict_and_report(self):
+        metrics = MetricsRegistry()
+        metrics.inc("cache.hits", 3)
+        metrics.observe("service.job_seconds", 0.25)
+        snapshot = metrics.to_dict()
+        assert snapshot["counters"]["cache.hits"] == 3
+        report = metrics.report()
+        assert "cache.hits: 3" in report
+        assert "service.job_seconds" in report
+        assert "count=1" in report
+
+    def test_event_does_not_raise(self):
+        metrics = MetricsRegistry()
+        metrics.event("cache.hit", kind="profile", workload="micro-tiny")

@@ -1,0 +1,120 @@
+"""Unit tests for the multiprocess job pool.
+
+The job functions are module-level so they are picklable by the
+process-pool workers.
+"""
+
+import time
+
+import pytest
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import Job, JobOutcome, JobPool
+
+
+def _square(x):
+    return x * x
+
+
+def _boom():
+    raise ValueError("deliberate failure")
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return "woke"
+
+
+def jobs_for(values):
+    return [Job(key=str(v), fn=_square, args=(v,)) for v in values]
+
+
+class TestInline:
+    def test_success(self):
+        outcomes = JobPool(workers=1).run(jobs_for([3]))
+        assert outcomes[0].ok
+        assert outcomes[0].value == 9
+        assert outcomes[0].attempts == 1
+
+    def test_failure_is_isolated_and_retried(self):
+        metrics = MetricsRegistry()
+        pool = JobPool(workers=1, retries=2, backoff=0.0, metrics=metrics)
+        outcomes = pool.run(
+            [Job(key="bad", fn=_boom), Job(key="good", fn=_square, args=(2,))]
+        )
+        bad, good = outcomes
+        assert not bad.ok
+        assert "deliberate failure" in bad.error
+        assert bad.attempts == 3  # 1 try + 2 retries
+        assert good.ok and good.value == 4
+        assert metrics.get("service.job_retries") == 2
+        assert metrics.get("service.job_failures") == 1
+        assert metrics.get("service.jobs") == 2
+
+    def test_empty(self):
+        assert JobPool(workers=4).run([]) == []
+
+
+class TestParallel:
+    def test_results_preserve_submission_order(self):
+        values = list(range(8))
+        outcomes = JobPool(workers=4).run(jobs_for(values))
+        assert [o.key for o in outcomes] == [str(v) for v in values]
+        assert [o.value for o in outcomes] == [v * v for v in values]
+        assert all(isinstance(o, JobOutcome) and o.ok for o in outcomes)
+
+    def test_worker_exception_degrades_to_error_outcome(self):
+        metrics = MetricsRegistry()
+        pool = JobPool(workers=2, retries=0, metrics=metrics)
+        outcomes = pool.run(
+            [
+                Job(key="good-1", fn=_square, args=(5,)),
+                Job(key="bad", fn=_boom),
+                Job(key="good-2", fn=_square, args=(6,)),
+            ]
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].value == 25
+        assert outcomes[2].value == 36
+        assert "ValueError" in outcomes[1].error
+        assert metrics.get("service.job_failures") == 1
+
+    def test_timeout_yields_outcome_and_metric_rest_completes(self):
+        metrics = MetricsRegistry()
+        pool = JobPool(workers=2, timeout=0.2, retries=0, metrics=metrics)
+        outcomes = pool.run(
+            [
+                Job(key="stuck", fn=_sleepy, args=(1.5,)),
+                Job(key="fast", fn=_square, args=(7,)),
+            ]
+        )
+        stuck, fast = outcomes
+        assert not stuck.ok
+        assert stuck.timed_out
+        assert "timed out" in stuck.error
+        assert fast.ok and fast.value == 49
+        assert metrics.get("service.job_timeouts") == 1
+
+    def test_timeout_retry_increments_metrics(self):
+        metrics = MetricsRegistry()
+        pool = JobPool(workers=2, timeout=0.1, retries=1, backoff=0.0, metrics=metrics)
+        outcomes = pool.run([Job(key="stuck", fn=_sleepy, args=(1.5,))])
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 2
+        assert metrics.get("service.job_timeouts") == 2
+        assert metrics.get("service.job_retries") == 1
+
+
+class TestMetricsPlumbing:
+    def test_durations_observed(self):
+        metrics = MetricsRegistry()
+        JobPool(workers=1, metrics=metrics).run(jobs_for([1, 2]))
+        histogram = metrics.to_dict()["histograms"]["service.job_seconds"]
+        assert histogram["count"] == 2
+        assert histogram["sum"] >= 0.0
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_inline_and_parallel_agree(workers):
+    outcomes = JobPool(workers=workers).run(jobs_for([2, 4, 6]))
+    assert [o.value for o in outcomes] == [4, 16, 36]
