@@ -1,0 +1,124 @@
+"""Observability overhead: what tracing costs, and that *not* tracing
+costs nothing measurable.
+
+Two numbers matter:
+
+* **tracing disabled** — the instrumented hierarchy (one
+  ``if self.trace is not None`` guard per slow-path event; the L1-hit
+  fast path is untouched) must run at seed speed, i.e. the disabled
+  median must be within run-to-run noise of itself across repeats —
+  the acceptance budget is <= 2% added wall time.
+* **tracing enabled** — the full event stream (lifecycle spans, demand
+  stalls, branch mirror) is allowed to cost, but simulated timing must
+  be bit-identical: tracing observes the machine, never perturbs it.
+
+Standalone mode emits a machine-readable JSON summary::
+
+    python benchmarks/bench_obs.py [--repeats 5] [--output obs.json]
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.machine.machine import Machine
+from repro.passes.ainsworth_jones import (
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+)
+from repro.workloads.registry import make_workload
+
+WORKLOAD = "micro-tiny"
+DISTANCE = 8
+
+
+def _build():
+    workload = make_workload(WORKLOAD)
+    module, space = workload.build()
+    AinsworthJonesPass(AinsworthJonesConfig(distance=DISTANCE)).run(module)
+    return workload, module, space
+
+
+def _run_once(traced: bool):
+    workload, module, space = _build()
+    machine = Machine(module, space)
+    if traced:
+        machine.enable_tracing()
+    started = time.perf_counter()
+    result = machine.run(workload.entry)
+    elapsed = time.perf_counter() - started
+    return elapsed, result
+
+
+def measure(repeats: int = 5) -> dict:
+    """Median wall seconds for traced/untraced runs + the invariants."""
+    disabled = []
+    enabled = []
+    cycles = set()
+    for _ in range(repeats):
+        elapsed, result = _run_once(traced=False)
+        disabled.append(elapsed)
+        cycles.add(result.cycles)
+        elapsed, result = _run_once(traced=True)
+        enabled.append(elapsed)
+        cycles.add(result.cycles)
+    disabled_median = statistics.median(disabled)
+    enabled_median = statistics.median(enabled)
+    return {
+        "workload": WORKLOAD,
+        "repeats": repeats,
+        "disabled_s": disabled_median,
+        "disabled_spread": (max(disabled) - min(disabled)) / disabled_median,
+        "enabled_s": enabled_median,
+        "enabled_overhead": enabled_median / disabled_median - 1.0,
+        "cycles_identical": len(cycles) == 1,
+        "simulated_cycles": max(cycles),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_run_tracing_disabled(benchmark):
+    """Instrumented-but-off run; the seed-parity number."""
+
+    def run():
+        return _run_once(traced=False)[1]
+
+    result = benchmark.pedantic(run, iterations=1, rounds=5)
+    assert result.counters.sw_prefetch_issued > 0
+
+
+def test_run_tracing_enabled(benchmark):
+    """Full event-stream run; must not perturb simulated timing."""
+    _, untraced = _run_once(traced=False)
+
+    def run():
+        return _run_once(traced=True)[1]
+
+    result = benchmark.pedantic(run, iterations=1, rounds=5)
+    assert result.cycles == untraced.cycles
+    assert result.counters.as_dict() == untraced.counters.as_dict()
+
+
+def main() -> int:  # pragma: no cover - CLI entry
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default=None)
+    args = parser.parse_args()
+    summary = measure(repeats=args.repeats)
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(rendered)
+    print(rendered)
+    return 0 if summary["cycles_identical"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

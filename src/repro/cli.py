@@ -38,6 +38,31 @@ def _print_perf(result) -> None:
         print(f"  {key:>22}: {value:,.4f}")
 
 
+#: Raw software-prefetch counters surfaced by ``run`` (satellite of the
+#: observability work: the lifecycle numbers without enabling tracing).
+_SW_PREFETCH_COUNTERS = (
+    "sw_prefetch_issued",
+    "sw_prefetch_useful",
+    "load_hit_pre_sw_pf",
+    "sw_prefetch_early_evicted",
+    "sw_prefetch_redundant",
+    "sw_prefetch_dropped_mshr",
+    "sw_prefetch_dropped_unmapped",
+)
+
+
+def _print_sw_prefetch(result) -> None:
+    counters = result.counters.as_dict()
+    if not counters.get("sw_prefetch_issued"):
+        return
+    print("software prefetches:")
+    for key in _SW_PREFETCH_COUNTERS:
+        print(f"  {key:>28}: {counters[key]:,.0f}")
+    perf = result.perf
+    print(f"  {'prefetch_accuracy':>28}: {perf.prefetch_accuracy:.4f}")
+    print(f"  {'prefetch_timeliness':>28}: {perf.prefetch_timeliness:.4f}")
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -89,8 +114,37 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _aggregate_timely(reports) -> float:
+    used = sum(r.used for r in reports.values())
+    timely = sum(r.timely for r in reports.values())
+    return timely / used if used else 0.0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.profiling.report import format_profile_report
+
+    if args.sites:
+        from repro.obs.sites import format_site_reports
+        from repro.service.api import get_service
+
+        service = get_service()
+        eq1 = service.site_report(args.workload, scale=args.scale)
+        print(f"{args.workload}: per-site prefetch timeliness (Eq-1 distances)")
+        print(format_site_reports(eq1))
+        fixed = service.site_report(
+            args.workload, scale=args.scale, fixed_distance=args.fixed_distance
+        )
+        print(
+            f"\n{args.workload}: naive baseline "
+            f"(inner site, fixed distance {args.fixed_distance})"
+        )
+        print(format_site_reports(fixed))
+        print(
+            f"\noverall timely fraction: "
+            f"eq1={_aggregate_timely(eq1):.3f} "
+            f"fixed-{args.fixed_distance}={_aggregate_timely(fixed):.3f}"
+        )
+        return 0
 
     workload = make_workload(args.workload)
     module, _ = workload.build()
@@ -125,9 +179,30 @@ def cmd_run(args: argparse.Namespace) -> int:
         report = AptGetPass(hints).run(module)
         print(f"APT-GET injected {report.injection_count} prefetch slice(s)")
 
-    result = Machine(module, space).run(workload.entry)
+    machine = Machine(module, space)
+    trace = machine.enable_tracing() if args.trace else None
+    result = machine.run(workload.entry)
     print(f"{workload.name} [{args.scheme}]: ret={result.value}")
     _print_perf(result)
+    _print_sw_prefetch(result)
+    if trace is not None:
+        from repro.obs.sites import format_site_reports, site_reports
+        from repro.obs.timeline import write_chrome_trace
+
+        write_chrome_trace(
+            trace,
+            args.trace,
+            metadata={"workload": workload.name, "scheme": args.scheme},
+        )
+        counts = trace.event_counts()
+        print(
+            f"trace: {counts['spans']} prefetch span(s), "
+            f"{counts['demand']} demand event(s) -> {args.trace} "
+            "(open in https://ui.perfetto.dev)"
+        )
+        reports = site_reports(trace)
+        if reports:
+            print(format_site_reports(reports, histogram=False))
     if args.events:
         print("raw events:")
         for key, value in result.counters.as_dict().items():
@@ -254,6 +329,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None, help="profile JSON (default: profile now)"
     )
     p.add_argument("--top", type=int, default=10)
+    p.add_argument(
+        "--sites",
+        action="store_true",
+        help="per-injection-site prefetch timeliness (Eq-1 vs a fixed-"
+        "distance inner-site baseline) from traced runs",
+    )
+    p.add_argument(
+        "--scale",
+        choices=("tiny", "small", "full"),
+        default="small",
+        help="input tier for --sites runs",
+    )
+    p.add_argument(
+        "--fixed-distance",
+        type=int,
+        default=4,
+        help="distance for the naive baseline compared by --sites",
+    )
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("run", help="run a workload under a scheme")
@@ -267,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hints", default=None, help="hint file for --scheme apt-get")
     p.add_argument(
         "--events", action="store_true", help="also dump raw PMU counters"
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="trace the prefetch lifecycle and export a Chrome-trace/"
+        "Perfetto timeline to this file",
     )
     p.set_defaults(fn=cmd_run)
 

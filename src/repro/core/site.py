@@ -30,6 +30,20 @@ class InjectionSite(str, Enum):
 DEFAULT_K = 5.0
 
 
+def site_label(
+    function: str, load_pc: int, site: "InjectionSite | str"
+) -> str:
+    """Canonical label for one injection site.
+
+    The label names the *delinquent load* the site serves (function +
+    profile-time PC) and the chosen site kind, so every prefetch a pass
+    emits for that hint — including outer-site sweep copies — aggregates
+    under one key in the observability rollups.
+    """
+    kind = site.value if isinstance(site, InjectionSite) else str(site)
+    return f"{function}@{load_pc:#x}/{kind}"
+
+
 def k_for_coverage(coverage: float) -> float:
     """Derive Eq-2's constant from a target coverage fraction."""
     if not 0.0 < coverage < 1.0:

@@ -5,6 +5,11 @@ prefetches count as misses, §4.4) for baseline, A&J and APT-GET.
 Expected shape (paper): APT-GET reduces misses by ~65% on average vs
 ~48% for A&J, with the biggest reductions where Fig 6's speedups are
 biggest.
+
+The two ``timely`` columns report each scheme's ``prefetch_timeliness``
+(consumed software prefetches that arrived before their demand use):
+residual MPKI with low timeliness means the prefetches were issued but
+too late — the failure mode Eq-1's distances exist to fix.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ def run(scale: str = "small") -> ExperimentResult:
     apt_reductions = []
     for name, comparison in comparisons.items():
         if comparison.error:
-            rows.append([name, "error", "error", "error"])
+            rows.append([name, "error", "error", "error", "error", "error"])
             continue
         base_mpki = comparison.mpki("baseline")
         aj_mpki = comparison.mpki("aj")
@@ -34,6 +39,10 @@ def run(scale: str = "small") -> ExperimentResult:
                 round(base_mpki, 2),
                 round(aj_mpki, 2),
                 round(apt_mpki, 2),
+                round(comparison.runs["aj"].perf.prefetch_timeliness, 3),
+                round(
+                    comparison.runs["apt-get"].perf.prefetch_timeliness, 3
+                ),
             ]
         )
     def avg(values: list[float]) -> float:
@@ -42,7 +51,14 @@ def run(scale: str = "small") -> ExperimentResult:
     return ExperimentResult(
         experiment="fig7",
         title="LLC MPKI (lower is better)",
-        headers=["workload", "baseline", "Ainsworth&Jones", "APT-GET"],
+        headers=[
+            "workload",
+            "baseline",
+            "Ainsworth&Jones",
+            "APT-GET",
+            "A&J timely",
+            "APT timely",
+        ],
         rows=rows,
         summary={
             "avg_reduction_aj": round(avg(aj_reductions), 3),

@@ -47,7 +47,7 @@ class Instruction:
     * ``PHI``: ``incomings`` is a list of ``(pred_block_name, operand)``
     """
 
-    __slots__ = ("op", "dst", "args", "targets", "incomings", "pc")
+    __slots__ = ("op", "dst", "args", "targets", "incomings", "pc", "site")
 
     def __init__(
         self,
@@ -63,6 +63,10 @@ class Instruction:
         self.targets = targets
         self.incomings = incomings if incomings is not None else []
         self.pc = -1
+        #: Injection-site label stamped by the prefetching passes on
+        #: PREFETCH instructions (and their delinquent LOADs) so the
+        #: observability layer can attribute lifecycle events per hint.
+        self.site: Optional[str] = None
 
     @property
     def is_terminator(self) -> bool:
@@ -101,6 +105,7 @@ class Instruction:
             tuple(self.targets),
             [tuple(pair) for pair in self.incomings],
         )
+        clone.site = self.site
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

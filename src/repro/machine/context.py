@@ -31,3 +31,8 @@ class ExecutionContext:
     config: MachineConfig
     sampler: Optional[ProfileSampler] = None
     invoke: Optional[InvokeFn] = None
+    #: Observability sink (repro.obs.trace.PrefetchTrace) when tracing
+    #: is enabled.  The engines never touch it directly — the memory
+    #: system and the LBR tap feed it — but it rides in the context so
+    #: cost models and future engine-level events can reach it.
+    trace: Optional[object] = None

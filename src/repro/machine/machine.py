@@ -72,6 +72,7 @@ class Machine:
         self.mem = MemorySystem(self.config.memory, space, self.counters)
         self.lbr: LastBranchRecord | NullLBR = NullLBR()
         self.sampler: Optional[ProfileSampler] = None
+        self.trace = None
         self._compiled: dict[str, CompiledFunction] = {}
 
     # ------------------------------------------------------------------
@@ -79,17 +80,62 @@ class Machine:
         self, period: Optional[int] = None, first_at: Optional[int] = None
     ) -> ProfileSampler:
         """Turn on the LBR + PEBS sampling hardware for subsequent runs."""
-        self.lbr = LastBranchRecord(self.config.lbr_entries)
+        lbr = LastBranchRecord(self.config.lbr_entries)
         self.sampler = ProfileSampler(
-            self.lbr,
+            lbr,
             period or self.config.lbr_sample_period,
             first_at=first_at,
         )
+        if self.trace is not None:
+            from repro.obs.trace import BranchTap
+
+            self.lbr = BranchTap(lbr, self.trace)
+        else:
+            self.lbr = lbr
         return self.sampler
 
     def disable_profiling(self) -> None:
         self.lbr = NullLBR()
         self.sampler = None
+
+    # ------------------------------------------------------------------
+    def enable_tracing(self, capacity: Optional[int] = None):
+        """Turn on prefetch-lifecycle tracing for subsequent runs.
+
+        Builds the injection-site tables from the (pass-stamped) module,
+        attaches a :class:`~repro.obs.trace.PrefetchTrace` to the memory
+        system, and taps the LBR stream so the timeline can reconstruct
+        loop iterations.  Returns the trace; roll it up with
+        :func:`repro.obs.sites.site_reports` or export it with
+        :func:`repro.obs.timeline.chrome_trace`.
+
+        Tracing-off runs pay near-zero cost (one predictable branch per
+        L1-missing event); traced runs pay for the event stream.
+        """
+        from repro.obs.sites import site_table
+        from repro.obs.trace import DEFAULT_CAPACITY, BranchTap, PrefetchTrace
+
+        prefetch_sites, load_sites = site_table(self.module)
+        trace = PrefetchTrace(
+            capacity=capacity if capacity is not None else DEFAULT_CAPACITY,
+            sites=prefetch_sites,
+            site_loads=load_sites,
+        )
+        self.trace = trace
+        self.mem.attach_trace(trace)
+        if not isinstance(self.lbr, BranchTap):
+            self.lbr = BranchTap(self.lbr, trace)
+        else:
+            self.lbr.trace = trace
+        return trace
+
+    def disable_tracing(self) -> None:
+        from repro.obs.trace import BranchTap
+
+        self.mem.detach_trace()
+        if isinstance(self.lbr, BranchTap):
+            self.lbr = self.lbr.inner
+        self.trace = None
 
     # ------------------------------------------------------------------
     def _context(self) -> ExecutionContext:
@@ -101,6 +147,7 @@ class Machine:
             config=self.config,
             sampler=self.sampler,
             invoke=self._invoke,
+            trace=self.trace,
         )
 
     def _invoke(self, callee: str, args: Sequence[int], from_pc: int) -> int:

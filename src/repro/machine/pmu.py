@@ -116,6 +116,17 @@ class PerfStat:
         return self.counters.load_hit_pre_sw_pf / issued
 
     @property
+    def prefetch_timeliness(self) -> float:
+        """Fraction of consumed software prefetches whose line arrived
+        *before* the demand access (useful minus LOAD_HIT_PRE over
+        useful) — the machine-wide Eq-1 success metric; the per-site
+        breakdown lives in repro.obs."""
+        useful = self.counters.sw_prefetch_useful
+        if not useful:
+            return 0.0
+        return (useful - self.counters.load_hit_pre_sw_pf) / useful
+
+    @property
     def llc_mpki(self) -> float:
         """Demand reads reaching memory per kilo-instruction (paper Fig 7
         measures offcore_requests.demand_data_rd; note a demand load that
@@ -187,6 +198,7 @@ class PerfStat:
             "ipc": self.ipc,
             "prefetch_accuracy": self.prefetch_accuracy,
             "late_prefetch_ratio": self.late_prefetch_ratio,
+            "prefetch_timeliness": self.prefetch_timeliness,
             "llc_mpki": self.llc_mpki,
             "memory_bound_fraction": self.memory_bound_fraction,
         }

@@ -66,11 +66,40 @@ class MemorySystem:
         #: Prefetched lines not yet consumed by any demand access:
         #: line -> True (software) / False (hardware).
         self._unused: dict[int, bool] = {}
+        #: Optional lifecycle-event sink (repro.obs.trace.PrefetchTrace).
+        #: Every hook is guarded by one ``is not None`` check on paths
+        #: that already missed the L1, so tracing-off runs pay nothing
+        #: on the hit fast path and one attribute load per slow event.
+        self.trace = None
+        #: Last cycle seen while tracing; eviction callbacks (which have
+        #: no ``now`` argument) are stamped with it.
+        self._trace_now: float = 0.0
         self._ideal = bool(config.ideal_prefetching)
         self._stride = StridePrefetcher(config) if config.stride_prefetcher else None
         self._next_line = (
             NextLinePrefetcher() if config.next_line_prefetcher else None
         )
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def attach_trace(self, trace) -> None:
+        """Install a lifecycle-event sink (see repro.obs.trace)."""
+        self.trace = trace
+
+    def detach_trace(self) -> None:
+        self.trace = None
+
+    def sw_prefetch_outstanding(self) -> int:
+        """Software prefetches neither consumed nor evicted yet: filled
+        lines awaiting their first demand use plus fills still in
+        flight.  Completes the issue-side accounting (see the counter
+        invariant tests)."""
+        waiting = sum(1 for software in self._unused.values() if software)
+        inflight = sum(
+            1 for entry in self._mshr.values() if entry[_SOFTWARE]
+        )
+        return waiting + inflight
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -83,35 +112,52 @@ class MemorySystem:
             software = self._unused.pop(line, None)
             if software:
                 self.counters.sw_prefetch_early_evicted += 1
+                if self.trace is not None:
+                    self.trace.on_evict(line, self._trace_now)
 
     def drain(self, now: float) -> None:
         """Complete fill-buffer entries whose data has arrived."""
         if not self._mshr:
             return
         done = [line for line, entry in self._mshr.items() if entry[_READY] <= now]
+        if self.trace is None:
+            for line in done:
+                software = self._mshr.pop(line)[_SOFTWARE]
+                self._fill(line)
+                self._unused[line] = software
+            return
+        self._trace_now = now
         for line in done:
-            software = self._mshr.pop(line)[_SOFTWARE]
+            entry = self._mshr.pop(line)
+            software = entry[_SOFTWARE]
             self._fill(line)
             self._unused[line] = software
+            if software:
+                self.trace.on_fill(line, entry[_READY])
 
     def _fill(self, line: int) -> None:
         self.llc.insert(line)
         self.l2.insert(line)
         self.l1.insert(line)
 
-    def _consume(self, line: int) -> None:
+    def _consume(self, line: int, now) -> None:
         """A demand access touched a prefetched line: count usefulness."""
         software = self._unused.pop(line, None)
         if software is None:
             return
         if software:
             self.counters.sw_prefetch_useful += 1
+            if self.trace is not None:
+                self.trace.on_use(line, now, late=False)
         else:
             self.counters.hw_prefetch_useful += 1
 
-    def _issue_prefetch(self, line: int, now: float, software: bool) -> bool:
+    def _issue_prefetch(
+        self, line: int, now: float, software: bool, pc: int = -1
+    ) -> bool:
         """Try to start an asynchronous fill; returns True if issued."""
         counters = self.counters
+        trace = self.trace if software else None
         if (
             self.l1.contains(line)
             or self.l2.contains(line)
@@ -120,15 +166,22 @@ class MemorySystem:
         ):
             if software:
                 counters.sw_prefetch_redundant += 1
+                if trace is not None:
+                    trace.on_drop(pc, line, now, "redundant")
             return False
         if len(self._mshr) >= self.config.mshr_entries:
             if software:
                 counters.sw_prefetch_dropped_mshr += 1
+                if trace is not None:
+                    trace.on_drop(pc, line, now, "mshr")
             return False
-        self._mshr[line] = [now + self._mem_lat, software]
+        ready = now + self._mem_lat
+        self._mshr[line] = [ready, software]
         counters.offcore_all_data_rd += 1
         if not software:
             counters.hw_prefetch_issued += 1
+        elif trace is not None:
+            trace.on_issue(pc, line, now, ready)
         return True
 
     def _hardware_prefetch(self, pc: int, line: int, now: float, level: str) -> None:
@@ -157,7 +210,7 @@ class MemorySystem:
         if self.l1.lookup(line) is not None:
             counters.l1_hits += 1
             if self._unused:
-                self._consume(line)
+                self._consume(line, now)
             return self._l1_lat
         counters.l1_misses += 1
         self.drain(now)
@@ -166,13 +219,13 @@ class MemorySystem:
             counters.l1_misses -= 1
             counters.l1_hits += 1
             if self._unused:
-                self._consume(line)
+                self._consume(line, now)
             return self._l1_lat
 
         if self.l2.lookup(line) is not None:
             counters.l2_hits += 1
             if self._unused:
-                self._consume(line)
+                self._consume(line, now)
             self.l1.insert(line)
             if ideal:
                 return self._l1_lat
@@ -184,9 +237,11 @@ class MemorySystem:
         if self.llc.lookup(line) is not None:
             counters.llc_hits += 1
             if self._unused:
-                self._consume(line)
+                self._consume(line, now)
             self.l2.insert(line)
             self.l1.insert(line)
+            if self.trace is not None:
+                self.trace.on_demand(pc, line, now, self._llc_lat, "llc")
             if ideal:
                 return self._l1_lat
             counters.stall_cycles_llc += self._llc_lat - self._l1_lat
@@ -199,10 +254,15 @@ class MemorySystem:
             residual = max(entry[_READY] - now, 0)
             software = entry[_SOFTWARE]
             del self._mshr[line]
+            if self.trace is not None:
+                self._trace_now = now
             self._fill(line)
             if software:
                 counters.load_hit_pre_sw_pf += 1
                 counters.sw_prefetch_useful += 1
+                if self.trace is not None:
+                    self.trace.on_use(line, now, late=True)
+                    self.trace.on_demand(pc, line, now, residual, "coalesced")
             else:
                 counters.hw_prefetch_useful += 1
             latency = max(residual, self._l1_lat)
@@ -215,6 +275,9 @@ class MemorySystem:
         counters.offcore_demand_data_rd += 1
         counters.offcore_all_data_rd += 1
         self._hardware_prefetch(pc, line, now, "llc")
+        if self.trace is not None:
+            self._trace_now = now
+            self.trace.on_demand(pc, line, now, self._mem_lat, "dram")
         self._fill(line)
         if ideal:
             return self._l1_lat
@@ -231,17 +294,21 @@ class MemorySystem:
         line = addr >> 6
         if self.l1.lookup(line) is not None:
             if self._unused:
-                self._consume(line)
+                self._consume(line, now)
             return 1
         self.drain(now)
         if self._unused:
-            self._consume(line)
+            self._consume(line, now)
+        if self.trace is not None:
+            self._trace_now = now
         entry = self._mshr.pop(line, None)
         if entry is not None:
             # The store coalesces with (and consumes) the in-flight fill.
             self._fill(line)
             if entry[_SOFTWARE]:
                 self.counters.sw_prefetch_useful += 1
+                if self.trace is not None:
+                    self.trace.on_use(line, now, late=True)
             else:
                 self.counters.hw_prefetch_useful += 1
             return 1
@@ -255,16 +322,23 @@ class MemorySystem:
         counters.sw_prefetch_issued += 1
         if not self.space.is_mapped(addr):
             counters.sw_prefetch_dropped_unmapped += 1
+            if self.trace is not None:
+                self.trace.on_drop(pc, addr >> 6, now, "unmapped")
             return
         self.drain(now)
-        self._issue_prefetch(addr >> 6, now, software=True)
+        self._issue_prefetch(addr >> 6, now, software=True, pc=pc)
 
     # ------------------------------------------------------------------
     def inflight(self) -> int:
         return len(self._mshr)
 
     def flush(self) -> None:
-        """Drop all cached lines and in-flight fills (cold-cache reset)."""
+        """Drop all cached lines and in-flight fills (cold-cache reset).
+
+        Traced prefetches still open at the flush stay open in the trace
+        and roll up as *unused* — a cold-cache reset wastes them exactly
+        like an eviction would.
+        """
         self.l1.flush()
         self.l2.flush()
         self.llc.flush()

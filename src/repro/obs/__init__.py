@@ -1,0 +1,33 @@
+"""Observability layer: prefetch-lifecycle tracing, per-site timeliness
+rollups, and Chrome-trace/Perfetto timeline export.
+
+The paper's whole argument is *timeliness* — Eq (1) picks a distance so a
+prefetched line arrives just before its first demand use, Eq (2) picks an
+injection site with enough run-ahead room — but aggregate counters cannot
+show whether an individual hint achieved that.  This package traces every
+software prefetch through issue, fill, first demand use, eviction or
+drop, and rolls the events up per injection site: coverage, accuracy, and
+a timeliness-margin histogram in cycles.
+
+Entry points:
+
+* :meth:`repro.machine.machine.Machine.enable_tracing` attaches a
+  :class:`~repro.obs.trace.PrefetchTrace` to a machine;
+* :func:`repro.obs.sites.site_reports` turns a trace into per-site
+  rollups;
+* :func:`repro.obs.timeline.chrome_trace` exports a Perfetto-loadable
+  JSON timeline.
+"""
+
+from repro.obs.sites import SiteReport, site_reports, site_table
+from repro.obs.timeline import chrome_trace, validate_chrome_trace
+from repro.obs.trace import PrefetchTrace
+
+__all__ = [
+    "PrefetchTrace",
+    "SiteReport",
+    "chrome_trace",
+    "site_reports",
+    "site_table",
+    "validate_chrome_trace",
+]

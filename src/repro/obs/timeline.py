@@ -1,0 +1,227 @@
+"""Chrome-trace (Perfetto-loadable) timeline export.
+
+Renders a :class:`~repro.obs.trace.PrefetchTrace` as Trace Event Format
+JSON (the ``{"traceEvents": [...]}`` dialect both ``chrome://tracing``
+and https://ui.perfetto.dev accept).  Simulated cycles are written as
+microsecond timestamps 1:1 — absolute units are meaningless in a
+simulator; relative spans are what matter.
+
+Three pseudo-processes:
+
+* pid 1 ``prefetches`` — one thread per injection site; each used or
+  evicted prefetch is a complete ("X") span from issue to fill-ready,
+  with outcome and margin in ``args`` (drops become zero-length spans).
+* pid 2 ``demand stalls`` — demand loads that stalled past the L2,
+  one span per LLC hit / DRAM miss / in-flight coalesce.
+* pid 3 ``loop iterations`` — latch-to-latch spans reconstructed from
+  the traced taken-branch stream (back edges: target PC <= branch PC),
+  one thread per latch.
+
+:func:`validate_chrome_trace` is the schema check CI runs on exported
+files; it returns a list of problems (empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+_PID_PREFETCH = 1
+_PID_DEMAND = 2
+_PID_LOOPS = 3
+
+#: Cap on loop-iteration spans emitted per latch so a hot loop cannot
+#: bloat the file; the trace rings already bound the raw streams.
+MAX_ITERATIONS_PER_LATCH = 4096
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None) -> dict:
+    event = {
+        "name": "process_name" if tid is None else "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid if tid is not None else 0,
+        "args": {"name": name},
+    }
+    return event
+
+
+def chrome_trace(trace, metadata: Optional[dict] = None) -> dict:
+    """Build the Trace Event Format document for one traced run."""
+    events: list[dict] = []
+    events.append(_meta(_PID_PREFETCH, "prefetches"))
+    events.append(_meta(_PID_DEMAND, "demand stalls"))
+    events.append(_meta(_PID_LOOPS, "loop iterations"))
+
+    # ------------------------------------------------------------------
+    # Prefetch lifecycle spans, one tid per site.
+    # ------------------------------------------------------------------
+    site_tids: dict[str, int] = {}
+    for span in trace.spans:
+        tid = site_tids.get(span.site)
+        if tid is None:
+            tid = site_tids[span.site] = len(site_tids) + 1
+            events.append(_meta(_PID_PREFETCH, span.site, tid))
+        args = {"line": span.line, "outcome": span.outcome}
+        if span.margin is not None:
+            args["margin_cycles"] = span.margin
+        events.append(
+            {
+                "name": span.outcome,
+                "cat": "prefetch",
+                "ph": "X",
+                "pid": _PID_PREFETCH,
+                "tid": tid,
+                "ts": float(span.issue_cycle),
+                "dur": max(float(span.ready_cycle - span.issue_cycle), 0.0),
+                "args": args,
+            }
+        )
+    # Prefetches still open when the run ended: render as spans to the
+    # last observed cycle so in-flight/unused work is visible.
+    end = float(trace.last_cycle)
+    for line, (label, issued, ready, filled) in sorted(
+        trace.open_records().items()
+    ):
+        tid = site_tids.get(label)
+        if tid is None:
+            tid = site_tids[label] = len(site_tids) + 1
+            events.append(_meta(_PID_PREFETCH, label, tid))
+        events.append(
+            {
+                "name": "unused",
+                "cat": "prefetch",
+                "ph": "X",
+                "pid": _PID_PREFETCH,
+                "tid": tid,
+                "ts": float(issued),
+                "dur": max(end - float(issued), 0.0),
+                "args": {"line": line, "outcome": "unused", "filled": filled},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Demand-miss stalls.
+    # ------------------------------------------------------------------
+    for event in trace.demand:
+        events.append(
+            {
+                "name": f"{event.level} miss",
+                "cat": "demand",
+                "ph": "X",
+                "pid": _PID_DEMAND,
+                "tid": 1,
+                "ts": float(event.cycle),
+                "dur": max(float(event.latency), 0.0),
+                "args": {"pc": event.pc, "line": event.line},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Loop iterations from the taken-branch stream (LBR-style).
+    # ------------------------------------------------------------------
+    latch_tids: dict[int, int] = {}
+    latch_prev: dict[int, float] = {}
+    latch_emitted: dict[int, int] = {}
+    for entry in trace.branches:
+        from_pc, to_pc, cycle = entry[0], entry[1], entry[2]
+        if to_pc > from_pc:  # forward branch: not a loop back edge
+            continue
+        previous = latch_prev.get(from_pc)
+        latch_prev[from_pc] = float(cycle)
+        if previous is None:
+            continue
+        emitted = latch_emitted.get(from_pc, 0)
+        if emitted >= MAX_ITERATIONS_PER_LATCH:
+            continue
+        latch_emitted[from_pc] = emitted + 1
+        tid = latch_tids.get(from_pc)
+        if tid is None:
+            tid = latch_tids[from_pc] = len(latch_tids) + 1
+            events.append(_meta(_PID_LOOPS, f"latch {from_pc:#x}", tid))
+        events.append(
+            {
+                "name": "iteration",
+                "cat": "loop",
+                "ph": "X",
+                "pid": _PID_LOOPS,
+                "tid": tid,
+                "ts": previous,
+                "dur": max(float(cycle) - previous, 0.0),
+                "args": {"latch_pc": from_pc, "target_pc": to_pc},
+            }
+        )
+
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs",
+            "time_unit": "cycles (written as us)",
+            "ring_occupancy": trace.event_counts(),
+        },
+    }
+    if metadata:
+        document["otherData"].update(metadata)
+    return document
+
+
+def write_chrome_trace(
+    trace, path, metadata: Optional[dict] = None
+) -> dict:
+    """Export ``trace`` to ``path`` as Chrome-trace JSON; returns the
+    document (handy for immediate validation)."""
+    document = chrome_trace(trace, metadata=metadata)
+    Path(path).write_text(json.dumps(document))
+    return document
+
+
+# ----------------------------------------------------------------------
+# Schema validation (the CI smoke check).
+# ----------------------------------------------------------------------
+_REQUIRED_EVENT_FIELDS = ("name", "ph", "pid", "tid")
+_KNOWN_PHASES = {"X", "B", "E", "M", "i", "I", "C"}
+
+
+def validate_chrome_trace(document) -> list[str]:
+    """Validate a Trace Event Format document; returns problem strings.
+
+    Checks the subset of the spec Perfetto's JSON importer relies on:
+    the envelope shape, per-event required fields, known phase types,
+    numeric non-negative timestamps, and ``dur`` presence on complete
+    ("X") events.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for fieldname in _REQUIRED_EVENT_FIELDS:
+            if fieldname not in event:
+                problems.append(f"{where}: missing {fieldname!r}")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase == "M":
+            continue  # metadata events carry no timestamps
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args is not an object")
+    return problems

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.loops import find_loops
 from repro.analysis.slices import find_indirect_loads
+from repro.core.site import site_label
 from repro.ir.nodes import Module
 from repro.passes.cleanup import cleanup_module
 from repro.passes.inject import InjectionResult, inject_inner
@@ -92,6 +93,7 @@ class AinsworthJonesPass:
                     loop,
                     distance=self.config.distance,
                     minimal_clone=False,  # the baseline clones full slices
+                    site_label=site_label(function.name, load.pc, "inner"),
                 )
                 report.record(load.pc, function.name, result)
         if self.config.cleanup:

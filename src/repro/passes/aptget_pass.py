@@ -22,7 +22,7 @@ from typing import Optional
 from repro.analysis.loops import find_loops, innermost_loop_of
 from repro.analysis.slices import slice_for_pc
 from repro.core.hints import HintSet, PrefetchHint
-from repro.core.site import InjectionSite
+from repro.core.site import InjectionSite, site_label
 from repro.ir.nodes import Module
 from repro.passes.ainsworth_jones import (
     AinsworthJonesConfig,
@@ -111,6 +111,9 @@ class AptGetPass:
                     outer_loop=inner.parent,
                     distance=hint.effective_distance,
                     sweep=hint.sweep,
+                    site_label=site_label(
+                        hint.function, hint.load_pc, InjectionSite.OUTER
+                    ),
                 )
                 if result.success:
                     return result
@@ -125,4 +128,7 @@ class AptGetPass:
             inner,
             distance=hint.distance,
             minimal_clone=True,
+            site_label=site_label(
+                hint.function, hint.load_pc, InjectionSite.INNER
+            ),
         )

@@ -217,8 +217,14 @@ def inject_inner(
     loop: Loop,
     distance: int,
     minimal_clone: bool = True,
+    site_label: Optional[str] = None,
 ) -> InjectionResult:
-    """Inject a prefetch ``distance`` iterations ahead inside ``loop``."""
+    """Inject a prefetch ``distance`` iterations ahead inside ``loop``.
+
+    ``site_label`` (when given) is stamped on the emitted PREFETCH and on
+    the delinquent load so lifecycle tracing can attribute events per
+    injection site.
+    """
     if distance < 1:
         return InjectionResult(False, "distance must be >= 1")
     if load_slice.has_call:
@@ -242,6 +248,9 @@ def inject_inner(
     block = _owning_block(function, load)
     if block is None:
         return InjectionResult(False, "load not found in function")
+    if site_label is not None:
+        prefetch.site = site_label
+        load.site = site_label
     sequence = advance + clamp + clones + [prefetch]
     block.insert_before(load, sequence)
     return InjectionResult(
@@ -263,6 +272,7 @@ def inject_outer(
     outer_loop: Loop,
     distance: int,
     sweep: int = 1,
+    site_label: Optional[str] = None,
 ) -> InjectionResult:
     """Inject prefetches for future *outer* iterations in the inner
     loop's preheader.
@@ -385,10 +395,14 @@ def inject_outer(
             return InjectionResult(
                 False, "address independent of induction variables"
             )
+        if site_label is not None:
+            prefetch.site = site_label
         sequence.extend(clones)
         sequence.append(prefetch)
         prefetches += 1
 
+    if site_label is not None:
+        load.site = site_label
     preheader.insert_before_terminator(sequence)
     return InjectionResult(
         True,

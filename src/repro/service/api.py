@@ -23,9 +23,12 @@ from dataclasses import fields as dataclass_fields
 from typing import Iterable, Optional, Sequence
 
 from repro.core.hints import HintSet
+from repro.core.site import InjectionSite
 from repro.experiments.runner import (
     SchemeRun,
     WorkloadComparison,
+    hints_with_distance,
+    hints_with_site,
     profile_workload,
     run_ainsworth_jones,
     run_baseline,
@@ -33,7 +36,9 @@ from repro.experiments.runner import (
     scale_suite,
 )
 from repro.machine.config import MachineConfig
-from repro.machine.machine import RunResult
+from repro.machine.machine import Machine, RunResult
+from repro.obs.sites import SiteReport, site_reports
+from repro.passes.aptget_pass import AptGetPass
 from repro.machine.pmu import Counters
 from repro.passes.ainsworth_jones import PassReport
 from repro.profiling.profile import ExecutionProfile
@@ -52,6 +57,10 @@ from repro.workloads.registry import make_workload
 #: suite forever.  Only enforced on the multiprocess path.
 DEFAULT_JOB_TIMEOUT = 1800.0
 DEFAULT_RETRIES = 1
+
+#: Buckets for the per-site timely-fraction histogram (a fraction, not
+#: a latency, so the registry's second-scale defaults would be useless).
+_TIMELY_FRACTION_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
 
 
 # ----------------------------------------------------------------------
@@ -257,6 +266,71 @@ class TuningService:
             )
             self.store.put(key, payload)
         return run_from_payload(payload)
+
+    def site_report(
+        self,
+        name: str,
+        scale: str = "small",
+        fixed_distance: Optional[int] = None,
+    ) -> dict[str, SiteReport]:
+        """Per-injection-site timeliness rollups from one traced run
+        (cached under the ``sites`` artifact kind).
+
+        With the default ``fixed_distance=None`` the workload runs with
+        its Eq-1/Eq-2 hints.  Passing a distance instead measures the
+        naive baseline — every hint forced to the inner site at that
+        fixed distance (a compiler's ``-fprefetch-loop-arrays`` shape) —
+        so the two calls together show what profile-guided distance and
+        site selection buy.
+
+        Fresh (uncached) computations feed aggregate event counts into
+        this service's :class:`MetricsRegistry` under ``obs.prefetch.*``
+        and observe each site's timely fraction in the
+        ``obs.site.timely_fraction`` histogram.
+        """
+        params = {}
+        if fixed_distance is not None:
+            params["fixed_distance"] = fixed_distance
+        key = self._key("sites", name, scale, **params)
+        payload = self._get(key)
+        if payload is None:
+            _, hints = self.profile(name, scale)
+            if fixed_distance is not None:
+                hints = hints_with_distance(
+                    hints_with_site(hints, InjectionSite.INNER),
+                    fixed_distance,
+                )
+            workload = make_workload(name, scale)
+            module, space = workload.build()
+            AptGetPass(hints).run(module)
+            machine = Machine(module, space, config=self.config)
+            trace = machine.enable_tracing()
+            machine.run(workload.entry)
+            reports = site_reports(trace)
+            payload = {
+                "sites": {
+                    label: report.to_dict()
+                    for label, report in reports.items()
+                }
+            }
+            self.store.put(key, payload)
+            for field in (
+                "issued", "timely", "late", "early_evicted", "unused"
+            ):
+                total = sum(getattr(r, field) for r in reports.values())
+                if total:
+                    self.metrics.inc(f"obs.prefetch.{field}", total)
+            for report in reports.values():
+                if report.used:
+                    self.metrics.histogram(
+                        "obs.site.timely_fraction",
+                        _TIMELY_FRACTION_BUCKETS,
+                    ).observe(report.timely_fraction)
+            self.flush_metrics()
+        return {
+            label: SiteReport.from_dict(raw)
+            for label, raw in payload["sites"].items()
+        }
 
     # ------------------------------------------------------------------
     # Suite comparison (parallel compute of misses).

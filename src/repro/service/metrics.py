@@ -15,7 +15,8 @@ from __future__ import annotations
 import json
 import logging
 import threading
-from typing import Optional, Sequence
+from bisect import bisect_left
+from typing import Optional, Sequence, Union
 
 logger = logging.getLogger("repro.service")
 
@@ -57,11 +58,10 @@ class Histogram:
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        # Bucket bounds are inclusive upper edges, so the first bound
+        # >= value is the bucket; past the last bound -> +inf tail
+        # (bisect_left lands on len(buckets), the tail slot).
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     def to_dict(self) -> dict:
         buckets = {
@@ -109,11 +109,18 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
 
-    def get(self, name: str) -> int:
-        """Current value of a counter (0 if never incremented)."""
+    def get(self, name: str) -> Union[int, dict]:
+        """Current value of a counter (0 if never incremented) or, when
+        ``name`` names a histogram instead, its ``to_dict()`` snapshot
+        (count/sum/min/max/buckets)."""
         with self._lock:
             counter = self._counters.get(name)
-        return counter.value if counter is not None else 0
+            if counter is not None:
+                return counter.value
+            histogram = self._histograms.get(name)
+            if histogram is not None:
+                return histogram.to_dict()
+        return 0
 
     # ------------------------------------------------------------------
     def event(self, name: str, **fields) -> None:

@@ -1,6 +1,7 @@
 """Content-addressed artifact store for the tuning service.
 
-Artifacts (execution profiles, hint sets, scheme-run summaries) are
+Artifacts (execution profiles, hint sets, scheme-run summaries, and
+per-injection-site timeliness rollups under the ``sites`` kind) are
 keyed by a stable SHA-256 digest of the :class:`CacheKey` — (artifact
 kind, workload name, scale, machine-config fingerprint, extra params,
 schema version) — and stored as schema-versioned JSON files:
@@ -56,7 +57,7 @@ def config_fingerprint(config) -> str:
 class CacheKey:
     """Identity of one cached artifact."""
 
-    kind: str  # "profile", "run", ...
+    kind: str  # "profile", "run", "sites", ...
     workload: str
     scale: str
     config: str  # machine-config fingerprint

@@ -127,3 +127,61 @@ def test_experiment_ideal_tiny(capsys):
     assert main(["experiment", "ideal", "--scale", "tiny"]) == 0
     out = capsys.readouterr().out
     assert "ideal speedup" in out
+
+
+def test_run_surfaces_prefetch_counters(capsys):
+    assert main(
+        ["run", "--workload", "micro-tiny", "--scheme", "aj", "--distance", "8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "software prefetches:" in out
+    assert "sw_prefetch_issued" in out
+    assert "prefetch_accuracy" in out
+    assert "prefetch_timeliness" in out
+
+
+def test_run_baseline_omits_prefetch_block(capsys):
+    assert main(["run", "--workload", "micro-tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "software prefetches:" not in out
+
+
+def test_run_with_trace_export(tmp_path, capsys):
+    from repro.obs.timeline import validate_chrome_trace
+
+    trace_path = tmp_path / "trace.json"
+    assert main(
+        [
+            "run",
+            "--workload",
+            "micro-tiny",
+            "--scheme",
+            "apt-get",
+            "--trace",
+            str(trace_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "prefetch span(s)" in out
+    assert "timely%" in out  # per-site summary table
+    document = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(document) == []
+    assert document["otherData"]["workload"] == "micro-low-i64"
+
+
+def test_report_sites(capsys):
+    import repro.service.api as service_api
+
+    saved = service_api._SERVICE
+    try:
+        service_api.configure_service()  # fresh in-memory cache
+        assert main(
+            ["report", "--workload", "micro-tiny", "--sites", "--scale", "tiny"]
+        ) == 0
+    finally:
+        service_api._SERVICE = saved
+    out = capsys.readouterr().out
+    assert "Eq-1 distances" in out
+    assert "fixed distance 4" in out
+    assert "overall timely fraction" in out
+    assert "timely%" in out

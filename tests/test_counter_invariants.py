@@ -1,14 +1,22 @@
 """Cross-counter invariant checks over real runs of every workload class
 and scheme — a simulator-bug detector."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import HealthCheck, given, settings
 
+from repro.core.hints import HintSet, PrefetchHint
+from repro.core.site import InjectionSite
 from repro.experiments.runner import (
     run_ainsworth_jones,
     run_apt_get,
     run_baseline,
 )
+from repro.ir.opcodes import Opcode
+from repro.machine.machine import Machine
+from repro.passes.aptget_pass import AptGetPass
 from repro.workloads.registry import TINY_SUITE, make_workload
+from tests.conftest import build_nested_indirect
 
 
 @pytest.mark.parametrize("name", sorted(TINY_SUITE))
@@ -34,3 +42,136 @@ def test_invariant_checker_catches_corruption():
 
     broken = Counters(loads=10, l1_hits=3, l1_misses=3)  # 3+3 != 10
     assert PerfStat(broken).check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle accounting: every issued software prefetch must end up in
+# exactly one terminal bucket — consumed (useful: timely or late),
+# evicted before use, dropped (redundant / MSHR-full / unmapped), or
+# still outstanding (filled-but-unused or in flight) when the run ends.
+# ----------------------------------------------------------------------
+def _assert_lifecycle_accounting(machine, counters):
+    c = counters
+    outstanding = machine.mem.sw_prefetch_outstanding()
+    assert c.sw_prefetch_issued == (
+        c.sw_prefetch_useful
+        + c.sw_prefetch_early_evicted
+        + c.sw_prefetch_redundant
+        + c.sw_prefetch_dropped_mshr
+        + c.sw_prefetch_dropped_unmapped
+        + outstanding
+    )
+    # LOAD_HIT_PRE (late) is the coalesce subset of useful, never more.
+    assert c.load_hit_pre_sw_pf <= c.sw_prefetch_useful
+
+
+def _assert_trace_matches_counters(trace, machine, counters):
+    from repro.obs.sites import site_reports
+
+    reports = site_reports(trace)
+    totals = {
+        field: sum(getattr(r, field) for r in reports.values())
+        for field in (
+            "issued",
+            "timely",
+            "late",
+            "early_evicted",
+            "dropped_mshr",
+            "dropped_unmapped",
+            "redundant",
+            "unused",
+        )
+    }
+    c = counters
+    assert totals["issued"] == c.sw_prefetch_issued
+    assert totals["timely"] + totals["late"] == c.sw_prefetch_useful
+    # Store coalesces count as late in the trace but do not bump
+    # LOAD_HIT_PRE (a load-only event), hence >= rather than ==.
+    assert totals["late"] >= c.load_hit_pre_sw_pf
+    assert totals["early_evicted"] == c.sw_prefetch_early_evicted
+    assert totals["redundant"] == c.sw_prefetch_redundant
+    assert totals["dropped_mshr"] == c.sw_prefetch_dropped_mshr
+    assert totals["dropped_unmapped"] == c.sw_prefetch_dropped_unmapped
+    assert totals["unused"] == machine.mem.sw_prefetch_outstanding()
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SUITE))
+@pytest.mark.parametrize("traced", [False, True])
+def test_aj_lifecycle_accounting(name, traced):
+    workload = make_workload(name)
+    module, space = workload.build()
+    from repro.passes.ainsworth_jones import (
+        AinsworthJonesConfig,
+        AinsworthJonesPass,
+    )
+
+    AinsworthJonesPass(AinsworthJonesConfig(distance=8)).run(module)
+    machine = Machine(module, space)
+    trace = machine.enable_tracing() if traced else None
+    result = machine.run(workload.entry)
+    _assert_lifecycle_accounting(machine, result.counters)
+    if trace is not None:
+        _assert_trace_matches_counters(trace, machine, result.counters)
+
+
+def _target_pc(module):
+    return next(
+        inst.pc
+        for inst in module.function("main").instructions()
+        if inst.op is Opcode.LOAD and inst.dst == "t.v"
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    outer=st.integers(min_value=1, max_value=24),
+    inner=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+    distance=st.integers(min_value=1, max_value=256),
+    site=st.sampled_from([InjectionSite.INNER, InjectionSite.OUTER]),
+    sweep=st.integers(min_value=1, max_value=8),
+)
+def test_lifecycle_accounting_randomized(
+    outer, inner, seed, distance, site, sweep
+):
+    """The issued == sum-of-terminal-buckets identity holds for any
+    randomized nested workload and hint shape, traced or not, and the
+    traced rollups agree with the PMU exactly."""
+    module, space, expected = build_nested_indirect(
+        outer=outer, inner=inner, seed=seed
+    )
+    hints = HintSet.from_hints(
+        [
+            PrefetchHint(
+                load_pc=_target_pc(module),
+                function="main",
+                distance=distance,
+                site=site,
+                outer_distance=distance,
+                sweep=sweep,
+            )
+        ]
+    )
+    AptGetPass(hints).run(module)
+
+    untraced = Machine(module, space)
+    result = untraced.run("main")
+    assert result.value == expected
+    _assert_lifecycle_accounting(untraced, result.counters)
+
+    module2, space2, _ = build_nested_indirect(
+        outer=outer, inner=inner, seed=seed
+    )
+    AptGetPass(hints).run(module2)
+    traced = Machine(module2, space2)
+    trace = traced.enable_tracing()
+    result2 = traced.run("main")
+    assert result2.value == expected
+    # Tracing must not perturb timing or any counter.
+    assert result2.counters.as_dict() == result.counters.as_dict()
+    _assert_lifecycle_accounting(traced, result2.counters)
+    _assert_trace_matches_counters(trace, traced, result2.counters)

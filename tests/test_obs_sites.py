@@ -1,0 +1,107 @@
+"""Site labelling + rollup tests: labels must survive the pass and
+module re-finalization, reports must round-trip through JSON, and the
+headline acceptance property — Eq-1 distances beat a naive fixed
+distance on timeliness — must hold on real workloads."""
+
+import pytest
+
+from repro.core.site import InjectionSite, site_label
+from repro.experiments.runner import (
+    hints_with_distance,
+    hints_with_site,
+    profile_workload,
+)
+from repro.machine.machine import Machine
+from repro.obs.sites import (
+    MARGIN_BUCKETS,
+    SiteReport,
+    format_site_reports,
+    site_reports,
+    site_table,
+)
+from repro.passes.aptget_pass import AptGetPass
+from repro.workloads.registry import make_workload
+
+
+def test_site_label_format():
+    assert site_label("main", 0x40, InjectionSite.INNER) == "main@0x40/inner"
+    assert site_label("f", 8, "outer") == "f@0x8/outer"
+
+
+def test_site_table_from_stamped_module():
+    workload = make_workload("micro-tiny")
+    _, hints = profile_workload(workload)
+    module, _ = make_workload("micro-tiny").build()
+    AptGetPass(hints).run(module)
+    prefetch_sites, load_sites = site_table(module)
+    assert prefetch_sites, "pass stamped no PREFETCH sites"
+    assert load_sites, "pass stamped no delinquent-load sites"
+    # Stamped PCs are live in the re-finalized module, and the labels
+    # carry the hint's function name.
+    pcs = {
+        inst.pc for inst in module.function(workload.entry).instructions()
+    }
+    assert set(prefetch_sites) <= pcs
+    assert set(load_sites) <= pcs
+    for label in prefetch_sites.values():
+        assert "/" in label and "@" in label
+
+
+def test_site_report_roundtrip():
+    report = SiteReport(
+        label="f@0x40/inner",
+        issued=10,
+        timely=5,
+        late=2,
+        early_evicted=1,
+        unused=2,
+        uncovered_misses=3,
+        margin_sum=70.0,
+        margin_min=-10.0,
+        margin_max=40.0,
+    )
+    clone = SiteReport.from_dict(report.to_dict())
+    assert clone == report
+    assert clone.used == 7
+    assert clone.accuracy == pytest.approx(0.7)
+    assert clone.coverage == pytest.approx(0.7)
+    assert clone.timely_fraction == pytest.approx(5 / 7)
+    assert clone.margin_mean == pytest.approx(10.0)
+    assert len(clone.margin_hist) == len(MARGIN_BUCKETS) + 1
+
+
+def test_format_site_reports_smoke():
+    assert "no software prefetch" in format_site_reports({})
+    report = SiteReport(label="f@0x40/inner", issued=4, timely=3, late=1)
+    report.margin_hist[5] = 4
+    text = format_site_reports({report.label: report})
+    assert "f@0x40/inner" in text
+    assert "margin" in text
+
+
+def _overall_timely(name, hints):
+    workload = make_workload(name)
+    module, space = workload.build()
+    AptGetPass(hints).run(module)
+    machine = Machine(module, space)
+    trace = machine.enable_tracing()
+    machine.run(workload.entry)
+    reports = site_reports(trace)
+    used = sum(r.used for r in reports.values())
+    timely = sum(r.timely for r in reports.values())
+    assert used, f"{name}: no prefetches consumed"
+    return timely / used
+
+
+@pytest.mark.parametrize("name", ["HJ8-tiny", "BFS-tiny"])
+def test_eq1_beats_fixed_distance_on_timeliness(name):
+    """Acceptance: profile-guided (Eq-1 distance + Eq-2 site) prefetching
+    must raise the timely fraction over naive inner-site injection with a
+    fixed distance of 4 on the hashjoin and BFS workloads."""
+    _, hints = profile_workload(make_workload(name))
+    eq1 = _overall_timely(name, hints)
+    naive = hints_with_distance(
+        hints_with_site(hints, InjectionSite.INNER), 4
+    )
+    fixed = _overall_timely(name, naive)
+    assert eq1 > fixed, f"{name}: eq1={eq1:.3f} <= fixed4={fixed:.3f}"

@@ -1,0 +1,107 @@
+"""Chrome-trace export + schema-validation tests."""
+
+import json
+
+from repro.experiments.runner import profile_workload
+from repro.machine.machine import Machine
+from repro.obs.timeline import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import PrefetchTrace
+from repro.passes.aptget_pass import AptGetPass
+from repro.workloads.registry import make_workload
+
+
+def make_synthetic_trace():
+    trace = PrefetchTrace(capacity=64, sites={100: "f@0x64/inner"})
+    trace.on_issue(100, 1, cycle=10.0, ready=254.0)
+    trace.on_fill(1, ready=254.0)
+    trace.on_use(1, cycle=300.0, late=False)
+    trace.on_issue(100, 2, cycle=20.0, ready=264.0)
+    trace.on_use(2, cycle=100.0, late=True)
+    trace.on_drop(100, 3, cycle=30.0, reason="redundant")
+    trace.on_issue(100, 4, cycle=40.0, ready=284.0)  # stays open
+    trace.on_demand(50, 9, cycle=50.0, latency=244.0, level="dram")
+    for i in range(3):  # two iterations of a latch at pc 20
+        trace.on_branch(20, 10, 100.0 * (i + 1))
+    return trace
+
+
+class TestChromeTrace:
+    def test_document_shape_and_validation(self):
+        document = chrome_trace(make_synthetic_trace())
+        assert validate_chrome_trace(document) == []
+        events = document["traceEvents"]
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert "timely" in names
+        assert "late" in names
+        assert "redundant" in names
+        assert "unused" in names  # the open record
+        assert "dram miss" in names
+        assert names.count("iteration") == 2
+
+    def test_spans_carry_margin_args(self):
+        document = chrome_trace(make_synthetic_trace())
+        timely = next(
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "timely"
+        )
+        assert timely["args"]["margin_cycles"] == 46.0
+        assert timely["ts"] == 10.0
+        assert timely["dur"] == 244.0
+
+    def test_metadata_merged(self):
+        document = chrome_trace(
+            make_synthetic_trace(), metadata={"workload": "x"}
+        )
+        assert document["otherData"]["workload"] == "x"
+        assert document["otherData"]["generator"] == "repro.obs"
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        document = write_chrome_trace(make_synthetic_trace(), path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == document
+        assert validate_chrome_trace(on_disk) == []
+
+
+class TestValidator:
+    def test_rejects_bad_documents(self):
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+        assert validate_chrome_trace({}) == [
+            "traceEvents is missing or not a list"
+        ]
+        assert validate_chrome_trace({"traceEvents": []})
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -1},
+                    {"ph": "?", "pid": 1, "tid": 1},
+                ]
+            }
+        )
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("unknown phase" in p for p in problems)
+
+
+def test_real_traced_run_exports_valid_trace(tmp_path):
+    workload = make_workload("micro-tiny")
+    _, hints = profile_workload(workload)
+    module, space = make_workload("micro-tiny").build()
+    AptGetPass(hints).run(module)
+    machine = Machine(module, space)
+    trace = machine.enable_tracing()
+    machine.run(workload.entry)
+    document = write_chrome_trace(trace, tmp_path / "t.json")
+    assert validate_chrome_trace(document) == []
+    spans = [
+        e
+        for e in document["traceEvents"]
+        if e.get("cat") == "prefetch" and e["ph"] == "X"
+    ]
+    assert spans, "traced run produced no prefetch spans"

@@ -130,6 +130,52 @@ class TestFreshObjects:
         assert analyzed is not hints
 
 
+class TestSiteReport:
+    def test_cached_and_persisted(self, tmp_path):
+        service = TuningService(cache_dir=tmp_path)
+        first = service.site_report("micro-tiny", scale="tiny")
+        assert first, "no sites traced"
+        hits_before = service.metrics.get("cache.hits")
+        second = service.site_report("micro-tiny", scale="tiny")
+        assert service.metrics.get("cache.hits") > hits_before
+        assert {k: v.to_dict() for k, v in first.items()} == {
+            k: v.to_dict() for k, v in second.items()
+        }
+        # Persisted under the "sites" artifact kind...
+        assert service.store.stats()["by_kind"].get("sites") == 1
+        # ...and readable by a brand-new service against the same dir.
+        rehydrated = TuningService(cache_dir=tmp_path).site_report(
+            "micro-tiny", scale="tiny"
+        )
+        assert {k: v.to_dict() for k, v in rehydrated.items()} == {
+            k: v.to_dict() for k, v in first.items()
+        }
+
+    def test_feeds_metrics_registry(self):
+        service = TuningService()
+        reports = service.site_report("micro-tiny", scale="tiny")
+        issued = sum(r.issued for r in reports.values())
+        assert service.metrics.get("obs.prefetch.issued") == issued
+        timely_hist = service.metrics.get("obs.site.timely_fraction")
+        assert isinstance(timely_hist, dict)
+        assert timely_hist["count"] >= 1
+
+    def test_fixed_distance_variant_is_distinct(self):
+        service = TuningService()
+        eq1 = service.site_report("micro-tiny", scale="tiny")
+        fixed = service.site_report(
+            "micro-tiny", scale="tiny", fixed_distance=4
+        )
+        # Different artifact (different params), lower timeliness.
+        def timely(reports):
+            used = sum(r.used for r in reports.values())
+            return (
+                sum(r.timely for r in reports.values()) / used if used else 0
+            )
+
+        assert timely(eq1) > timely(fixed)
+
+
 class TestEnvironmentDefaults:
     def test_get_service_reads_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))

@@ -38,6 +38,37 @@ class TestHistograms:
         assert data["count"] == 1
         assert len(data["buckets"]) == len(DEFAULT_BUCKETS) + 1
 
+    def test_bucket_placement_matches_linear_scan(self):
+        """The bisect-based observe must bucket exactly like the old
+        first-bound->= linear scan, including on bucket edges."""
+        buckets = (0.1, 1.0, 10.0)
+        histogram = Histogram("h", buckets=buckets)
+        values = [0.0, 0.1, 0.10001, 1.0, 3.0, 10.0, 11.0, -1.0]
+        for value in values:
+            histogram.observe(value)
+
+        def linear_bucket(value):
+            for index, bound in enumerate(buckets):
+                if value <= bound:
+                    return index
+            return len(buckets)
+
+        expected = [0] * (len(buckets) + 1)
+        for value in values:
+            expected[linear_bucket(value)] += 1
+        assert histogram.bucket_counts == expected
+
+    def test_registry_get_returns_histogram_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.observe("service.job_seconds", 0.2)
+        data = metrics.get("service.job_seconds")
+        assert isinstance(data, dict)
+        assert data["count"] == 1
+        # Counters still take precedence and missing names stay 0.
+        metrics.inc("cache.hits")
+        assert metrics.get("cache.hits") == 1
+        assert metrics.get("nope") == 0
+
 
 class TestReporting:
     def test_to_dict_and_report(self):
