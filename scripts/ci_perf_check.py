@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""CI perf-smoke for the fast execution engine.
+
+Runs the Figure-5-style suite comparison (every registered workload at
+the given scale, baseline/A&J/APT-GET — the same work ``benchmarks/
+bench_fig05.py`` measures) once per engine through the v1 ``repro.api``
+surface, then asserts:
+
+* **bit-identical results** — every workload's per-scheme payload
+  (values, counters, injection reports, hints) matches the reference
+  interpreter exactly, and
+* **the fast engine is actually faster** — wall-clock for the fast
+  engine must beat the reference interpreter (``--min-speedup`` guards
+  against regressions that keep correctness but lose the point).
+
+Usage:
+    python scripts/ci_perf_check.py [--scale tiny] [--min-speedup 1.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import repro.api as api
+from repro.service.api import TuningService
+
+
+def timed_suite(engine: str, scale: str) -> tuple[api.SuiteResult, float]:
+    # A fresh, uncached in-memory service per engine: every run is a
+    # cold compute, so the wall-clock comparison is engine vs engine.
+    service = TuningService()
+    start = time.perf_counter()
+    result = api.compare_suite(scale, engine=engine, service=service)
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.2,
+        help="required fast-vs-reference wall-clock ratio (default 1.2)",
+    )
+    args = parser.parse_args()
+
+    fast, fast_seconds = timed_suite("fast", args.scale)
+    reference, reference_seconds = timed_suite("reference", args.scale)
+
+    if fast.workloads != reference.workloads:
+        print(
+            f"FAIL: workload sets differ: {fast.workloads} "
+            f"vs {reference.workloads}",
+            file=sys.stderr,
+        )
+        return 1
+
+    mismatches = []
+    for name in fast.workloads:
+        if fast.rows[name] != reference.rows[name]:
+            mismatches.append(name)
+    if mismatches:
+        print(
+            f"FAIL: fast engine is not bit-identical with the reference "
+            f"interpreter on: {', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    errors = [
+        name
+        for name in fast.workloads
+        if fast.rows[name].get("error") is not None
+    ]
+    if errors:
+        print(f"FAIL: suite errors on: {', '.join(errors)}", file=sys.stderr)
+        return 1
+
+    speedup = reference_seconds / max(fast_seconds, 1e-9)
+    print(
+        f"suite@{args.scale}: {len(fast.workloads)} workload(s), "
+        f"fast={fast_seconds:.2f}s reference={reference_seconds:.2f}s "
+        f"speedup={speedup:.2f}x (floor {args.min_speedup:.2f}x)"
+    )
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: fast engine speedup {speedup:.2f}x is below the "
+            f"{args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+
+    print("OK: counters bit-identical, fast engine faster than reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,60 @@
 """APT-GET reproduction: profile-guided timely software prefetching.
 
-Top-level convenience re-exports; see DESIGN.md for the package map.
+Top-level convenience re-exports; see DESIGN.md for the package map and
+``repro.api`` (re-exported here) for the stable v1 library surface.
 """
 
+from repro.api import (
+    API_VERSION,
+    ProfileRequest,
+    ProfileResult,
+    RunRequest,
+    RunResult,
+    SiteReportRequest,
+    SiteReportResult,
+    SuiteRequest,
+    SuiteResult,
+    TuningService,
+    compare_suite,
+    configure_service,
+    execute,
+    get_service,
+    profile,
+    run,
+    site_report,
+)
 from repro.ir import IRBuilder, Module, Opcode, verify_module
-from repro.machine import Machine, MachineConfig
+from repro.machine import ENGINES, Machine, MachineConfig
 from repro.mem import AddressSpace, MemoryConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_VERSION",
     "AddressSpace",
+    "ENGINES",
     "IRBuilder",
     "Machine",
     "MachineConfig",
     "MemoryConfig",
     "Module",
     "Opcode",
+    "ProfileRequest",
+    "ProfileResult",
+    "RunRequest",
+    "RunResult",
+    "SiteReportRequest",
+    "SiteReportResult",
+    "SuiteRequest",
+    "SuiteResult",
+    "TuningService",
+    "compare_suite",
+    "configure_service",
+    "execute",
+    "get_service",
+    "profile",
+    "run",
+    "site_report",
     "verify_module",
     "__version__",
 ]

@@ -1,0 +1,451 @@
+"""``repro.api`` — the stable v1 library surface.
+
+Every entry point takes a frozen, keyword-only *request* dataclass and
+returns a frozen *result* dataclass whose payload is plain JSON-able
+data (``to_payload``/``from_payload`` round-trip losslessly through
+``json``).  Argument order is uniformly ``(workload, scale)``, and every
+request carries an explicit ``engine=`` knob (``fast`` | ``translate``
+| ``reference``; ``None`` means the service's configured default).
+
+Three equivalent call shapes::
+
+    import repro.api as api
+
+    # 1. Request objects (the canonical, versioned shape).
+    result = api.execute(api.RunRequest(workload="BFS", scale="small"))
+
+    # 2. Convenience wrappers building the requests for you.
+    result = api.run("BFS", "small", scheme="apt-get")
+
+    # 3. The service facade (caching, parallelism) used directly.
+    service = api.get_service()
+    comparison = service.compare_suite("small")
+
+Results deliberately store payload *data*, not live objects: a result
+can be persisted, shipped across a process boundary, and rehydrated
+with ``from_payload`` without losing anything, and rich objects
+(:class:`ExecutionProfile`, :class:`HintSet`, :class:`SiteReport`) are
+reconstructed on demand by the accessor methods.
+
+Compatibility: this module is the v1 contract.  Additions are allowed;
+renames/removals require a v2.  Legacy call shapes (``TuningService``
+methods with the old ``name=`` keyword, ``Machine(engine="interpret")``)
+keep working behind ``DeprecationWarning`` shims.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional
+
+from repro.core.hints import HintSet
+from repro.experiments.runner import SchemeRun, WorkloadComparison
+from repro.machine.config import ENGINES, normalize_engine
+from repro.obs.sites import SiteReport
+from repro.profiling.profile import ExecutionProfile
+from repro.service.api import (
+    TuningService,
+    configure_service,
+    get_service,
+    profile_from_payload,
+    profile_to_payload,
+    run_from_payload,
+    run_to_payload,
+)
+
+API_VERSION = 1
+
+
+class _Payload:
+    """Shared payload plumbing: versioned, JSON-safe dict round-trips."""
+
+    def to_payload(self) -> dict:
+        payload: dict = {"kind": type(self).__name__, "v": API_VERSION}
+        payload.update(asdict(self))
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict):
+        kind = payload.get("kind", cls.__name__)
+        if kind != cls.__name__:
+            raise ValueError(f"payload is a {kind}, expected {cls.__name__}")
+        version = payload.get("v", API_VERSION)
+        if version != API_VERSION:
+            raise ValueError(f"unsupported payload version {version!r}")
+        data = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("kind", "v")
+        }
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_payload(json.loads(text))
+
+
+def _check_engine(engine: Optional[str]) -> Optional[str]:
+    return None if engine is None else normalize_engine(engine)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, kw_only=True)
+class ProfileRequest(_Payload):
+    """Ask for a profiling run + APT-GET hint analysis (cached)."""
+
+    workload: str
+    scale: str = "small"
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", _check_engine(self.engine))
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunRequest(_Payload):
+    """Ask for one measured scheme run (cached).
+
+    ``scheme`` is ``baseline``, ``aj`` (fixed-distance injection, uses
+    ``distance``) or ``apt-get`` (profile-guided hints).
+    """
+
+    workload: str
+    scale: str = "small"
+    scheme: str = "baseline"
+    distance: int = 32
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", _check_engine(self.engine))
+        if self.scheme not in ("baseline", "aj", "apt-get"):
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; "
+                "expected baseline, aj, or apt-get"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class SiteReportRequest(_Payload):
+    """Ask for per-injection-site timeliness rollups (cached).
+
+    ``fixed_distance=None`` measures the workload's profile-guided
+    hints; an integer forces every hint to the inner site at that
+    distance (the naive-compiler baseline).
+    """
+
+    workload: str
+    scale: str = "small"
+    fixed_distance: Optional[int] = None
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", _check_engine(self.engine))
+
+
+@dataclass(frozen=True, kw_only=True)
+class SuiteRequest(_Payload):
+    """Ask for the baseline/A&J/APT-GET suite comparison (cached,
+    computed in parallel across ``jobs`` workers on misses)."""
+
+    scale: str = "small"
+    aj_distance: int = 32
+    workloads: Optional[tuple] = None
+    jobs: Optional[int] = None
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", _check_engine(self.engine))
+        if self.workloads is not None:
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, kw_only=True)
+class ProfileResult(_Payload):
+    """Profile + hints for one workload; ``engine`` is the resolved name."""
+
+    workload: str
+    scale: str
+    engine: str
+    profile: dict = field(repr=False)
+    hints: dict = field(repr=False)
+
+    def execution_profile(self) -> ExecutionProfile:
+        profile, _ = profile_from_payload(
+            {"profile": self.profile["profile"],
+             "counters": self.profile["counters"],
+             "hints": self.hints}
+        )
+        return profile
+
+    def hint_set(self) -> HintSet:
+        return HintSet.from_json(json.dumps(self.hints))
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunResult(_Payload):
+    """One measured scheme run; counters are the run's deltas."""
+
+    workload: str
+    scale: str
+    engine: str
+    scheme: str
+    value: int
+    counters: dict = field(repr=False)
+    run: dict = field(repr=False)
+
+    @property
+    def cycles(self) -> float:
+        return self.counters.get("cycles", 0.0)
+
+    def scheme_run(self) -> SchemeRun:
+        return run_from_payload(self.run)
+
+
+@dataclass(frozen=True, kw_only=True)
+class SiteReportResult(_Payload):
+    """Per-site timeliness rollups from one traced run."""
+
+    workload: str
+    scale: str
+    engine: str
+    fixed_distance: Optional[int]
+    sites: dict = field(repr=False)
+
+    def reports(self) -> dict[str, SiteReport]:
+        return {
+            label: SiteReport.from_dict(raw)
+            for label, raw in self.sites.items()
+        }
+
+
+@dataclass(frozen=True, kw_only=True)
+class SuiteResult(_Payload):
+    """Suite-wide comparison; ``rows`` maps workload -> payload."""
+
+    scale: str
+    engine: str
+    aj_distance: int
+    workloads: tuple
+    rows: dict = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+
+    def comparisons(self) -> dict[str, WorkloadComparison]:
+        out: dict[str, WorkloadComparison] = {}
+        for name in self.workloads:
+            row = self.rows[name]
+            comparison = WorkloadComparison(
+                workload=name, error=row.get("error")
+            )
+            for scheme, payload in row.get("runs", {}).items():
+                comparison.runs[scheme] = run_from_payload(payload)
+            out[name] = comparison
+        return out
+
+
+#: Request type -> handler name; the execute() dispatch table.
+_REQUEST_TYPES = (
+    ProfileRequest,
+    RunRequest,
+    SiteReportRequest,
+    SuiteRequest,
+)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute(
+    request,
+    service: Optional[TuningService] = None,
+):
+    """Run one v1 request against a service (default: the process-wide
+    one) and return the matching result dataclass."""
+    service = service if service is not None else get_service()
+    if isinstance(request, ProfileRequest):
+        profile_obj, hints = service.profile(
+            request.workload, request.scale, engine=request.engine
+        )
+        payload = profile_to_payload(profile_obj, hints)
+        return ProfileResult(
+            workload=request.workload,
+            scale=request.scale,
+            engine=service._config_for(request.engine).engine,
+            profile={
+                "profile": payload["profile"],
+                "counters": payload["counters"],
+            },
+            hints=payload["hints"],
+        )
+    if isinstance(request, RunRequest):
+        run_obj = service.run(
+            request.workload,
+            request.scale,
+            scheme=request.scheme,
+            distance=request.distance,
+            engine=request.engine,
+        )
+        payload = run_to_payload(run_obj)
+        return RunResult(
+            workload=request.workload,
+            scale=request.scale,
+            engine=service._config_for(request.engine).engine,
+            scheme=request.scheme,
+            value=run_obj.result.value,
+            counters=payload["counters"],
+            run=payload,
+        )
+    if isinstance(request, SiteReportRequest):
+        reports = service.site_report(
+            request.workload,
+            request.scale,
+            fixed_distance=request.fixed_distance,
+            engine=request.engine,
+        )
+        return SiteReportResult(
+            workload=request.workload,
+            scale=request.scale,
+            engine=service._config_for(request.engine).engine,
+            fixed_distance=request.fixed_distance,
+            sites={
+                label: report.to_dict()
+                for label, report in reports.items()
+            },
+        )
+    if isinstance(request, SuiteRequest):
+        comparisons = service.compare_suite(
+            scale=request.scale,
+            aj_distance=request.aj_distance,
+            names=request.workloads,
+            jobs=request.jobs,
+            engine=request.engine,
+        )
+        rows: dict = {}
+        for name, comparison in comparisons.items():
+            rows[name] = {
+                "error": comparison.error,
+                "runs": {
+                    scheme: run_to_payload(run)
+                    for scheme, run in comparison.runs.items()
+                },
+            }
+        return SuiteResult(
+            scale=request.scale,
+            engine=service._config_for(request.engine).engine,
+            aj_distance=request.aj_distance,
+            workloads=tuple(comparisons),
+            rows=rows,
+        )
+    raise TypeError(
+        f"unknown request type {type(request).__name__}; "
+        f"expected one of {[t.__name__ for t in _REQUEST_TYPES]}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers: positional (workload, scale), keyword the rest.
+# ----------------------------------------------------------------------
+def profile(
+    workload: str,
+    scale: str = "small",
+    *,
+    engine: Optional[str] = None,
+    service: Optional[TuningService] = None,
+) -> ProfileResult:
+    return execute(
+        ProfileRequest(workload=workload, scale=scale, engine=engine),
+        service=service,
+    )
+
+
+def run(
+    workload: str,
+    scale: str = "small",
+    *,
+    scheme: str = "baseline",
+    distance: int = 32,
+    engine: Optional[str] = None,
+    service: Optional[TuningService] = None,
+) -> RunResult:
+    return execute(
+        RunRequest(
+            workload=workload,
+            scale=scale,
+            scheme=scheme,
+            distance=distance,
+            engine=engine,
+        ),
+        service=service,
+    )
+
+
+def site_report(
+    workload: str,
+    scale: str = "small",
+    *,
+    fixed_distance: Optional[int] = None,
+    engine: Optional[str] = None,
+    service: Optional[TuningService] = None,
+) -> SiteReportResult:
+    return execute(
+        SiteReportRequest(
+            workload=workload,
+            scale=scale,
+            fixed_distance=fixed_distance,
+            engine=engine,
+        ),
+        service=service,
+    )
+
+
+def compare_suite(
+    scale: str = "small",
+    *,
+    aj_distance: int = 32,
+    workloads: Optional[tuple] = None,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+    service: Optional[TuningService] = None,
+) -> SuiteResult:
+    return execute(
+        SuiteRequest(
+            scale=scale,
+            aj_distance=aj_distance,
+            workloads=workloads,
+            jobs=jobs,
+            engine=engine,
+        ),
+        service=service,
+    )
+
+
+__all__ = [
+    "API_VERSION",
+    "ENGINES",
+    "ProfileRequest",
+    "ProfileResult",
+    "RunRequest",
+    "RunResult",
+    "SiteReportRequest",
+    "SiteReportResult",
+    "SuiteRequest",
+    "SuiteResult",
+    "TuningService",
+    "compare_suite",
+    "configure_service",
+    "execute",
+    "get_service",
+    "profile",
+    "run",
+    "site_report",
+]

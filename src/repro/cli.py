@@ -24,12 +24,33 @@ from typing import Optional, Sequence
 
 from repro.core.aptget import AptGet, AptGetConfig
 from repro.core.hints import HintSet
+from repro.machine.config import ENGINE_ALIASES, ENGINES, MachineConfig
 from repro.machine.machine import Machine
 from repro.passes.ainsworth_jones import AinsworthJonesConfig, AinsworthJonesPass
 from repro.passes.aptget_pass import AptGetPass
 from repro.profiling.collect import collect_profile
 from repro.profiling.profile import ExecutionProfile
 from repro.workloads.registry import SUITE, TINY_SUITE, make_workload
+
+_SCALES = ("tiny", "small", "full")
+
+
+def _resolve_workload(args: argparse.Namespace):
+    """One workload-resolution path for every subcommand: the normalized
+    ``--workload``/``--scale`` flags name the instance."""
+    return make_workload(args.workload, getattr(args, "scale", "small"))
+
+
+def _machine_config(args: argparse.Namespace) -> Optional[MachineConfig]:
+    """A MachineConfig honouring ``--engine`` (None -> session default)."""
+    engine = getattr(args, "engine", None)
+    if engine is None:
+        return None
+    return MachineConfig(engine=engine)
+
+
+def _make_machine(module, space, args: argparse.Namespace) -> Machine:
+    return Machine(module, space, config=_machine_config(args))
 
 
 def _print_perf(result) -> None:
@@ -79,11 +100,11 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    workload = make_workload(args.workload)
+    workload = _resolve_workload(args)
     profile: Optional[ExecutionProfile] = None
     for _ in range(max(1, args.runs)):
         module, space = workload.build()
-        machine = Machine(module, space)
+        machine = _make_machine(module, space, args)
         run_profile = collect_profile(
             machine, workload.entry, period=args.period
         )
@@ -98,7 +119,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    workload = make_workload(args.workload)
+    workload = _resolve_workload(args)
     module, _ = workload.build()
     profile = ExecutionProfile.from_json(Path(args.profile).read_text())
     analyzer = AptGet(AptGetConfig(k=args.k))
@@ -128,11 +149,16 @@ def cmd_report(args: argparse.Namespace) -> int:
         from repro.service.api import get_service
 
         service = get_service()
-        eq1 = service.site_report(args.workload, scale=args.scale)
+        eq1 = service.site_report(
+            args.workload, args.scale, engine=args.engine
+        )
         print(f"{args.workload}: per-site prefetch timeliness (Eq-1 distances)")
         print(format_site_reports(eq1))
         fixed = service.site_report(
-            args.workload, scale=args.scale, fixed_distance=args.fixed_distance
+            args.workload,
+            args.scale,
+            fixed_distance=args.fixed_distance,
+            engine=args.engine,
         )
         print(
             f"\n{args.workload}: naive baseline "
@@ -146,20 +172,20 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
         return 0
 
-    workload = make_workload(args.workload)
+    workload = _resolve_workload(args)
     module, _ = workload.build()
     if args.profile:
         profile = ExecutionProfile.from_json(Path(args.profile).read_text())
     else:
         run_module, run_space = workload.build()
-        machine = Machine(run_module, run_space)
+        machine = _make_machine(run_module, run_space, args)
         profile = collect_profile(machine, workload.entry)
     print(format_profile_report(module, profile, top=args.top))
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    workload = make_workload(args.workload)
+    workload = _resolve_workload(args)
     module, space = workload.build()
 
     if args.scheme == "aj":
@@ -172,14 +198,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             hints = HintSet.from_json(Path(args.hints).read_text())
         else:
             profile_module, profile_space = workload.build()
-            machine = Machine(profile_module, profile_space)
+            machine = _make_machine(profile_module, profile_space, args)
             profile = collect_profile(machine, workload.entry)
             hints = AptGet().analyze(profile_module, profile)
             print(f"profiled: {len(hints)} hint(s)")
         report = AptGetPass(hints).run(module)
         print(f"APT-GET injected {report.injection_count} prefetch slice(s)")
 
-    machine = Machine(module, space)
+    machine = _make_machine(module, space, args)
     trace = machine.enable_tracing() if args.trace else None
     result = machine.run(workload.entry)
     print(f"{workload.name} [{args.scheme}]: ret={result.value}")
@@ -217,13 +243,13 @@ def cmd_disasm(args: argparse.Namespace) -> int:
         AinsworthJonesPass as _AJP,
     )
 
-    workload = make_workload(args.workload)
+    workload = _resolve_workload(args)
     module, _ = workload.build()
     if args.scheme == "aj":
         _AJP(_AJC(distance=args.distance)).run(module)
     elif args.scheme == "apt-get":
         profile_module, profile_space = workload.build()
-        machine = Machine(profile_module, profile_space)
+        machine = _make_machine(profile_module, profile_space, args)
         profile = collect_profile(machine, workload.entry)
         hints = AptGet().analyze(profile_module, profile)
         AptGetPass(hints).run(module)
@@ -239,10 +265,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if module is None:
         print(f"unknown experiment {args.name!r}", file=sys.stderr)
         return 2
-    explicit_service = args.jobs is not None or args.cache_dir is not None
+    explicit_service = (
+        args.jobs is not None
+        or args.cache_dir is not None
+        or args.engine is not None
+    )
     if explicit_service:
         service = configure_service(
-            cache_dir=args.cache_dir, jobs=args.jobs or 1
+            cache_dir=args.cache_dir,
+            jobs=args.jobs or 1,
+            machine_config=_machine_config(args),
         )
     else:
         service = get_service()
@@ -296,6 +328,24 @@ def cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_common_flags(p: argparse.ArgumentParser) -> None:
+    """The normalized per-workload flags shared by every subcommand:
+    ``--workload``, ``--scale``, ``--engine``."""
+    p.add_argument("--workload", "-w", required=True, help="workload name")
+    p.add_argument(
+        "--scale",
+        choices=_SCALES,
+        default="small",
+        help="input tier (default: small)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=ENGINES + tuple(ENGINE_ALIASES),
+        default=None,
+        help="execution engine (default: REPRO_ENGINE env var, else fast)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="apt-get-prefetch",
@@ -308,7 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("profile", help="collect an LBR/PEBS profile")
-    p.add_argument("--workload", required=True)
+    _add_common_flags(p)
     p.add_argument("--output", "-o", default="profile.json")
     p.add_argument("--period", type=int, default=None)
     p.add_argument(
@@ -317,14 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("analyze", help="profile -> prefetch hints")
-    p.add_argument("--workload", required=True)
+    _add_common_flags(p)
     p.add_argument("--profile", required=True)
     p.add_argument("--output", "-o", default="hints.json")
     p.add_argument("--k", type=float, default=5.0, help="Eq-2 constant")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("report", help="perf-report-style profile summary")
-    p.add_argument("--workload", required=True)
+    _add_common_flags(p)
     p.add_argument(
         "--profile", default=None, help="profile JSON (default: profile now)"
     )
@@ -336,21 +386,24 @@ def build_parser() -> argparse.ArgumentParser:
         "distance inner-site baseline) from traced runs",
     )
     p.add_argument(
-        "--scale",
-        choices=("tiny", "small", "full"),
-        default="small",
-        help="input tier for --sites runs",
-    )
-    p.add_argument(
-        "--fixed-distance",
+        "--distance",
+        dest="fixed_distance",
         type=int,
         default=4,
         help="distance for the naive baseline compared by --sites",
     )
+    # Hidden legacy spelling of --distance.
+    p.add_argument(
+        "--fixed-distance",
+        dest="fixed_distance",
+        type=int,
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("run", help="run a workload under a scheme")
-    p.add_argument("--workload", required=True)
+    _add_common_flags(p)
     p.add_argument(
         "--scheme", choices=("baseline", "aj", "apt-get"), default="baseline"
     )
@@ -373,7 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "disasm", help="print a workload's IR (optionally after a pass)"
     )
-    p.add_argument("--workload", required=True)
+    _add_common_flags(p)
     p.add_argument(
         "--scheme", choices=("baseline", "aj", "apt-get"), default="baseline"
     )
@@ -382,7 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name")
-    p.add_argument("--scale", choices=("tiny", "small", "full"), default="small")
+    p.add_argument("--scale", choices=_SCALES, default="small")
+    p.add_argument(
+        "--engine",
+        choices=ENGINES + tuple(ENGINE_ALIASES),
+        default=None,
+        help="execution engine for uncached measurements",
+    )
     p.add_argument("--output", "-o", default=None, help="also write JSON")
     p.add_argument(
         "--jobs",

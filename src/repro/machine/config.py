@@ -14,9 +14,35 @@ absolute speedups exceed the paper's; shapes and orderings are preserved
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.mem.config import CacheConfig, MemoryConfig
+
+#: Canonical engine names, fastest first.
+#:
+#: * ``fast`` — closure-chain block engine (repro.machine.blockengine).
+#: * ``translate`` — source-codegen engine (repro.machine.translator).
+#: * ``reference`` — the obviously-correct interpreter the others are
+#:   differentially tested against (repro.machine.interpreter).
+ENGINES = ("fast", "translate", "reference")
+
+#: Legacy spellings still accepted (Machine warns on explicit use).
+ENGINE_ALIASES = {"interpret": "reference"}
+
+
+def normalize_engine(engine: str) -> str:
+    """Map aliases to canonical names; reject unknown engines."""
+    canonical = ENGINE_ALIASES.get(engine, engine)
+    if canonical not in ENGINES:
+        known = ENGINES + tuple(ENGINE_ALIASES)
+        raise ValueError(f"engine must be one of {known}, got {engine!r}")
+    return canonical
+
+
+def _default_engine() -> str:
+    """Session default: the REPRO_ENGINE env var, else ``fast``."""
+    return normalize_engine(os.environ.get("REPRO_ENGINE", "fast"))
 
 
 def paper_like_memory() -> MemoryConfig:
@@ -39,6 +65,13 @@ class MachineConfig:
 
     memory: MemoryConfig = field(default_factory=paper_like_memory)
 
+    #: Which execution engine Machine uses by default.  All engines are
+    #: bit-identical in timing and counters; this knob only trades
+    #: startup cost vs steady-state speed (and selects the reference
+    #: interpreter for differential testing).  Defaults to the
+    #: ``REPRO_ENGINE`` environment variable, else ``fast``.
+    engine: str = field(default_factory=_default_engine)
+
     # Core cost model (integer cycles).
     alu_cost: int = 1
     branch_cost: int = 1
@@ -54,6 +87,9 @@ class MachineConfig:
 
     # Safety net against runaway programs.
     max_instructions: int = 2_000_000_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", normalize_engine(self.engine))
 
     def effective_pebs_threshold(self) -> int:
         if self.pebs_latency_threshold > 0:

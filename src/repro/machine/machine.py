@@ -17,21 +17,26 @@ For profiling runs (the paper's ``perf record`` step)::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.ir.nodes import IRError, Module
-from repro.machine.config import MachineConfig
+from repro.machine.blockengine import compile_blocks
+from repro.machine.config import (
+    ENGINE_ALIASES,
+    ENGINES,
+    MachineConfig,
+    normalize_engine,
+)
 from repro.machine.context import ExecutionContext
 from repro.machine.interpreter import run_function
 from repro.machine.lbr import LastBranchRecord, NullLBR
 from repro.machine.pmu import Counters, PerfStat
 from repro.machine.sampler import ProfileSampler
-from repro.machine.translator import CompiledFunction, compile_function
+from repro.machine.translator import compile_function
 from repro.mem.address import AddressSpace
 from repro.mem.hierarchy import MemorySystem
-
-ENGINES = ("translate", "interpret")
 
 
 @dataclass
@@ -58,22 +63,32 @@ class Machine:
         module: Module,
         space: AddressSpace,
         config: Optional[MachineConfig] = None,
-        engine: str = "translate",
+        engine: Optional[str] = None,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         if not module.finalized:
             module.finalize()
         self.module = module
         self.space = space
         self.config = config or MachineConfig()
-        self.engine = engine
+        if engine is None:
+            engine = self.config.engine
+        elif engine in ENGINE_ALIASES:
+            warnings.warn(
+                f"engine {engine!r} is a deprecated alias; "
+                f"use {ENGINE_ALIASES[engine]!r}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self.engine = normalize_engine(engine)
         self.counters = Counters()
         self.mem = MemorySystem(self.config.memory, space, self.counters)
         self.lbr: LastBranchRecord | NullLBR = NullLBR()
         self.sampler: Optional[ProfileSampler] = None
         self.trace = None
-        self._compiled: dict[str, CompiledFunction] = {}
+        #: Compiled-form cache, keyed by (engine, function name) so one
+        #: machine can serve several engines (e.g. translated_source()
+        #: on a machine running the fast engine).
+        self._compiled: dict[tuple[str, str], object] = {}
 
     # ------------------------------------------------------------------
     def enable_profiling(
@@ -150,6 +165,20 @@ class Machine:
             trace=self.trace,
         )
 
+    def _compile(self, name: str, engine: Optional[str] = None):
+        """Fetch (or build) the compiled form of ``name`` for ``engine``."""
+        engine = engine or self.engine
+        key = (engine, name)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            function = self.module.function(name)
+            if engine == "fast":
+                compiled = compile_blocks(function, self.config)
+            else:
+                compiled = compile_function(function, self.config)
+            self._compiled[key] = compiled
+        return compiled
+
     def _invoke(self, callee: str, args: Sequence[int], from_pc: int) -> int:
         """CALL trampoline: run ``callee`` on this machine's engine with
         the shared clock; records the call's taken branch in the LBR."""
@@ -159,13 +188,9 @@ class Machine:
         entry_pc = function.entry.start_pc
         self.lbr.push((from_pc, entry_pc, int(self.counters.cycles)))
         self.counters.taken_branches += 1
-        if self.engine == "translate":
-            compiled = self._compiled.get(callee)
-            if compiled is None:
-                compiled = compile_function(function, self.config)
-                self._compiled[callee] = compiled
-            return compiled(self._context(), args)
-        return run_function(function, self._context(), args)
+        if self.engine == "reference":
+            return run_function(function, self._context(), args)
+        return self._compile(callee)(self._context(), args)
 
     def run(
         self,
@@ -179,24 +204,15 @@ class Machine:
         if flush_caches:
             self.mem.flush()
         before = self.counters.copy()
-        if self.engine == "translate":
-            compiled = self._compiled.get(function)
-            if compiled is None:
-                compiled = compile_function(
-                    self.module.function(function), self.config
-                )
-                self._compiled[function] = compiled
-            value = compiled(self._context(), args)
-        else:
+        if self.engine == "reference":
             value = run_function(
                 self.module.function(function), self._context(), args
             )
+        else:
+            value = self._compile(function)(self._context(), args)
         return RunResult(value=value, counters=self.counters - before)
 
     def translated_source(self, function: str) -> str:
-        """Source of the translated engine's code for ``function`` (debug)."""
-        compiled = self._compiled.get(function)
-        if compiled is None:
-            compiled = compile_function(self.module.function(function), self.config)
-            self._compiled[function] = compiled
-        return compiled.source
+        """Source of the translating engine's code for ``function``
+        (debug aid; compiles on demand whatever engine is active)."""
+        return self._compile(function, engine="translate").source

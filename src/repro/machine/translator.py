@@ -84,8 +84,8 @@ class _Codegen:
         self.emit("def __translated(ctx, args):")
         self.indent += 1
         self.emit("mem = ctx.mem")
-        self.emit("mem_load = mem.load")
-        self.emit("mem_store = mem.store")
+        self.emit("mem_load = mem.load_port()")
+        self.emit("mem_store = mem.store_port()")
         self.emit("mem_prefetch = mem.prefetch")
         self.emit("sp = ctx.space")
         self.emit("sp_load = sp.load")

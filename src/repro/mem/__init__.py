@@ -8,6 +8,7 @@ from repro.mem.cache import (
     SetAssociativeCache,
 )
 from repro.mem.config import CacheConfig, MemoryConfig
+from repro.mem.fastpath import build_load_fastpath, build_store_fastpath
 from repro.mem.hierarchy import MemorySystem
 from repro.mem.hwprefetch import NextLinePrefetcher, StridePrefetcher
 
@@ -25,4 +26,6 @@ __all__ = [
     "Segment",
     "SetAssociativeCache",
     "StridePrefetcher",
+    "build_load_fastpath",
+    "build_store_fastpath",
 ]

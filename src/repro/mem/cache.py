@@ -71,6 +71,19 @@ class SetAssociativeCache:
     def invalidate(self, line: int) -> None:
         self._sets[line & self._set_mask].pop(line, None)
 
+    # ------------------------------------------------------------------
+    # Structural views for the demand fast path (repro.mem.fastpath).
+    # The set list and mask are fixed for the cache's lifetime — flush()
+    # clears the per-set dicts in place — so a closure holding these
+    # references observes every fill/evict/invalidate immediately.
+    # ------------------------------------------------------------------
+    def sets_view(self) -> list[dict[int, int]]:
+        """The live per-set line->flags dicts (shared, not a copy)."""
+        return self._sets
+
+    def set_mask(self) -> int:
+        return self._set_mask
+
     def flush(self) -> None:
         for cache_set in self._sets:
             cache_set.clear()

@@ -1,0 +1,100 @@
+"""L1 front fast path: answer L1 hits without walking the hierarchy.
+
+The demand-access hot path of :class:`~repro.mem.hierarchy.MemorySystem`
+is an L1 hit — for the evaluation suite well over 80% of loads.  The
+general :meth:`MemorySystem.load` pays, on every one of those hits, a
+bound-method call into :class:`SetAssociativeCache.lookup` plus the
+attribute traffic of the full walk's prologue.  The closures built here
+pre-resolve all of that once per machine: the L1's set array, set mask,
+counters object, prefetch-usefulness side table and hit latency are
+captured as closure cells, so an L1 hit costs one dict ``pop`` + one
+re-insert + one counter bump.
+
+Design notes (why this is a *view*, not a shadow table):
+
+* The closures read the L1's set dictionaries **in place** (structural
+  sharing).  Fills and evictions — including the inclusive hierarchy's
+  back-invalidations — mutate those same dictionaries, so the front
+  path can never go stale and needs no explicit invalidation protocol.
+  A separate line-presence table was rejected because a hit must still
+  refresh the L1's LRU order (a presence probe that skipped the
+  re-insert would change future victim selection and break the
+  bit-identical guarantee).
+* Anything that is not an L1 hit falls through to the slow path
+  unchanged, so miss classification, MSHR coalescing, tracing and the
+  hardware prefetchers behave exactly as before.
+* The fast path is **bypassed entirely while tracing is armed**
+  (:meth:`MemorySystem.load_port` hands out the plain methods then), so
+  the observability subsystem's bit-identical traced==untraced
+  guarantees never depend on this module.
+
+Both the fast engine (``repro.machine.blockengine``) and the translating
+engine bind their demand entry points through
+:meth:`MemorySystem.load_port` / :meth:`MemorySystem.store_port`; the
+reference interpreter keeps calling the plain methods so it stays the
+obviously-correct baseline the differential tests compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Demand-access signature shared by the ports: (addr, now, pc) -> latency.
+DemandPort = Callable[[int, float, int], int]
+
+
+def build_load_fastpath(mem) -> DemandPort:
+    """Pre-bound demand-load closure for ``mem`` (an L1-hit front path).
+
+    Bit-identical to :meth:`MemorySystem.load`: the hit path performs
+    the same LRU refresh, the same ``l1_hits`` increment and the same
+    prefetch-usefulness consumption check; everything else falls
+    through to the full walk.
+    """
+    l1_sets = mem.l1.sets_view()
+    set_mask = mem.l1.set_mask()
+    counters = mem.counters
+    unused = mem.prefetched_unused_view()
+    consume = mem._consume
+    l1_latency = mem._l1_lat
+    slow_load = mem.load
+
+    def load(addr: int, now, pc: int):
+        line = addr >> 6
+        cache_set = l1_sets[line & set_mask]
+        flags = cache_set.pop(line, None)
+        if flags is None:
+            return slow_load(addr, now, pc)
+        cache_set[line] = flags  # re-insert -> most recently used
+        counters.l1_hits += 1
+        if unused:
+            consume(line, now)
+        return l1_latency
+
+    return load
+
+
+def build_store_fastpath(mem) -> DemandPort:
+    """Pre-bound demand-store closure for ``mem`` (L1-hit front path).
+
+    Mirrors the L1-hit arm of :meth:`MemorySystem.store`; misses fall
+    through to the store-buffer slow path unchanged.
+    """
+    l1_sets = mem.l1.sets_view()
+    set_mask = mem.l1.set_mask()
+    unused = mem.prefetched_unused_view()
+    consume = mem._consume
+    slow_store = mem.store
+
+    def store(addr: int, now, pc: int):
+        line = addr >> 6
+        cache_set = l1_sets[line & set_mask]
+        flags = cache_set.pop(line, None)
+        if flags is None:
+            return slow_store(addr, now, pc)
+        cache_set[line] = flags
+        if unused:
+            consume(line, now)
+        return 1
+
+    return store

@@ -79,6 +79,10 @@ class MemorySystem:
         self._next_line = (
             NextLinePrefetcher() if config.next_line_prefetcher else None
         )
+        #: Lazily-built L1 front-path closures (repro.mem.fastpath);
+        #: handed out by load_port()/store_port() when tracing is off.
+        self._fast_load = None
+        self._fast_store = None
 
     # ------------------------------------------------------------------
     # Tracing
@@ -89,6 +93,40 @@ class MemorySystem:
 
     def detach_trace(self) -> None:
         self.trace = None
+
+    # ------------------------------------------------------------------
+    # Demand ports: the entry points engines bind at run start.
+    # ------------------------------------------------------------------
+    def load_port(self):
+        """Demand-load entry point for the optimizing engines.
+
+        Returns the pre-bound L1 front fast path (bit-identical to
+        :meth:`load`; see ``repro.mem.fastpath``) — or the plain
+        :meth:`load` whenever a lifecycle trace is attached, so traced
+        runs take exactly the code paths the observability guarantees
+        were established on.
+        """
+        if self.trace is not None:
+            return self.load
+        if self._fast_load is None:
+            from repro.mem.fastpath import build_load_fastpath
+
+            self._fast_load = build_load_fastpath(self)
+        return self._fast_load
+
+    def store_port(self):
+        """Demand-store entry point; same bypass rules as load_port()."""
+        if self.trace is not None:
+            return self.store
+        if self._fast_store is None:
+            from repro.mem.fastpath import build_store_fastpath
+
+            self._fast_store = build_store_fastpath(self)
+        return self._fast_store
+
+    def prefetched_unused_view(self) -> dict[int, bool]:
+        """The live prefetched-but-unused side table (shared, not a copy)."""
+        return self._unused
 
     def sw_prefetch_outstanding(self) -> int:
         """Software prefetches neither consumed nor evicted yet: filled

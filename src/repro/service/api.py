@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import fields as dataclass_fields
+from dataclasses import replace
 from typing import Iterable, Optional, Sequence
 
 from repro.core.hints import HintSet
@@ -35,7 +37,7 @@ from repro.experiments.runner import (
     run_with_hints,
     scale_suite,
 )
-from repro.machine.config import MachineConfig
+from repro.machine.config import MachineConfig, normalize_engine
 from repro.machine.machine import Machine, RunResult
 from repro.obs.sites import SiteReport, site_reports
 from repro.passes.aptget_pass import AptGetPass
@@ -216,9 +218,45 @@ class TuningService:
     # ------------------------------------------------------------------
     # Keys + store access with hit/miss accounting.
     # ------------------------------------------------------------------
-    def _key(self, kind: str, workload: str, scale: str, **params) -> CacheKey:
+    def _config_for(self, engine: Optional[str]) -> MachineConfig:
+        """This service's config, with a per-request engine override."""
+        if engine is None:
+            return self.config
+        engine = normalize_engine(engine)
+        if engine == self.config.engine:
+            return self.config
+        return replace(self.config, engine=engine)
+
+    def _key(
+        self,
+        kind: str,
+        workload: str,
+        scale: str,
+        config: Optional[MachineConfig] = None,
+        **params,
+    ) -> CacheKey:
+        """Build an artifact key.
+
+        Every key names the engine and the memory-hierarchy fingerprint
+        explicitly (on top of the whole-config fingerprint), so runs
+        with different engines or cache geometries can never collide in
+        a shared cache directory — and a human reading the store can
+        tell which engine produced an artifact.
+        """
+        config = config if config is not None else self.config
+        fingerprint = (
+            self._fingerprint
+            if config is self.config
+            else config_fingerprint(config)
+        )
         return CacheKey.make(
-            kind, workload, scale, self._fingerprint, **params
+            kind,
+            workload,
+            scale,
+            fingerprint,
+            engine=config.engine,
+            mem=config_fingerprint(config.memory),
+            **params,
         )
 
     def _get(self, key: CacheKey) -> Optional[dict]:
@@ -235,43 +273,141 @@ class TuningService:
             )
         return payload
 
+    def execute(self, request):
+        """Run one ``repro.api`` v1 request against this service.
+
+        Typed dispatch: a :class:`repro.api.ProfileRequest` returns a
+        ``ProfileResult``, and so on.  This is the canonical v1 entry
+        point; the named methods below are thin wrappers kept for
+        ergonomics and compatibility.
+        """
+        from repro import api as api_v1
+
+        return api_v1.execute(request, service=self)
+
+    @staticmethod
+    def _shim_workload(workload: Optional[str], name: Optional[str]) -> str:
+        """Accept the legacy ``name=`` keyword with a DeprecationWarning."""
+        if name is not None:
+            if workload is not None:
+                raise TypeError("pass either workload= or name=, not both")
+            warnings.warn(
+                "the name= keyword is deprecated; use workload=",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            workload = name
+        if workload is None:
+            raise TypeError("missing required argument: workload")
+        return workload
+
     # ------------------------------------------------------------------
     # Single-artifact API (inline compute on miss).
     # ------------------------------------------------------------------
     def profile(
-        self, name: str, scale: str = "small"
+        self,
+        workload: Optional[str] = None,
+        scale: str = "small",
+        *,
+        engine: Optional[str] = None,
+        name: Optional[str] = None,
     ) -> tuple[ExecutionProfile, HintSet]:
         """Cached profiling run + hint analysis (APT-GET steps 1-5)."""
-        key = self._key("profile", name, scale)
+        workload = self._shim_workload(workload, name)
+        config = self._config_for(engine)
+        key = self._key("profile", workload, scale, config=config)
         payload = self._get(key)
         if payload is None:
             profile, hints = profile_workload(
-                make_workload(name, scale), config=self.config
+                make_workload(workload, scale), config=config
             )
             payload = profile_to_payload(profile, hints)
             self.store.put(key, payload)
         return profile_from_payload(payload)
 
-    def analyze(self, name: str, scale: str = "small") -> HintSet:
+    def analyze(
+        self,
+        workload: Optional[str] = None,
+        scale: str = "small",
+        *,
+        engine: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> HintSet:
         """The hint set APT-GET derives for a workload (cached)."""
-        return self.profile(name, scale)[1]
+        workload = self._shim_workload(workload, name)
+        return self.profile(workload, scale, engine=engine)[1]
 
-    def baseline(self, name: str, scale: str = "small") -> SchemeRun:
+    def baseline(
+        self,
+        workload: Optional[str] = None,
+        scale: str = "small",
+        *,
+        engine: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> SchemeRun:
         """Cached non-prefetching baseline measurement."""
-        key = self._key("run", name, scale, scheme="baseline")
+        workload = self._shim_workload(workload, name)
+        return self.run(workload, scale, scheme="baseline", engine=engine)
+
+    def run(
+        self,
+        workload: str,
+        scale: str = "small",
+        *,
+        scheme: str = "baseline",
+        distance: int = 32,
+        engine: Optional[str] = None,
+    ) -> SchemeRun:
+        """Cached measurement of one scheme on one workload.
+
+        ``scheme`` is ``baseline`` (no prefetching), ``aj`` (Ainsworth &
+        Jones fixed-distance injection, parameterized by ``distance``)
+        or ``apt-get`` (profile-guided hints; profiles via this cache).
+        """
+        config = self._config_for(engine)
+        if scheme == "baseline":
+            key = self._key("run", workload, scale, config=config,
+                            scheme="baseline")
+            compute = lambda: run_baseline(  # noqa: E731
+                make_workload(workload, scale), config=config
+            )
+        elif scheme == "aj":
+            key = self._key("run", workload, scale, config=config,
+                            scheme="aj", distance=distance)
+            compute = lambda: run_ainsworth_jones(  # noqa: E731
+                make_workload(workload, scale),
+                distance=distance,
+                config=config,
+            )
+        elif scheme == "apt-get":
+            key = self._key("run", workload, scale, config=config,
+                            scheme="apt-get")
+
+            def compute():
+                _, hints = self.profile(workload, scale, engine=engine)
+                return run_with_hints(
+                    make_workload(workload, scale), hints, config=config
+                )
+
+        else:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; "
+                "expected baseline, aj, or apt-get"
+            )
         payload = self._get(key)
         if payload is None:
-            payload = run_to_payload(
-                run_baseline(make_workload(name, scale), config=self.config)
-            )
+            payload = run_to_payload(compute())
             self.store.put(key, payload)
         return run_from_payload(payload)
 
     def site_report(
         self,
-        name: str,
+        workload: Optional[str] = None,
         scale: str = "small",
         fixed_distance: Optional[int] = None,
+        *,
+        engine: Optional[str] = None,
+        name: Optional[str] = None,
     ) -> dict[str, SiteReport]:
         """Per-injection-site timeliness rollups from one traced run
         (cached under the ``sites`` artifact kind).
@@ -288,24 +424,26 @@ class TuningService:
         and observe each site's timely fraction in the
         ``obs.site.timely_fraction`` histogram.
         """
+        workload = self._shim_workload(workload, name)
+        config = self._config_for(engine)
         params = {}
         if fixed_distance is not None:
             params["fixed_distance"] = fixed_distance
-        key = self._key("sites", name, scale, **params)
+        key = self._key("sites", workload, scale, config=config, **params)
         payload = self._get(key)
         if payload is None:
-            _, hints = self.profile(name, scale)
+            _, hints = self.profile(workload, scale, engine=engine)
             if fixed_distance is not None:
                 hints = hints_with_distance(
                     hints_with_site(hints, InjectionSite.INNER),
                     fixed_distance,
                 )
-            workload = make_workload(name, scale)
-            module, space = workload.build()
+            instance = make_workload(workload, scale)
+            module, space = instance.build()
             AptGetPass(hints).run(module)
-            machine = Machine(module, space, config=self.config)
+            machine = Machine(module, space, config=config)
             trace = machine.enable_tracing()
-            machine.run(workload.entry)
+            machine.run(instance.entry)
             reports = site_reports(trace)
             payload = {
                 "sites": {
@@ -341,6 +479,8 @@ class TuningService:
         aj_distance: int = 32,
         names: Optional[Iterable[str]] = None,
         jobs: Optional[int] = None,
+        *,
+        engine: Optional[str] = None,
     ) -> dict[str, WorkloadComparison]:
         """Baseline + A&J + APT-GET over a suite, cache-backed.
 
@@ -349,6 +489,7 @@ class TuningService:
         back as a :class:`WorkloadComparison` with ``error`` set and no
         runs — an error row — while every other workload completes.
         """
+        config = self._config_for(engine)
         names = list(names) if names is not None else scale_suite(scale)
         state: dict[str, dict] = {}
         errors: dict[str, str] = {}
@@ -356,7 +497,7 @@ class TuningService:
         for name in names:
             cached: dict[str, dict] = {}
             for piece in _SUITE_PIECES:
-                key = self._piece_key(piece, name, scale, aj_distance)
+                key = self._piece_key(piece, name, scale, aj_distance, config)
                 payload = self._get(key)
                 if payload is not None:
                     cached[piece] = payload
@@ -376,7 +517,7 @@ class TuningService:
                             aj_distance,
                             needs,
                             hints_payload,
-                            self.config,
+                            config,
                         ),
                     )
                 )
@@ -396,7 +537,7 @@ class TuningService:
                     continue
                 for piece, payload in outcome.value.items():
                     key = self._piece_key(
-                        piece, outcome.key, scale, aj_distance
+                        piece, outcome.key, scale, aj_distance, config
                     )
                     self.store.put(key, payload)
                     state[outcome.key][piece] = payload
@@ -413,18 +554,28 @@ class TuningService:
         return comparisons
 
     def _piece_key(
-        self, piece: str, name: str, scale: str, aj_distance: int
+        self,
+        piece: str,
+        name: str,
+        scale: str,
+        aj_distance: int,
+        config: Optional[MachineConfig] = None,
     ) -> CacheKey:
         if piece == "profile":
-            return self._key("profile", name, scale)
+            return self._key("profile", name, scale, config=config)
         if piece == "baseline":
-            return self._key("run", name, scale, scheme="baseline")
+            return self._key(
+                "run", name, scale, config=config, scheme="baseline"
+            )
         if piece == "aj":
             return self._key(
-                "run", name, scale, scheme="aj", distance=aj_distance
+                "run", name, scale, config=config,
+                scheme="aj", distance=aj_distance,
             )
         if piece == "apt":
-            return self._key("run", name, scale, scheme="apt-get")
+            return self._key(
+                "run", name, scale, config=config, scheme="apt-get"
+            )
         raise ValueError(f"unknown suite piece {piece!r}")
 
     def _build_comparison(

@@ -1,0 +1,248 @@
+"""The stable v1 ``repro.api`` surface: payload round-trips (property
+tested), typed execute() dispatch, engine knobs, deprecation shims, and
+the engine-aware artifact-key regression test (two engines must be able
+to share one cache directory without clobbering each other)."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.api as api
+from repro.machine.config import ENGINES
+from repro.service.api import TuningService
+
+FAST = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-0123456789", min_size=1, max_size=20
+)
+_scales = st.sampled_from(["tiny", "small", "full"])
+_engines = st.none() | st.sampled_from(list(ENGINES))
+
+
+def _roundtrip(obj):
+    """to_payload -> json -> from_payload must reproduce the object."""
+    rebuilt = type(obj).from_payload(json.loads(json.dumps(obj.to_payload())))
+    assert rebuilt == obj
+    assert type(obj).from_json(obj.to_json()) == obj
+
+
+class TestRequestRoundTrips:
+    @FAST
+    @given(workload=_names, scale=_scales, engine=_engines)
+    def test_profile_request(self, workload, scale, engine):
+        _roundtrip(
+            api.ProfileRequest(workload=workload, scale=scale, engine=engine)
+        )
+
+    @FAST
+    @given(
+        workload=_names,
+        scale=_scales,
+        engine=_engines,
+        scheme=st.sampled_from(["baseline", "aj", "apt-get"]),
+        distance=st.integers(min_value=1, max_value=512),
+    )
+    def test_run_request(self, workload, scale, engine, scheme, distance):
+        _roundtrip(
+            api.RunRequest(
+                workload=workload,
+                scale=scale,
+                scheme=scheme,
+                distance=distance,
+                engine=engine,
+            )
+        )
+
+    @FAST
+    @given(
+        workload=_names,
+        scale=_scales,
+        engine=_engines,
+        fixed=st.none() | st.integers(min_value=1, max_value=512),
+    )
+    def test_site_report_request(self, workload, scale, engine, fixed):
+        _roundtrip(
+            api.SiteReportRequest(
+                workload=workload,
+                scale=scale,
+                fixed_distance=fixed,
+                engine=engine,
+            )
+        )
+
+    @FAST
+    @given(
+        scale=_scales,
+        engine=_engines,
+        aj=st.integers(min_value=1, max_value=512),
+        workloads=st.none() | st.lists(_names, max_size=4).map(tuple),
+        jobs=st.none() | st.integers(min_value=1, max_value=8),
+    )
+    def test_suite_request(self, scale, engine, aj, workloads, jobs):
+        request = api.SuiteRequest(
+            scale=scale,
+            aj_distance=aj,
+            workloads=workloads,
+            jobs=jobs,
+            engine=engine,
+        )
+        _roundtrip(request)
+        # Lists normalize to tuples so JSON round-trips compare equal.
+        if workloads is not None:
+            assert isinstance(
+                api.SuiteRequest(workloads=list(workloads)).workloads, tuple
+            )
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            api.RunRequest(workload="x", scheme="turbo")
+        with pytest.raises(ValueError):
+            api.ProfileRequest(workload="x", engine="jit")
+        # Keyword-only: positional construction is a v1 contract violation.
+        with pytest.raises(TypeError):
+            api.ProfileRequest("BFS")  # noqa: B018
+
+
+class TestExecute:
+    def test_run_result_round_trips(self):
+        service = TuningService()
+        result = api.run("micro-tiny", "tiny", service=service)
+        assert isinstance(result, api.RunResult)
+        assert result.engine in ENGINES
+        assert result.cycles > 0
+        _roundtrip(result)
+        assert result.scheme_run().result.value == result.value
+
+    def test_profile_result_round_trips(self):
+        service = TuningService()
+        result = api.profile("micro-tiny", "tiny", service=service)
+        _roundtrip(result)
+        assert len(result.hint_set()) >= 1
+        assert result.execution_profile().counters.cycles > 0
+
+    def test_site_report_result_round_trips(self):
+        service = TuningService()
+        result = api.site_report("micro-tiny", "tiny", service=service)
+        _roundtrip(result)
+        reports = result.reports()
+        assert reports and all(r.issued >= 0 for r in reports.values())
+
+    def test_suite_result_round_trips(self):
+        service = TuningService()
+        result = api.compare_suite(
+            "tiny", workloads=("micro-tiny",), service=service
+        )
+        _roundtrip(result)
+        comparisons = result.comparisons()
+        assert comparisons["micro-tiny"].error is None
+        assert set(comparisons["micro-tiny"].runs) == {
+            "baseline", "aj", "apt-get"
+        }
+
+    def test_execute_dispatch_on_service(self):
+        service = TuningService()
+        result = service.execute(
+            api.RunRequest(workload="micro-tiny", scale="tiny")
+        )
+        assert isinstance(result, api.RunResult)
+
+    def test_execute_rejects_unknown_request(self):
+        with pytest.raises(TypeError):
+            api.execute(object(), service=TuningService())
+
+    def test_engines_agree_through_api(self):
+        service = TuningService()
+        runs = {
+            engine: api.run(
+                "micro-tiny", "tiny", engine=engine, service=service
+            )
+            for engine in ENGINES
+        }
+        reference = runs["reference"]
+        for engine, result in runs.items():
+            assert result.value == reference.value, engine
+            assert result.counters == reference.counters, engine
+
+
+class TestDeprecationShims:
+    def test_name_keyword_warns_but_works(self):
+        service = TuningService()
+        with pytest.warns(DeprecationWarning, match="name="):
+            _, hints = service.profile(name="micro-tiny", scale="tiny")
+        assert len(hints) >= 1
+        with pytest.warns(DeprecationWarning):
+            run = service.baseline(name="micro-tiny", scale="tiny")
+        assert run.scheme == "baseline"
+
+    def test_name_and_workload_together_rejected(self):
+        with pytest.raises(TypeError):
+            TuningService().profile("micro-tiny", name="micro-tiny")
+
+    def test_workload_missing_rejected(self):
+        with pytest.raises(TypeError):
+            TuningService().profile()
+
+
+class TestEngineAwareCacheKeys:
+    def test_two_engines_share_one_cache_dir(self, tmp_path):
+        """Engine-aware keys: fast and reference runs in the same cache
+        directory must produce distinct artifacts (no clobbering), and a
+        rehydrating service must hit both."""
+        first = TuningService(cache_dir=tmp_path)
+        fast = first.run("micro-tiny", "tiny", engine="fast")
+        entries_after_fast = first.store.stats()["entries"]
+        reference = first.run("micro-tiny", "tiny", engine="reference")
+        entries_after_both = first.store.stats()["entries"]
+        assert entries_after_both == 2 * entries_after_fast
+        # Bit-identical engines: same payload under different keys.
+        assert (
+            fast.result.counters.as_dict()
+            == reference.result.counters.as_dict()
+        )
+
+        warm = TuningService(cache_dir=tmp_path)
+        warm.run("micro-tiny", "tiny", engine="fast")
+        warm.run("micro-tiny", "tiny", engine="reference")
+        counters = warm.metrics.counters()
+        assert counters.get("cache.hits", 0) == 2
+        assert counters.get("cache.misses", 0) == 0
+
+    def test_keys_name_engine_and_mem_fingerprint(self):
+        service = TuningService()
+        key = service._key("run", "w", "tiny", scheme="baseline")
+        params = dict(key.params)
+        assert params["engine"] == service.config.engine
+        assert isinstance(params["mem"], str) and len(params["mem"]) >= 8
+
+    def test_mem_geometry_changes_key(self):
+        from dataclasses import replace
+
+        from repro.machine.config import MachineConfig, paper_like_memory
+
+        base = TuningService()
+        scaled = TuningService(
+            machine_config=MachineConfig(memory=paper_like_memory().scaled(4))
+        )
+        key_a = base._key("run", "w", "tiny", scheme="baseline")
+        key_b = scaled._key("run", "w", "tiny", scheme="baseline")
+        assert key_a != key_b
+        assert dict(key_a.params)["mem"] != dict(key_b.params)["mem"]
+
+
+class TestTopLevelReExports:
+    def test_v1_surface_importable_from_repro(self):
+        import repro
+
+        for name in (
+            "ProfileRequest", "RunRequest", "SiteReportRequest",
+            "SuiteRequest", "RunResult", "execute", "get_service",
+            "TuningService", "ENGINES", "API_VERSION",
+        ):
+            assert hasattr(repro, name), name

@@ -10,6 +10,7 @@ from repro.ir.opcodes import Opcode
 from repro.ir.parser import parse_module
 from repro.ir.printer import format_module
 from repro.ir.verifier import VerificationError, verify_module
+from repro.machine.config import ENGINES
 from repro.machine.machine import Machine
 from repro.mem.address import AddressSpace
 
@@ -71,15 +72,17 @@ class TestCallSemantics:
     def test_engines_bit_identical(self):
         module, _, expected = build_two_function_module()
         results = {}
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             _, space, _ = build_two_function_module()
             machine = Machine(module, space, engine=engine)
             machine.enable_profiling(period=97)
             results[engine] = (machine, machine.run("main"))
-        (ma, a), (mb, b) = results["interpret"], results["translate"]
-        assert a.value == b.value == expected
-        assert a.counters.as_dict() == b.counters.as_dict()
-        assert ma.sampler.samples == mb.sampler.samples
+        ma, a = results["reference"]
+        for engine in ENGINES:
+            mb, b = results[engine]
+            assert a.value == b.value == expected, engine
+            assert a.counters.as_dict() == b.counters.as_dict(), engine
+            assert ma.sampler.samples == mb.sampler.samples, engine
 
     def test_clock_continuity(self):
         """Cycles accumulate across the call boundary: the called version
@@ -154,7 +157,7 @@ class TestCallSemantics:
         b.ret(product)
         module.finalize()
         verify_module(module)
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             machine = Machine(module, AddressSpace(), engine=engine)
             assert machine.run("fact", (6,)).value == 720
 

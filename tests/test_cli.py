@@ -169,6 +169,65 @@ def test_run_with_trace_export(tmp_path, capsys):
     assert document["otherData"]["workload"] == "micro-low-i64"
 
 
+def test_run_engine_flag(capsys):
+    for engine in ("fast", "translate", "reference"):
+        assert main(
+            ["run", "--workload", "micro-tiny", "--scale", "tiny",
+             "--engine", engine]
+        ) == 0
+    # The deprecated alias still parses (argparse accepts it as a choice).
+    assert main(
+        ["run", "--workload", "micro-tiny", "--scale", "tiny",
+         "--engine", "interpret"]
+    ) == 0
+
+
+def test_engine_flag_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "micro-tiny", "--engine", "jit"])
+
+
+def test_profile_and_disasm_take_engine_and_scale(tmp_path, capsys):
+    profile_path = tmp_path / "p.json"
+    assert main(
+        ["profile", "--workload", "micro-tiny", "--scale", "tiny",
+         "--engine", "reference", "-o", str(profile_path)]
+    ) == 0
+    assert profile_path.exists()
+    assert main(
+        ["disasm", "--workload", "micro-tiny", "--scale", "tiny",
+         "--engine", "fast"]
+    ) == 0
+
+
+def test_engines_match_through_cli(capsys):
+    """The --engine knob must not change reported numbers."""
+    outputs = {}
+    for engine in ("fast", "reference"):
+        assert main(
+            ["run", "--workload", "micro-tiny", "--scale", "tiny",
+             "--engine", engine]
+        ) == 0
+        outputs[engine] = capsys.readouterr().out
+    assert outputs["fast"] == outputs["reference"]
+
+
+def test_report_legacy_fixed_distance_alias(capsys):
+    import repro.service.api as service_api
+
+    saved = service_api._SERVICE
+    try:
+        service_api.configure_service()
+        assert main(
+            ["report", "--workload", "micro-tiny", "--sites",
+             "--scale", "tiny", "--fixed-distance", "6"]
+        ) == 0
+    finally:
+        service_api._SERVICE = saved
+    out = capsys.readouterr().out
+    assert "fixed distance 6" in out
+
+
 def test_report_sites(capsys):
     import repro.service.api as service_api
 

@@ -6,19 +6,20 @@ import pytest
 
 from repro.ir.builder import IRBuilder
 from repro.ir.nodes import Module
-from repro.machine.config import MachineConfig
+from repro.machine.config import ENGINES, MachineConfig
 from repro.machine.machine import Machine
 from repro.mem.address import AddressSpace
 
 
 def run_both(module, make_space, function="main", args=()):
     results = []
-    for engine in ("interpret", "translate"):
+    for engine in ENGINES:
         machine = Machine(module, make_space(), engine=engine)
         results.append(machine.run(function, args))
-    a, b = results
-    assert a.value == b.value
-    assert a.counters.as_dict() == b.counters.as_dict()
+    a = results[0]
+    for b in results[1:]:
+        assert a.value == b.value
+        assert a.counters.as_dict() == b.counters.as_dict()
     return a
 
 
@@ -213,7 +214,7 @@ class TestStructuralCorners:
         b.add(1, 2)
         b.ret(0)
         module.finalize()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             machine = Machine(module, AddressSpace(), config=config, engine=engine)
             result = machine.run("main")
             assert result.counters.cycles == 8  # 3 + 5

@@ -1,8 +1,9 @@
-"""Cross-cutting integration tests: every tiny workload through both
+"""Cross-cutting integration tests: every tiny workload through all
 engines, both passes, with counter invariants and semantics checks."""
 
 import pytest
 
+from repro.machine.config import ENGINES
 from repro.machine.machine import Machine
 from repro.machine.pmu import PerfStat
 from repro.passes.ainsworth_jones import AinsworthJonesConfig, AinsworthJonesPass
@@ -15,13 +16,47 @@ NAMES = sorted(TINY_SUITE)
 @pytest.mark.parametrize("name", NAMES)
 def test_engines_agree_on_workload(name):
     results = {}
-    for engine in ("interpret", "translate"):
+    for engine in ENGINES:
         module, space = make_workload(name).build()
         machine = Machine(module, space, engine=engine)
         results[engine] = machine.run("main")
-    a, b = results["interpret"], results["translate"]
-    assert a.value == b.value
-    assert a.counters.as_dict() == b.counters.as_dict()
+    a = results["reference"]
+    for engine in ENGINES:
+        b = results[engine]
+        assert a.value == b.value, engine
+        assert a.counters.as_dict() == b.counters.as_dict(), engine
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_engines_agree_with_tracing_armed(name):
+    """Tracing disarms the memory fast path; the engines must still be
+    bit-identical on counters AND on the observed event stream."""
+    from repro.obs.sites import site_reports
+
+    results = {}
+    for engine in ENGINES:
+        module, space = make_workload(name).build()
+        AinsworthJonesPass(AinsworthJonesConfig(distance=8)).run(module)
+        machine = Machine(module, space, engine=engine)
+        trace = machine.enable_tracing()
+        result = machine.run("main")
+        results[engine] = (
+            result,
+            trace.event_counts(),
+            {
+                label: report.to_dict()
+                for label, report in site_reports(trace).items()
+            },
+        )
+    ref_result, ref_events, ref_sites = results["reference"]
+    for engine in ENGINES:
+        result, events, sites = results[engine]
+        assert result.value == ref_result.value, engine
+        assert (
+            result.counters.as_dict() == ref_result.counters.as_dict()
+        ), engine
+        assert events == ref_events, engine
+        assert sites == ref_sites, engine
 
 
 @pytest.mark.parametrize("name", NAMES)

@@ -1,12 +1,12 @@
-"""Execution-engine tests: interpreter semantics, translator codegen, and
-interpreter-vs-translator differential equality (the engines must agree
+"""Execution-engine tests: interpreter semantics, translator/block-engine
+codegen, and cross-engine differential equality (all engines must agree
 bit-for-bit on values, cycles, counters, and LBR contents)."""
 
 import pytest
 
 from repro.ir.builder import IRBuilder
 from repro.ir.nodes import IRError, Module
-from repro.machine.config import MachineConfig
+from repro.machine.config import ENGINES, MachineConfig
 from repro.machine.interpreter import ExecutionLimitExceeded, run_function
 from repro.machine.machine import Machine
 from repro.machine.translator import compile_function
@@ -20,9 +20,9 @@ from tests.conftest import (
 
 
 def both_engines(module, space_factory, function="main", args=(), profile=False):
-    """Run on both engines with fresh state; return the two machines."""
+    """Run on every engine with fresh state; return machines keyed by engine."""
     results = {}
-    for engine in ("interpret", "translate"):
+    for engine in ENGINES:
         space = space_factory()
         machine = Machine(module, space, engine=engine)
         if profile:
@@ -34,7 +34,7 @@ def both_engines(module, space_factory, function="main", args=(), profile=False)
 class TestSemantics:
     def test_sum_loop_value(self, sum_loop):
         module, space, expected = sum_loop
-        result = Machine(module, space, engine="interpret").run("main")
+        result = Machine(module, space, engine="reference").run("main")
         assert result.value == expected
 
     def test_indirect_loop_value(self, indirect_loop):
@@ -57,7 +57,7 @@ class TestSemantics:
         b.ret(p)
         module.finalize()
         space = AddressSpace()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             machine = Machine(module, space, engine=engine)
             assert machine.run("addmul", (3, 4)).value == 14
 
@@ -69,7 +69,7 @@ class TestSemantics:
         b.ret("x")
         module.finalize()
         space = AddressSpace()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             with pytest.raises(IRError):
                 Machine(module, space, engine=engine).run("f", ())
 
@@ -102,7 +102,7 @@ class TestSemantics:
         b.ret(total)  # 21 + 1+0+0+1+0 = 23
         module.finalize()
         space = AddressSpace()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             assert Machine(module, space, engine=engine).run("f", (7,)).value == 23
 
     def test_const_mov_work(self):
@@ -116,7 +116,7 @@ class TestSemantics:
         b.ret(m)
         module.finalize()
         space = AddressSpace()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             result = Machine(module, space, engine=engine).run("f")
             assert result.value == 11
             # const + mov + work(5) + ret = 2 + 5 + 1 retired.
@@ -133,7 +133,7 @@ class TestSemantics:
         v = b.load(seg.base)
         b.ret(v)
         module.finalize()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             space = AddressSpace()
             space.allocate("cell", [0], elem_size=8)
             assert Machine(module, space, engine=engine).run("f").value == 123
@@ -151,7 +151,7 @@ class TestSemantics:
         module.finalize()
         config = MachineConfig(max_instructions=10_000)
         space = AddressSpace()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             with pytest.raises(ExecutionLimitExceeded):
                 Machine(module, space, config=config, engine=engine).run("f")
 
@@ -165,7 +165,7 @@ class TestSemantics:
         b.ret(0)
         module.finalize()
         space = AddressSpace()
-        for engine in ("interpret", "translate"):
+        for engine in ENGINES:
             result = Machine(module, space, engine=engine).run("f")
             assert result.counters.sw_prefetch_dropped_unmapped == 1
 
@@ -183,9 +183,11 @@ class TestDifferential:
             return builder()[1]
 
         results = both_engines(module, fresh_space)
-        (_, a), (_, b) = results["interpret"], results["translate"]
-        assert a.value == b.value
-        assert a.counters.as_dict() == b.counters.as_dict()
+        _, a = results["reference"]
+        for engine in ENGINES:
+            _, b = results[engine]
+            assert a.value == b.value, engine
+            assert a.counters.as_dict() == b.counters.as_dict(), engine
 
     def test_engines_identical_with_profiling(self):
         module, _, _ = build_indirect_loop()
@@ -194,11 +196,15 @@ class TestDifferential:
             return build_indirect_loop()[1]
 
         results = both_engines(module, fresh_space, profile=True)
-        machine_a, a = results["interpret"]
-        machine_b, b = results["translate"]
-        assert a.counters.as_dict() == b.counters.as_dict()
-        assert machine_a.sampler.samples == machine_b.sampler.samples
-        assert machine_a.sampler.load_miss_counts == machine_b.sampler.load_miss_counts
+        machine_a, a = results["reference"]
+        for engine in ENGINES:
+            machine_b, b = results[engine]
+            assert a.counters.as_dict() == b.counters.as_dict(), engine
+            assert machine_a.sampler.samples == machine_b.sampler.samples
+            assert (
+                machine_a.sampler.load_miss_counts
+                == machine_b.sampler.load_miss_counts
+            )
 
     def test_engines_identical_after_injection(self):
         from repro.passes.ainsworth_jones import AinsworthJonesPass
@@ -210,9 +216,11 @@ class TestDifferential:
             return build_nested_indirect()[1]
 
         results = both_engines(module, fresh_space)
-        (_, a), (_, b) = results["interpret"], results["translate"]
-        assert a.value == b.value == expected
-        assert a.counters.as_dict() == b.counters.as_dict()
+        _, a = results["reference"]
+        for engine in ENGINES:
+            _, b = results[engine]
+            assert a.value == b.value == expected, engine
+            assert a.counters.as_dict() == b.counters.as_dict(), engine
 
 
 class TestTranslator:
@@ -235,11 +243,11 @@ class TestTranslator:
 
     def test_compiled_function_cached(self, sum_loop):
         module, space, _ = sum_loop
-        machine = Machine(module, space)
+        machine = Machine(module, space, engine="translate")
         machine.run("main")
-        first = machine._compiled["main"]
+        first = machine._compiled[("translate", "main")]
         machine.run("main")
-        assert machine._compiled["main"] is first
+        assert machine._compiled[("translate", "main")] is first
 
     def test_lbr_entries_recorded(self, sum_loop):
         module, space, _ = sum_loop

@@ -14,7 +14,25 @@ class TestMachine:
         module, space, _ = sum_loop
         with pytest.raises(ValueError):
             Machine(module, space, engine="jit")
-        assert set(ENGINES) == {"translate", "interpret"}
+        assert set(ENGINES) == {"fast", "translate", "reference"}
+
+    def test_interpret_alias_warns_and_maps_to_reference(self, sum_loop):
+        module, space, _ = sum_loop
+        with pytest.warns(DeprecationWarning):
+            machine = Machine(module, space, engine="interpret")
+        assert machine.engine == "reference"
+
+    def test_engine_defaults_from_config(self, sum_loop):
+        module, space, _ = sum_loop
+        config = MachineConfig(engine="reference")
+        machine = Machine(module, space, config=config)
+        assert machine.engine == "reference"
+        assert Machine(module, space).engine == MachineConfig().engine
+
+    def test_config_normalizes_engine_alias(self):
+        assert MachineConfig(engine="interpret").engine == "reference"
+        with pytest.raises(ValueError):
+            MachineConfig(engine="jit")
 
     def test_rejects_unknown_function(self, sum_loop):
         module, space, _ = sum_loop

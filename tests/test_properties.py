@@ -12,6 +12,7 @@ from repro.core.site import InjectionSite, choose_injection_site
 from repro.ir.builder import IRBuilder
 from repro.ir.nodes import Module
 from repro.ir.verifier import verify_module
+from repro.machine.config import ENGINES
 from repro.machine.machine import Machine
 from repro.machine.pmu import Counters, PerfStat
 from repro.mem.address import AddressSpace
@@ -296,14 +297,16 @@ def test_random_programs_engines_agree(program):
     n, ops, seed = program
     module, _ = build_random_module(n, ops, seed)
     results = {}
-    for engine in ("interpret", "translate"):
+    for engine in ENGINES:
         _, space = build_random_module(n, ops, seed)
         machine = Machine(module, space, engine=engine)
         machine.enable_profiling(period=97)
         results[engine] = machine.run("main")
-    a, b = results["interpret"], results["translate"]
-    assert a.value == b.value
-    assert a.counters.as_dict() == b.counters.as_dict()
+    a = results["reference"]
+    for engine in ENGINES:
+        b = results[engine]
+        assert a.value == b.value, engine
+        assert a.counters.as_dict() == b.counters.as_dict(), engine
 
 
 @settings(max_examples=20, deadline=None)
