@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI guard for the generative differential-fuzzing subsystem.
+
+Three gates, all with fixed seeds so the job is deterministic:
+
+1. **Clean fuzz** — ``--budget`` generated programs (plus an Eq-1/Eq-2
+   analytic-model sweep) must pass the full differential oracle: three
+   engines x tracing on/off x every prefetch scheme, bit-identical.
+2. **Corpus replay** — every case under ``tests/corpus/`` must pass
+   the same oracle (they are shrunk former failures or seeded
+   construct-coverage programs).
+3. **Mutation self-test** — a scratch engine copy with a seeded
+   off-by-one in its cycle accounting must be *caught* by the oracle
+   and *shrunk* to at most ``--max-mutant-blocks`` basic blocks,
+   proving the finder and the minimizer both work.
+
+Usage:
+    python scripts/ci_fuzz_check.py [--budget 50] [--seed 20260805]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.qa.corpus import default_corpus_dir, iter_cases
+from repro.qa.fuzz import run_fuzz
+from repro.qa.mutants import mutant_oracle_setup
+from repro.qa.oracle import oracle_failure
+
+
+def check_clean_fuzz(budget: int, seed: int, model_cases: int) -> bool:
+    start = time.perf_counter()
+    stats = run_fuzz(
+        budget=budget, seed=seed, model_cases=model_cases, shrink=True
+    )
+    elapsed = time.perf_counter() - start
+    if not stats.ok:
+        print(f"FAIL: clean fuzz found failures\n{stats.summary()}")
+        return False
+    print(
+        f"OK: {stats.programs} program(s) and {stats.model_cases} model "
+        f"case(s) passed the differential oracle in {elapsed:.1f}s"
+    )
+    return True
+
+
+def check_corpus_replay() -> bool:
+    corpus_dir = default_corpus_dir()
+    total = failures = 0
+    for name, case in iter_cases(corpus_dir):
+        total += 1
+        failure = oracle_failure(case["spec"])
+        if failure is not None:
+            failures += 1
+            print(f"FAIL: corpus {name}: {failure.summary()}")
+    if failures:
+        return False
+    if not total:
+        print(f"FAIL: no corpus cases under {corpus_dir}")
+        return False
+    print(f"OK: replayed {total} corpus case(s)")
+    return True
+
+
+def check_mutation_selftest(seed: int, max_blocks: int) -> bool:
+    config, runners = mutant_oracle_setup()
+    stats = run_fuzz(
+        budget=3,
+        seed=seed,
+        oracle_config=config,
+        runners=runners,
+        shrink=True,
+        model_cases=0,
+        max_findings=1,
+    )
+    if stats.ok:
+        print(
+            "FAIL: the off-by-one mutant engine passed the oracle "
+            "(the differential check is blind)"
+        )
+        return False
+    finding = stats.findings[0]
+    if finding.shrunk_blocks is None:
+        print("FAIL: mutant failure was not shrunk")
+        return False
+    if finding.shrunk_blocks > max_blocks:
+        print(
+            f"FAIL: mutant failure shrank to {finding.shrunk_blocks} "
+            f"block(s), above the {max_blocks}-block bound"
+        )
+        return False
+    print(
+        f"OK: mutant caught ({finding.failure.summary()}) and shrunk to "
+        f"{finding.shrunk_blocks} block(s)"
+    )
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--budget", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=20260805)
+    parser.add_argument("--model-cases", type=int, default=200)
+    parser.add_argument("--max-mutant-blocks", type=int, default=3)
+    args = parser.parse_args()
+
+    ok = check_clean_fuzz(args.budget, args.seed, args.model_cases)
+    ok = check_corpus_replay() and ok
+    ok = check_mutation_selftest(args.seed, args.max_mutant_blocks) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ keep working behind ``DeprecationWarning`` shims.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Optional
@@ -67,6 +68,14 @@ class _Payload:
 
     @classmethod
     def from_payload(cls, payload: dict):
+        # Payloads cross process boundaries, so every malformed shape is
+        # a ValueError with the offending detail — never a bare
+        # TypeError/AttributeError from dataclass plumbing.
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
         kind = payload.get("kind", cls.__name__)
         if kind != cls.__name__:
             raise ValueError(f"payload is a {kind}, expected {cls.__name__}")
@@ -78,7 +87,19 @@ class _Payload:
             for key, value in payload.items()
             if key not in ("kind", "v")
         }
-        return cls(**data)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unexpected = sorted(set(data) - known)
+        if unexpected:
+            raise ValueError(
+                f"{cls.__name__} payload has unexpected field(s) "
+                f"{unexpected}; known fields are {sorted(known)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as error:  # e.g. a missing required field
+            raise ValueError(
+                f"malformed {cls.__name__} payload: {error}"
+            ) from error
 
     def to_json(self) -> str:
         return json.dumps(self.to_payload(), sort_keys=True)

@@ -11,7 +11,11 @@ Mirrors the paper's workflow as subcommands:
                     print ``perf stat``-style results;
 * ``experiment``  — regenerate a paper table/figure (optionally in
                     parallel against a persistent artifact cache);
-* ``cache``       — inspect or clear a tuning-service artifact cache.
+* ``cache``       — inspect or clear a tuning-service artifact cache;
+* ``qa``          — generative differential fuzzing: ``fuzz`` random
+                    programs through every engine/pass/tracing
+                    combination, ``replay`` the regression corpus, or
+                    ``shrink`` a failing case to a minimal program.
 """
 
 from __future__ import annotations
@@ -328,6 +332,71 @@ def cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_qa_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa.fuzz import run_fuzz
+
+    corpus_dir = Path(args.corpus) if args.corpus else None
+    stats = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        corpus_dir=corpus_dir,
+        shrink=not args.no_shrink,
+        model_cases=args.model_cases,
+        progress=print,
+    )
+    print(stats.summary())
+    return 0 if stats.ok else 1
+
+
+def cmd_qa_replay(args: argparse.Namespace) -> int:
+    from repro.qa.corpus import default_corpus_dir, iter_cases
+    from repro.qa.oracle import oracle_failure
+
+    corpus_dir = Path(args.corpus) if args.corpus else default_corpus_dir()
+    total = failures = 0
+    for name, case in iter_cases(corpus_dir):
+        total += 1
+        failure = oracle_failure(case["spec"])
+        if failure is None:
+            print(f"  PASS {name}")
+        else:
+            failures += 1
+            print(f"  FAIL {name}: {failure.summary()}")
+    if not total:
+        print(f"no corpus cases under {corpus_dir}")
+        return 0
+    print(f"replayed {total} case(s), {failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
+def cmd_qa_shrink(args: argparse.Namespace) -> int:
+    from repro.qa.corpus import load_case, save_case
+    from repro.qa.oracle import focused_config, oracle_failure
+    from repro.qa.shrink import count_blocks, shrink_spec
+
+    case = load_case(Path(args.case))
+    spec = case["spec"]
+    failure = oracle_failure(spec)
+    if failure is None:
+        print(f"{args.case}: passes the oracle; nothing to shrink")
+        return 0
+    print(f"{args.case}: {failure.summary()}")
+    shrink_oracle = focused_config(failure)
+    shrunk = shrink_spec(
+        spec, lambda s: oracle_failure(s, shrink_oracle) is not None
+    )
+    blocks = count_blocks(shrunk)
+    out_dir = Path(args.output) if args.output else Path(args.case).parent
+    path = save_case(
+        shrunk,
+        corpus_dir=out_dir,
+        failure=failure.to_dict(),
+        note=f"shrunk from {case['name']} ({case.get('note', '')})".strip(),
+    )
+    print(f"shrunk to {blocks} block(s) -> {path}")
+    return 0
+
+
 def _add_common_flags(p: argparse.ArgumentParser) -> None:
     """The normalized per-workload flags shared by every subcommand:
     ``--workload``, ``--scale``, ``--engine``."""
@@ -466,6 +535,51 @@ def build_parser() -> argparse.ArgumentParser:
     pc = cache_sub.add_parser("clear", help="delete every cached artifact")
     pc.add_argument("--cache-dir", required=True)
     pc.set_defaults(fn=cmd_cache_clear)
+
+    p = sub.add_parser(
+        "qa", help="differential fuzzing and the regression corpus"
+    )
+    qa_sub = p.add_subparsers(dest="qa_command", required=True)
+    pq = qa_sub.add_parser(
+        "fuzz", help="fuzz generated programs through the full oracle"
+    )
+    pq.add_argument(
+        "--budget", type=int, default=50, help="programs to generate"
+    )
+    pq.add_argument("--seed", type=int, default=0, help="base seed")
+    pq.add_argument(
+        "--corpus",
+        default=None,
+        help="save shrunk failures here (default: do not save)",
+    )
+    pq.add_argument(
+        "--model-cases",
+        type=int,
+        default=100,
+        help="Eq-1/Eq-2 analytic oracle cases to sweep first",
+    )
+    pq.add_argument(
+        "--no-shrink", action="store_true", help="skip failure minimization"
+    )
+    pq.set_defaults(fn=cmd_qa_fuzz)
+    pq = qa_sub.add_parser(
+        "replay", help="re-run the oracle over every corpus case"
+    )
+    pq.add_argument(
+        "--corpus", default=None, help="corpus dir (default: tests/corpus)"
+    )
+    pq.set_defaults(fn=cmd_qa_replay)
+    pq = qa_sub.add_parser(
+        "shrink", help="minimize one failing corpus case file"
+    )
+    pq.add_argument("case", help="path to a corpus case JSON")
+    pq.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="directory for the shrunk case (default: alongside the input)",
+    )
+    pq.set_defaults(fn=cmd_qa_shrink)
 
     return parser
 

@@ -7,6 +7,20 @@ body contains a delinquent load is multi-modal (Fig 4): one peak per
 memory-hierarchy level serving the load.  Peaks are detected with
 ``scipy.signal.find_peaks_cwt`` exactly as the paper does (§3.4), with a
 robust clustering fallback for degenerate histograms.
+
+Degraded inputs (the documented fallback contract, relied on by
+``repro.core.distance.optimal_distance`` and checked by the QA model
+oracle):
+
+* **empty input** — no peaks, every latency component 0; downstream
+  distance estimation falls back to ``MIN_DISTANCE`` and flags the
+  estimate unreliable rather than raising;
+* **single-peak input** (the load always hits, so no memory mode) —
+  one peak, hence ``ic_latency == miss_latency`` and ``mc_latency``
+  clamps to 0; again distance ``MIN_DISTANCE``, unreliable.
+
+Prefetch injection is an optimization, so "not enough signal" must
+degrade to "don't prefetch", never to an exception.
 """
 
 from __future__ import annotations

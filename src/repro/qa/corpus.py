@@ -1,0 +1,96 @@
+"""The replayable regression corpus under ``tests/corpus/``.
+
+Every corpus file is one JSON *case*::
+
+    {"schema": 1,
+     "name": "case-<digest>",
+     "note": "free-form provenance (what the case pins down)",
+     "failure": null | {"check", "detail", "scheme", "engine", "traced"},
+     "spec": {...}}              # a repro.qa.generate program spec
+
+``failure`` records the oracle violation the case was shrunk from; once
+the underlying bug is fixed the case must *pass* the full oracle — that
+is exactly what ``tests/test_corpus_replay.py`` asserts for every file,
+so each case rides along as an ordinary pytest regression forever.
+
+Workflow (see docs/TESTING.md):
+
+* the fuzzer auto-saves shrunk failures here (``repro qa fuzz``);
+* ``repro qa replay`` re-runs the oracle over the whole corpus;
+* prune a case only when the construct it covers is exercised by a
+  newer, smaller case.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.qa.generate import spec_digest, validate_spec
+
+CASE_SCHEMA = 1
+
+
+def default_corpus_dir() -> Path:
+    """``<repo>/tests/corpus`` resolved relative to this source tree."""
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def case_name(spec: dict) -> str:
+    return f"case-{spec_digest(spec)}"
+
+
+def save_case(
+    spec: dict,
+    corpus_dir: Optional[Path] = None,
+    failure: Optional[dict] = None,
+    note: str = "",
+    name: Optional[str] = None,
+) -> Path:
+    """Write one case (content-named by spec digest) and return its path."""
+    validate_spec(spec)
+    corpus_dir = Path(corpus_dir) if corpus_dir else default_corpus_dir()
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    name = name or case_name(spec)
+    case = {
+        "schema": CASE_SCHEMA,
+        "name": name,
+        "note": note,
+        "failure": failure,
+        "spec": spec,
+    }
+    path = corpus_dir / f"{name}.json"
+    path.write_text(json.dumps(case, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Path) -> dict:
+    """Read + validate one corpus file; raises ``ValueError`` with the
+    offending path on any malformed content."""
+    try:
+        case = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(case, dict) or case.get("schema") != CASE_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported corpus schema "
+            f"{case.get('schema') if isinstance(case, dict) else None!r}"
+        )
+    try:
+        validate_spec(case.get("spec"))
+    except ValueError as error:
+        raise ValueError(f"{path}: bad spec ({error})") from error
+    return case
+
+
+def iter_cases(
+    corpus_dir: Optional[Path] = None,
+) -> Iterator[tuple[str, dict]]:
+    """Yield ``(name, case)`` for every corpus file, sorted by name."""
+    corpus_dir = Path(corpus_dir) if corpus_dir else default_corpus_dir()
+    if not corpus_dir.is_dir():
+        return
+    for path in sorted(corpus_dir.glob("*.json")):
+        case = load_case(path)
+        yield case["name"], case

@@ -1,0 +1,91 @@
+"""Deliberately broken scratch engine copies (oracle self-tests).
+
+A fuzzer that never fails proves nothing — these mutants prove the
+differential oracle and the shrinker actually catch and minimize engine
+bugs.  Each mutant is built by taking the *source* of a real engine
+module, applying a tiny seeded defect (an off-by-one in the cycle
+accounting), and executing the mutated source into a scratch module —
+the real engine module is never touched, so mutants are safe to build
+inside a running test session.
+
+The mutant plugs into the oracle as an extra engine via the ``runners``
+parameter: the returned factory builds a normal fast-engine
+:class:`Machine` whose compiled-form cache is pre-populated from the
+mutated block compiler, so every other layer (memory, PMU, tracing,
+sampling) is the production code — exactly the situation a real engine
+regression would create.
+"""
+
+from __future__ import annotations
+
+import inspect
+import types
+
+from repro.machine import blockengine
+from repro.machine.machine import Machine
+from repro.qa.oracle import OracleConfig
+
+#: Off-by-one target: the block compiler's RET cost accounting.  Every
+#: program retires at least one RET, so any generated program exposes
+#: the defect (cycles drift by +1 per function return).
+_RET_NEEDLE = (
+    "            elif op is Opcode.RET:\n"
+    "                pending += cfg.branch_cost\n"
+)
+_RET_MUTATION = (
+    "            elif op is Opcode.RET:\n"
+    "                pending += cfg.branch_cost + 1\n"
+)
+
+#: The name the mutant engine appears under in the oracle matrix.
+MUTANT_ENGINE = "fast-offbyone"
+
+
+def offbyone_blockengine() -> types.ModuleType:
+    """A scratch copy of :mod:`repro.machine.blockengine` with a seeded
+    off-by-one in the RET cycle cost."""
+    source = inspect.getsource(blockengine)
+    if _RET_NEEDLE not in source:
+        raise RuntimeError(
+            "mutation anchor not found in blockengine source; "
+            "update repro.qa.mutants after refactoring the RET handling"
+        )
+    mutated = source.replace(_RET_NEEDLE, _RET_MUTATION, 1)
+    module = types.ModuleType("repro.machine._qa_offbyone_blockengine")
+    module.__file__ = "<qa-mutant:blockengine>"
+    exec(compile(mutated, "<qa-mutant:blockengine>", "exec"), module.__dict__)
+    return module
+
+
+def offbyone_runner(config: OracleConfig):
+    """Machine factory for the off-by-one mutant (pass to the oracle as
+    ``runners={MUTANT_ENGINE: offbyone_runner(config)}``)."""
+    mutant = offbyone_blockengine()
+
+    def make(module, space) -> Machine:
+        machine = Machine(
+            module, space, config=config.machine_config(), engine="fast"
+        )
+        for name, function in module.functions.items():
+            machine._compiled[("fast", name)] = mutant.compile_blocks(
+                function, machine.config
+            )
+        return machine
+
+    return make
+
+
+def mutant_oracle_setup(base: OracleConfig = None):
+    """The (config, runners) pair for a mutant differential run: the
+    reference interpreter vs the broken fast-engine copy, untraced
+    'none' scheme only — the minimal matrix that still catches the bug."""
+    base = base or OracleConfig()
+    from dataclasses import replace
+
+    config = replace(
+        base,
+        engines=("reference", MUTANT_ENGINE),
+        schemes=("none",),
+        traced_modes=(False,),
+    )
+    return config, {MUTANT_ENGINE: offbyone_runner(config)}

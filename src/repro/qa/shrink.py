@@ -1,0 +1,196 @@
+"""Delta-debugging shrinker over program specs.
+
+Given a failing spec and a predicate ("does this spec still fail?"),
+the shrinker greedily applies structure-aware reductions until none
+applies:
+
+1. drop helper functions (and every call statement that targets them);
+2. ddmin-style chunk removal over every statement list;
+3. loop simplification — unnest (replace the loop with its body),
+   single-latch (drop ``multi_latch``), trip-count halving toward 1;
+4. scalar minimization — WORK amounts to 1, array sizes toward the
+   64-element floor.
+
+Every candidate is rebuilt and re-checked through the caller's
+predicate, so the result is always a *real* still-failing program, and
+because reductions only ever remove or simplify, the process
+terminates.  A typical engine bug shrinks to a single empty loop
+(3 basic blocks) or a straight-line function (1 block).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.qa.generate import build_program
+
+Predicate = Callable[[dict], bool]
+
+#: Smallest array size :func:`repro.qa.generate.validate_spec` accepts.
+MIN_ELEMS = 64
+
+
+def count_blocks(spec: dict) -> int:
+    """Total basic blocks in the built program (the shrink metric)."""
+    module, _ = build_program(spec)
+    return sum(len(function.blocks) for function in module.functions.values())
+
+
+def _safe_fails(spec: dict, still_fails: Predicate) -> bool:
+    """A candidate that no longer builds is not a valid reduction."""
+    try:
+        build_program(spec)
+    except Exception:
+        return False
+    return still_fails(spec)
+
+
+# ----------------------------------------------------------------------
+# Reduction passes (each returns True if it shrank the spec in place)
+# ----------------------------------------------------------------------
+def _strip_calls(statements: list, callee: str) -> list:
+    out = []
+    for stmt in statements:
+        if stmt["kind"] == "call" and stmt["callee"] == callee:
+            continue
+        if stmt["kind"] == "loop":
+            stmt = dict(stmt, body=_strip_calls(stmt["body"], callee))
+        out.append(stmt)
+    return out
+
+
+def _drop_helpers(spec: dict, still_fails: Predicate) -> bool:
+    shrunk = False
+    for function in list(spec["functions"]):
+        if function["name"] == "main":
+            continue
+        candidate = copy.deepcopy(spec)
+        candidate["functions"] = [
+            dict(f, body=_strip_calls(f["body"], function["name"]))
+            for f in candidate["functions"]
+            if f["name"] != function["name"]
+        ]
+        if _safe_fails(candidate, still_fails):
+            spec["functions"] = candidate["functions"]
+            shrunk = True
+    return shrunk
+
+
+def _bodies(spec: dict):
+    """Yield (container, key) for every statement list in the spec so
+    passes can edit them in place."""
+    stack = [(function, "body") for function in spec["functions"]]
+    while stack:
+        container, key = stack.pop()
+        yield container, key
+        for stmt in container[key]:
+            if stmt["kind"] == "loop":
+                stack.append((stmt, "body"))
+
+
+def _ddmin_lists(spec: dict, still_fails: Predicate) -> bool:
+    """Chunk removal over every statement list (classic ddmin shape:
+    halve the chunk size until single statements)."""
+    shrunk = False
+    for container, key in list(_bodies(spec)):
+        statements = container[key]
+        chunk = max(1, len(statements) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(container[key]):
+                saved = container[key]
+                candidate = saved[:index] + saved[index + chunk:]
+                container[key] = candidate
+                if _safe_fails(spec, still_fails):
+                    shrunk = True  # keep the removal, stay at index
+                else:
+                    container[key] = saved
+                    index += 1
+            chunk //= 2
+    return shrunk
+
+
+def _simplify_loops(spec: dict, still_fails: Predicate) -> bool:
+    shrunk = False
+    for container, key in list(_bodies(spec)):
+        index = 0
+        while index < len(container[key]):
+            stmt = container[key][index]
+            if stmt["kind"] != "loop":
+                index += 1
+                continue
+            # (a) unnest: replace the loop with its body.
+            saved = container[key]
+            container[key] = (
+                saved[:index] + stmt["body"] + saved[index + 1:]
+            )
+            if _safe_fails(spec, still_fails):
+                shrunk = True
+                continue  # re-examine the spliced statements
+            container[key] = saved
+            # (b) drop multi-latch.
+            if stmt.get("multi_latch"):
+                stmt["multi_latch"] = False
+                if _safe_fails(spec, still_fails):
+                    shrunk = True
+                else:
+                    stmt["multi_latch"] = True
+            # (c) shrink the trip count toward 1.
+            while stmt["trip"] > 1:
+                original = stmt["trip"]
+                stmt["trip"] = max(1, original // 2)
+                if _safe_fails(spec, still_fails):
+                    shrunk = True
+                else:
+                    stmt["trip"] = original
+                    break
+            index += 1
+    return shrunk
+
+
+def _shrink_scalars(spec: dict, still_fails: Predicate) -> bool:
+    shrunk = False
+    for container, key in list(_bodies(spec)):
+        for stmt in container[key]:
+            if stmt["kind"] == "work" and stmt["amount"] > 1:
+                original = stmt["amount"]
+                stmt["amount"] = 1
+                if _safe_fails(spec, still_fails):
+                    shrunk = True
+                else:
+                    stmt["amount"] = original
+    for elems_key in ("data_elems", "target_elems"):
+        while spec[elems_key] > MIN_ELEMS:
+            original = spec[elems_key]
+            spec[elems_key] = max(MIN_ELEMS, original // 2)
+            if _safe_fails(spec, still_fails):
+                shrunk = True
+            else:
+                spec[elems_key] = original
+                break
+    return shrunk
+
+
+# ----------------------------------------------------------------------
+def shrink_spec(
+    spec: dict, still_fails: Predicate, max_rounds: int = 10
+) -> dict:
+    """Minimize ``spec`` while ``still_fails`` holds.
+
+    The input spec must itself fail the predicate (raises ``ValueError``
+    otherwise — shrinking a passing program would 'minimize' it to
+    nothing and hide the original signal).
+    """
+    spec = copy.deepcopy(spec)
+    if not still_fails(spec):
+        raise ValueError("spec does not fail the predicate; nothing to shrink")
+    for _ in range(max_rounds):
+        changed = False
+        changed |= _drop_helpers(spec, still_fails)
+        changed |= _ddmin_lists(spec, still_fails)
+        changed |= _simplify_loops(spec, still_fails)
+        changed |= _shrink_scalars(spec, still_fails)
+        if not changed:
+            break
+    return spec

@@ -18,6 +18,39 @@ warnings.filterwarnings("ignore", category=RuntimeWarning, module="scipy")
 
 
 # ----------------------------------------------------------------------
+# Shared hypothesis settings profiles
+# ----------------------------------------------------------------------
+# Every property test in the suite runs under one of these named
+# profiles instead of ad-hoc per-test settings:
+#
+# * ``default`` — local development: a modest example budget and a
+#   fixed derandomization seed so failures reproduce across runs;
+# * ``ci``      — fully derandomized (no shrink-database randomness,
+#   no deadline flakes on loaded runners) with a larger budget.
+#
+# CI selects the ``ci`` profile via the ``CI`` environment variable set
+# on the pytest job; anything else gets ``default``.
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=25,
+    derandomize=True,
+    deadline=None,
+)
+settings.register_profile(
+    "ci",
+    max_examples=50,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("ci" if os.environ.get("CI") else "default")
+
+
+# ----------------------------------------------------------------------
 # Small machine configurations for fast tests
 # ----------------------------------------------------------------------
 def tiny_memory(**overrides) -> MemoryConfig:

@@ -2,6 +2,7 @@
 
 import random
 
+from repro.core.distance import MIN_DISTANCE, MIN_SAMPLES, optimal_distance
 from repro.core.distribution import (
     analyze_latency_distribution,
     iteration_latencies,
@@ -139,3 +140,38 @@ class TestPeakDetection:
             distribution.peak_masses.index(max(distribution.peak_masses))
         ]
         assert abs(heaviest - 20) <= 6
+
+
+class TestDegradedFallback:
+    """The documented graceful-degradation contract (module docstring):
+    'not enough signal' degrades to distance MIN_DISTANCE flagged
+    unreliable — never an exception, never a confident estimate."""
+
+    def test_empty_input_falls_back_to_min_distance(self):
+        distribution = analyze_latency_distribution([])
+        assert distribution.peaks == []
+        assert distribution.mc_latency == 0
+        estimate = optimal_distance(distribution)
+        assert estimate.distance == MIN_DISTANCE
+        assert not estimate.reliable
+
+    def test_single_peak_falls_back_to_min_distance(self):
+        # The load always hits: one mode, no memory component to hide.
+        distribution = analyze_latency_distribution([37] * 200)
+        assert len(distribution.peaks) == 1
+        assert distribution.ic_latency == distribution.miss_latency
+        assert distribution.mc_latency == 0
+        estimate = optimal_distance(distribution)
+        assert estimate.distance == MIN_DISTANCE
+        assert not estimate.reliable
+
+    def test_below_min_samples_is_unreliable(self):
+        latencies = [20] * (MIN_SAMPLES // 2) + [420] * (MIN_SAMPLES // 4)
+        estimate = optimal_distance(analyze_latency_distribution(latencies))
+        assert not estimate.reliable
+
+    def test_degenerate_inputs_never_raise(self):
+        for latencies in ([], [1], [0], [5] * 3, [1_000_000], [1, 1_000_000]):
+            distribution = analyze_latency_distribution(latencies)
+            estimate = optimal_distance(distribution)
+            assert estimate.distance >= MIN_DISTANCE

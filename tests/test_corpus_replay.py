@@ -1,0 +1,71 @@
+"""Every ``tests/corpus/`` case replays as an ordinary regression test.
+
+Corpus cases are shrunk former fuzzer failures plus seeded
+construct-coverage programs; each must pass the *full* differential
+oracle (three engines x tracing on/off x every scheme).  See
+docs/TESTING.md for the add/prune workflow.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.qa.corpus import default_corpus_dir, iter_cases, load_case, save_case
+from repro.qa.generate import generate_spec
+from repro.qa.oracle import check_program
+
+CASES = list(iter_cases())
+
+
+def test_corpus_is_not_empty():
+    assert CASES, f"no corpus cases under {default_corpus_dir()}"
+
+
+@pytest.mark.parametrize(
+    "name,case", CASES, ids=[name for name, _ in CASES]
+)
+def test_corpus_case_passes_full_oracle(name, case):
+    check_program(case["spec"])
+
+
+def test_corpus_round_trip(tmp_path):
+    spec = generate_spec(9)
+    path = save_case(spec, corpus_dir=tmp_path, note="round-trip")
+    case = load_case(path)
+    assert case["spec"] == spec
+    assert case["note"] == "round-trip"
+    assert [n for n, _ in iter_cases(tmp_path)] == [case["name"]]
+
+
+@pytest.mark.parametrize(
+    "content, message",
+    [
+        ("not json", "not valid JSON"),
+        ("[]", "schema"),
+        ('{"schema": 99}', "schema"),
+        ('{"schema": 1, "spec": {"schema": 1}}', "bad spec"),
+    ],
+)
+def test_load_case_rejects_malformed_files(tmp_path, content, message):
+    path = tmp_path / "broken.json"
+    path.write_text(content)
+    with pytest.raises(ValueError, match=message):
+        load_case(path)
+
+
+def test_corpus_files_record_provenance():
+    for name, case in CASES:
+        assert case["note"], f"{name} has no provenance note"
+        assert "failure" in case  # null for seeded coverage cases
+
+
+def test_corpus_files_are_canonical_json():
+    for path in sorted(default_corpus_dir().glob("*.json")):
+        raw = path.read_text()
+        case = json.loads(raw)
+        assert raw == json.dumps(case, indent=2, sort_keys=True) + "\n", (
+            f"{path.name} is not canonically formatted; rewrite it with "
+            "repro.qa.corpus.save_case"
+        )

@@ -1,0 +1,64 @@
+"""Golden round-trip: print -> parse -> re-print is a fixed point for
+every registry workload.
+
+The printer is the IR's serialization format (disasm output, golden
+files, the parser's input), so the pair must be lossless over every
+program the suite actually builds — including after a prefetch pass
+rewrites the CFG.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.ir.printer import format_module
+from repro.ir.verifier import verify_module
+from repro.passes.ainsworth_jones import (
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+)
+from repro.workloads.registry import SUITE, TINY_SUITE, make_workload
+
+#: Every registry workload at its cheapest tier (tiny variants where
+#: they exist, the suite's own sizes otherwise) — cost is in *running*
+#: programs, and this test only builds them.
+_ALL = sorted(set(SUITE) | set(TINY_SUITE))
+
+
+def _build(name: str):
+    scale = "tiny" if name in TINY_SUITE else "small"
+    module, _ = make_workload(name, scale).build()
+    return module
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_print_parse_reprint_fixed_point(name):
+    module = _build(name)
+    text = format_module(module)
+    reparsed = parse_module(text)
+    assert format_module(reparsed) == text
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_reparsed_module_verifies_and_matches_structure(name):
+    module = _build(name)
+    reparsed = parse_module(format_module(module))
+    verify_module(reparsed, strict=True)
+    assert sorted(reparsed.functions) == sorted(module.functions)
+    for fname, function in module.functions.items():
+        other = reparsed.functions[fname]
+        assert [b.name for b in function.blocks] == [
+            b.name for b in other.blocks
+        ]
+        assert [
+            len(b.instructions) for b in function.blocks
+        ] == [len(b.instructions) for b in other.blocks]
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SUITE))
+def test_fixed_point_survives_prefetch_pass(name):
+    module = _build(name)
+    AinsworthJonesPass(AinsworthJonesConfig(distance=4)).run(module)
+    text = format_module(module)
+    assert format_module(parse_module(text)) == text

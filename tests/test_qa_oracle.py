@@ -1,0 +1,108 @@
+"""The differential oracle: clean programs pass the full matrix, a
+seeded engine defect is caught, and the analytic Eq-1/Eq-2 model
+oracles hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qa.fuzz import run_fuzz
+from repro.qa.generate import generate_spec
+from repro.qa.mutants import (
+    MUTANT_ENGINE,
+    mutant_oracle_setup,
+    offbyone_blockengine,
+)
+from repro.qa.oracle import (
+    OracleConfig,
+    OracleFailure,
+    check_models,
+    check_program,
+    focused_config,
+    oracle_failure,
+)
+
+
+def test_generated_programs_pass_full_matrix():
+    # Three engines x tracing on/off x three schemes, bit-identical.
+    for seed in (0, 1, 2):
+        check_program(generate_spec(seed))
+
+
+def test_oracle_failure_predicate_matches_check():
+    spec = generate_spec(3)
+    assert oracle_failure(spec) is None
+    check_program(spec)  # must not raise either
+
+
+def test_mutant_engine_is_caught():
+    config, runners = mutant_oracle_setup()
+    spec = generate_spec(0)
+    failure = oracle_failure(spec, config, runners)
+    assert failure is not None
+    assert failure.engine == MUTANT_ENGINE
+    assert failure.check == "differential"
+    assert "cycles" in failure.detail
+
+
+def test_mutant_module_is_scratch_copy():
+    import repro.machine.blockengine as real
+
+    mutant = offbyone_blockengine()
+    assert mutant is not real
+    assert mutant.compile_blocks is not real.compile_blocks
+    # Building the mutant must not have touched the real module.
+    assert "offbyone" not in (real.__file__ or "")
+
+
+def test_focused_config_narrows_matrix():
+    failure = OracleFailure(
+        "differential", "cycles differ", scheme="aj", engine="fast", traced=True
+    )
+    narrowed = focused_config(failure, OracleConfig())
+    assert narrowed.schemes == ("aj",)
+    assert set(narrowed.engines) == {"reference", "fast"}
+    # Tracing modes stay un-narrowed: traced runs are compared against
+    # the untraced baseline, so the focused matrix still needs both.
+    assert narrowed.traced_modes == (False, True)
+
+
+def test_check_models_sweeps_cases():
+    checked = check_models(seed=0, cases=40)
+    assert checked >= 40
+
+
+def test_run_fuzz_clean_budget():
+    stats = run_fuzz(budget=3, seed=100, model_cases=10)
+    assert stats.ok
+    assert stats.programs == 3
+    assert stats.model_cases > 0
+    assert "0 failure(s)" in stats.summary()
+
+
+def test_run_fuzz_catches_and_records_mutant(tmp_path):
+    config, runners = mutant_oracle_setup()
+    stats = run_fuzz(
+        budget=2,
+        seed=0,
+        oracle_config=config,
+        runners=runners,
+        corpus_dir=tmp_path,
+        model_cases=0,
+        max_findings=1,
+    )
+    assert not stats.ok
+    finding = stats.findings[0]
+    assert finding.failure.engine == MUTANT_ENGINE
+    assert finding.shrunk_spec is not None
+    assert finding.corpus_path is not None
+    saved = list(tmp_path.glob("*.json"))
+    assert len(saved) == 1
+
+
+@pytest.mark.parametrize("scheme", ["none", "aj", "apt-get"])
+def test_single_scheme_slices_run(scheme):
+    config = OracleConfig(
+        schemes=(scheme,), engines=("reference", "fast"), traced_modes=(True,)
+    )
+    check_program(generate_spec(5), config)
