@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """CI guard for the generative differential-fuzzing subsystem.
 
-Three gates, all with fixed seeds so the job is deterministic:
+Four gates, all with fixed seeds so the job is deterministic:
 
-1. **Clean fuzz** — ``--budget`` generated programs (plus an Eq-1/Eq-2
-   analytic-model sweep) must pass the full differential oracle: three
+1. **Import sanity** — every core runtime module imports cleanly on
+   its own, so a broken lazy import cannot hide behind whichever
+   engine the fuzz run happens to exercise first.
+2. **Clean fuzz** — ``--budget`` generated programs (plus an Eq-1/Eq-2
+   analytic-model sweep) must pass the full differential oracle: four
    engines x tracing on/off x every prefetch scheme, bit-identical.
-2. **Corpus replay** — every case under ``tests/corpus/`` must pass
+3. **Corpus replay** — every case under ``tests/corpus/`` must pass
    the same oracle (they are shrunk former failures or seeded
    construct-coverage programs).
-3. **Mutation self-test** — a scratch engine copy with a seeded
+4. **Mutation self-test** — a scratch engine copy with a seeded
    off-by-one in its cycle accounting must be *caught* by the oracle
    and *shrunk* to at most ``--max-mutant-blocks`` basic blocks,
    proving the finder and the minimizer both work.
@@ -21,6 +24,7 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 import time
 
@@ -28,6 +32,38 @@ from repro.qa.corpus import default_corpus_dir, iter_cases
 from repro.qa.fuzz import run_fuzz
 from repro.qa.mutants import mutant_oracle_setup
 from repro.qa.oracle import oracle_failure
+
+# Every module an engine or the oracle reaches lazily.  Each must
+# import standalone: a typo in one of these surfaces as a hard failure
+# here instead of as a mysteriously-skipped engine in the fuzz gate.
+SANITY_MODULES = (
+    "repro.api",
+    "repro.machine.blockengine",
+    "repro.machine.interpreter",
+    "repro.machine.machine",
+    "repro.machine.superblock",
+    "repro.machine.translator",
+    "repro.mem.fastpath",
+    "repro.mem.hierarchy",
+    "repro.qa.fuzz",
+    "repro.qa.oracle",
+    "repro.service.api",
+)
+
+
+def check_import_sanity() -> bool:
+    failures = []
+    for name in SANITY_MODULES:
+        try:
+            importlib.import_module(name)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"{name}: {type(exc).__name__}: {exc}")
+    if failures:
+        for line in failures:
+            print(f"FAIL: import {line}")
+        return False
+    print(f"OK: {len(SANITY_MODULES)} core module(s) import standalone")
+    return True
 
 
 def check_clean_fuzz(budget: int, seed: int, model_cases: int) -> bool:
@@ -106,7 +142,8 @@ def main() -> int:
     parser.add_argument("--max-mutant-blocks", type=int, default=3)
     args = parser.parse_args()
 
-    ok = check_clean_fuzz(args.budget, args.seed, args.model_cases)
+    ok = check_import_sanity()
+    ok = check_clean_fuzz(args.budget, args.seed, args.model_cases) and ok
     ok = check_corpus_replay() and ok
     ok = check_mutation_selftest(args.seed, args.max_mutant_blocks) and ok
     return 0 if ok else 1

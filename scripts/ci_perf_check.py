@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI perf-smoke for the fast execution engine.
+"""CI perf-smoke for the fast and turbo execution engines.
 
 Runs the Figure-5-style suite comparison (every registered workload at
 the given scale, baseline/A&J/APT-GET — the same work ``benchmarks/
@@ -8,10 +8,12 @@ surface, then asserts:
 
 * **bit-identical results** — every workload's per-scheme payload
   (values, counters, injection reports, hints) matches the reference
-  interpreter exactly, and
-* **the fast engine is actually faster** — wall-clock for the fast
-  engine must beat the reference interpreter (``--min-speedup`` guards
-  against regressions that keep correctness but lose the point).
+  interpreter exactly, for the fast *and* turbo engines, and
+* **the engine ladder holds** — wall-clock for the fast engine must
+  beat the reference interpreter (``--min-speedup``), and the turbo
+  tier must not lose to the fast engine it supersedes
+  (``--min-turbo-speedup``, default 1.0: a turbo regression below fast
+  means the superblock tier has stopped paying for itself).
 
 Usage:
     python scripts/ci_perf_check.py [--scale tiny] [--min-speedup 1.2]
@@ -45,30 +47,39 @@ def main() -> int:
         default=1.2,
         help="required fast-vs-reference wall-clock ratio (default 1.2)",
     )
+    parser.add_argument(
+        "--min-turbo-speedup",
+        type=float,
+        default=1.0,
+        help="required turbo-vs-fast wall-clock ratio (default 1.0)",
+    )
     args = parser.parse_args()
 
+    turbo, turbo_seconds = timed_suite("turbo", args.scale)
     fast, fast_seconds = timed_suite("fast", args.scale)
     reference, reference_seconds = timed_suite("reference", args.scale)
 
-    if fast.workloads != reference.workloads:
+    if fast.workloads != reference.workloads or turbo.workloads != fast.workloads:
         print(
-            f"FAIL: workload sets differ: {fast.workloads} "
-            f"vs {reference.workloads}",
+            f"FAIL: workload sets differ: turbo={turbo.workloads} "
+            f"fast={fast.workloads} reference={reference.workloads}",
             file=sys.stderr,
         )
         return 1
 
-    mismatches = []
-    for name in fast.workloads:
-        if fast.rows[name] != reference.rows[name]:
-            mismatches.append(name)
-    if mismatches:
-        print(
-            f"FAIL: fast engine is not bit-identical with the reference "
-            f"interpreter on: {', '.join(mismatches)}",
-            file=sys.stderr,
-        )
-        return 1
+    for engine, suite in (("fast", fast), ("turbo", turbo)):
+        mismatches = [
+            name
+            for name in suite.workloads
+            if suite.rows[name] != reference.rows[name]
+        ]
+        if mismatches:
+            print(
+                f"FAIL: {engine} engine is not bit-identical with the "
+                f"reference interpreter on: {', '.join(mismatches)}",
+                file=sys.stderr,
+            )
+            return 1
 
     errors = [
         name
@@ -80,10 +91,14 @@ def main() -> int:
         return 1
 
     speedup = reference_seconds / max(fast_seconds, 1e-9)
+    turbo_speedup = fast_seconds / max(turbo_seconds, 1e-9)
     print(
         f"suite@{args.scale}: {len(fast.workloads)} workload(s), "
-        f"fast={fast_seconds:.2f}s reference={reference_seconds:.2f}s "
-        f"speedup={speedup:.2f}x (floor {args.min_speedup:.2f}x)"
+        f"turbo={turbo_seconds:.2f}s fast={fast_seconds:.2f}s "
+        f"reference={reference_seconds:.2f}s "
+        f"fast/reference={speedup:.2f}x (floor {args.min_speedup:.2f}x) "
+        f"turbo/fast={turbo_speedup:.2f}x "
+        f"(floor {args.min_turbo_speedup:.2f}x)"
     )
     if speedup < args.min_speedup:
         print(
@@ -92,8 +107,18 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    if turbo_speedup < args.min_turbo_speedup:
+        print(
+            f"FAIL: turbo-vs-fast speedup {turbo_speedup:.2f}x is below "
+            f"the {args.min_turbo_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
 
-    print("OK: counters bit-identical, fast engine faster than reference")
+    print(
+        "OK: counters bit-identical, engine ladder holds "
+        "(turbo >= fast > reference)"
+    )
     return 0
 
 

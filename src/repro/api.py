@@ -4,8 +4,9 @@ Every entry point takes a frozen, keyword-only *request* dataclass and
 returns a frozen *result* dataclass whose payload is plain JSON-able
 data (``to_payload``/``from_payload`` round-trip losslessly through
 ``json``).  Argument order is uniformly ``(workload, scale)``, and every
-request carries an explicit ``engine=`` knob (``fast`` | ``translate``
-| ``reference``; ``None`` means the service's configured default).
+request carries an explicit ``engine=`` knob (``turbo`` | ``fast`` |
+``translate`` | ``reference``; ``None`` means the service's configured
+default).
 
 Three equivalent call shapes::
 

@@ -15,6 +15,7 @@ from repro.machine.lbr import LastBranchRecord, LBREntry, NullLBR
 from repro.machine.machine import Machine, RunResult
 from repro.machine.pmu import Counters, PerfStat
 from repro.machine.sampler import ProfileSampler
+from repro.machine.superblock import TurboCompiledFunction, compile_turbo
 from repro.machine.translator import CompiledFunction, compile_function
 
 __all__ = [
@@ -34,8 +35,10 @@ __all__ = [
     "PerfStat",
     "ProfileSampler",
     "RunResult",
+    "TurboCompiledFunction",
     "compile_blocks",
     "compile_function",
+    "compile_turbo",
     "normalize_engine",
     "paper_like_memory",
     "run_function",

@@ -71,6 +71,7 @@ class _Frame:
         "next",
         "value",
         "next_sample",
+        "max_instructions",
         "sampler",
         "take",
         "pebs_threshold",
@@ -658,12 +659,25 @@ class BlockCompiledFunction:
         block_names: tuple,
         entry_index: int,
         register_count: int,
+        slots: Optional[dict] = None,
+        block_index: Optional[dict] = None,
+        block_start_pc: Optional[dict] = None,
     ) -> None:
         self.function = function
         self._blocks = blocks
         self._block_names = block_names
         self._entry = entry_index
         self._register_count = register_count
+        # Compile-form metadata consumed by the turbo tier
+        # (repro.machine.superblock): the register-file layout and the
+        # block-name -> dispatch-index / start-pc maps.
+        self.slots = slots if slots is not None else {}
+        self.block_index = (
+            block_index
+            if block_index is not None
+            else {name: i for i, name in enumerate(block_names)}
+        )
+        self.block_start_pc = block_start_pc if block_start_pc is not None else {}
 
     def stats(self) -> dict:
         """Compile-shape summary (for tests and debugging)."""
@@ -761,4 +775,7 @@ def compile_blocks(
         tuple(block.name for block in function.blocks),
         compiler.block_index[function.entry.name],
         len(compiler.slots),
+        slots=compiler.slots,
+        block_index=compiler.block_index,
+        block_start_pc=compiler.start_pc,
     )

@@ -21,11 +21,13 @@ from repro.mem.config import CacheConfig, MemoryConfig
 
 #: Canonical engine names, fastest first.
 #:
+#: * ``turbo`` — fast engine plus fused hot-loop superblocks with
+#:   steady-state bulk stepping (repro.machine.superblock).
 #: * ``fast`` — closure-chain block engine (repro.machine.blockengine).
 #: * ``translate`` — source-codegen engine (repro.machine.translator).
 #: * ``reference`` — the obviously-correct interpreter the others are
 #:   differentially tested against (repro.machine.interpreter).
-ENGINES = ("fast", "translate", "reference")
+ENGINES = ("turbo", "fast", "translate", "reference")
 
 #: Legacy spellings still accepted (Machine warns on explicit use).
 ENGINE_ALIASES = {"interpret": "reference"}

@@ -34,6 +34,7 @@ from repro.machine.interpreter import run_function
 from repro.machine.lbr import LastBranchRecord, NullLBR
 from repro.machine.pmu import Counters, PerfStat
 from repro.machine.sampler import ProfileSampler
+from repro.machine.superblock import compile_turbo
 from repro.machine.translator import compile_function
 from repro.mem.address import AddressSpace
 from repro.mem.hierarchy import MemorySystem
@@ -172,7 +173,9 @@ class Machine:
         compiled = self._compiled.get(key)
         if compiled is None:
             function = self.module.function(name)
-            if engine == "fast":
+            if engine == "turbo":
+                compiled = compile_turbo(function, self.config)
+            elif engine == "fast":
                 compiled = compile_blocks(function, self.config)
             else:
                 compiled = compile_function(function, self.config)

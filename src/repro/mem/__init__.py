@@ -8,7 +8,11 @@ from repro.mem.cache import (
     SetAssociativeCache,
 )
 from repro.mem.config import CacheConfig, MemoryConfig
-from repro.mem.fastpath import build_load_fastpath, build_store_fastpath
+from repro.mem.fastpath import (
+    MemoryFastPath,
+    build_load_fastpath,
+    build_store_fastpath,
+)
 from repro.mem.hierarchy import MemorySystem
 from repro.mem.hwprefetch import NextLinePrefetcher, StridePrefetcher
 
@@ -21,6 +25,7 @@ __all__ = [
     "LINE_BYTES",
     "MemoryConfig",
     "MemoryError_",
+    "MemoryFastPath",
     "MemorySystem",
     "NextLinePrefetcher",
     "Segment",

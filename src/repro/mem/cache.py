@@ -57,9 +57,8 @@ class SetAssociativeCache:
     def insert(self, line: int, flags: int = FLAG_NONE) -> None:
         """Install a line, evicting the LRU victim if the set is full."""
         cache_set = self._sets[line & self._set_mask]
-        if line in cache_set:
-            cache_set.pop(line)
-            cache_set[line] = flags
+        if cache_set.pop(line, None) is not None:
+            cache_set[line] = flags  # was resident: refresh LRU, reset flags
             return
         if len(cache_set) >= self.config.associativity:
             victim, victim_flags = next(iter(cache_set.items()))

@@ -63,6 +63,10 @@ class MemorySystem:
         #: None entries are demand-class (hardware prefetch counts too
         #: for LOAD_HIT_PRE purposes: only software entries bump it).
         self._mshr: dict[int, list] = {}
+        #: Lower bound on the earliest ready_cycle in the MSHR; lets
+        #: drain() skip the full scan when nothing can have completed.
+        #: Removals may leave it stale-low (still a valid lower bound).
+        self._mshr_next_ready: float = float("inf")
         #: Prefetched lines not yet consumed by any demand access:
         #: line -> True (software) / False (hardware).
         self._unused: dict[int, bool] = {}
@@ -79,10 +83,10 @@ class MemorySystem:
         self._next_line = (
             NextLinePrefetcher() if config.next_line_prefetcher else None
         )
-        #: Lazily-built L1 front-path closures (repro.mem.fastpath);
-        #: handed out by load_port()/store_port() when tracing is off.
-        self._fast_load = None
-        self._fast_store = None
+        #: Lazily-built stacked L1/L2/LLC front path (repro.mem.fastpath);
+        #: handed out by load_port()/store_port() when tracing is off and
+        #: the single line-removal entry point for back-invalidations.
+        self._front = None
 
     # ------------------------------------------------------------------
     # Tracing
@@ -97,32 +101,33 @@ class MemorySystem:
     # ------------------------------------------------------------------
     # Demand ports: the entry points engines bind at run start.
     # ------------------------------------------------------------------
+    def front(self):
+        """The stacked L1/L2/LLC fast path object for this hierarchy
+        (built lazily; see ``repro.mem.fastpath``)."""
+        if self._front is None:
+            from repro.mem.fastpath import MemoryFastPath
+
+            self._front = MemoryFastPath(self)
+        return self._front
+
     def load_port(self):
         """Demand-load entry point for the optimizing engines.
 
-        Returns the pre-bound L1 front fast path (bit-identical to
-        :meth:`load`; see ``repro.mem.fastpath``) — or the plain
+        Returns the pre-bound stacked L1/L2/LLC fast path (bit-identical
+        to :meth:`load`; see ``repro.mem.fastpath``) — or the plain
         :meth:`load` whenever a lifecycle trace is attached, so traced
         runs take exactly the code paths the observability guarantees
         were established on.
         """
         if self.trace is not None:
             return self.load
-        if self._fast_load is None:
-            from repro.mem.fastpath import build_load_fastpath
-
-            self._fast_load = build_load_fastpath(self)
-        return self._fast_load
+        return self.front().load
 
     def store_port(self):
         """Demand-store entry point; same bypass rules as load_port()."""
         if self.trace is not None:
             return self.store
-        if self._fast_store is None:
-            from repro.mem.fastpath import build_store_fastpath
-
-            self._fast_store = build_store_fastpath(self)
-        return self._fast_store
+        return self.front().store
 
     def prefetched_unused_view(self) -> dict[int, bool]:
         """The live prefetched-but-unused side table (shared, not a copy)."""
@@ -143,9 +148,13 @@ class MemorySystem:
     # Internal helpers
     # ------------------------------------------------------------------
     def _on_llc_evict(self, line: int, flags: int) -> None:
-        # Inclusive hierarchy: drop the line everywhere.
-        self.l1.invalidate(line)
-        self.l2.invalidate(line)
+        # Inclusive hierarchy: drop the line everywhere.  All removal
+        # paths — LLC capacity evictions, hardware-prefetch fills that
+        # displace a victim, store write-allocates — reach this callback
+        # through SetAssociativeCache.on_evict and funnel into the fast
+        # path's single invalidate_line entry point, so the stacked
+        # views and the caches can never disagree.
+        self.front().invalidate_line(line << 6)
         if self._unused:
             software = self._unused.pop(line, None)
             if software:
@@ -154,24 +163,35 @@ class MemorySystem:
                     self.trace.on_evict(line, self._trace_now)
 
     def drain(self, now: float) -> None:
-        """Complete fill-buffer entries whose data has arrived."""
-        if not self._mshr:
+        """Complete fill-buffer entries whose data has arrived.
+
+        Every MSHR insert charges the same DRAM latency at a monotone
+        clock, so the dict's insertion order is also ready order: the
+        entries due by ``now`` are exactly a prefix.  Drain that prefix
+        and stop at the first still-pending entry — its ready time is
+        the new next-ready bound, no full scan or re-minimize needed.
+        (``FastPath._drain_fp`` relies on the same invariant.)
+        """
+        mshr = self._mshr
+        if not mshr or now < self._mshr_next_ready:
             return
-        done = [line for line, entry in self._mshr.items() if entry[_READY] <= now]
-        if self.trace is None:
-            for line in done:
-                software = self._mshr.pop(line)[_SOFTWARE]
-                self._fill(line)
-                self._unused[line] = software
-            return
-        self._trace_now = now
-        for line in done:
-            entry = self._mshr.pop(line)
+        traced = self.trace is not None
+        if traced:
+            self._trace_now = now
+        while mshr:
+            line = next(iter(mshr))
+            entry = mshr[line]
+            ready = entry[_READY]
+            if ready > now:
+                self._mshr_next_ready = ready
+                return
+            del mshr[line]
             software = entry[_SOFTWARE]
             self._fill(line)
             self._unused[line] = software
-            if software:
-                self.trace.on_fill(line, entry[_READY])
+            if traced and software:
+                self.trace.on_fill(line, ready)
+        self._mshr_next_ready = float("inf")
 
     def _fill(self, line: int) -> None:
         self.llc.insert(line)
@@ -215,6 +235,8 @@ class MemorySystem:
             return False
         ready = now + self._mem_lat
         self._mshr[line] = [ready, software]
+        if ready < self._mshr_next_ready:
+            self._mshr_next_ready = ready
         counters.offcore_all_data_rd += 1
         if not software:
             counters.hw_prefetch_issued += 1
@@ -381,4 +403,5 @@ class MemorySystem:
         self.l2.flush()
         self.llc.flush()
         self._mshr.clear()
+        self._mshr_next_ready = float("inf")
         self._unused.clear()

@@ -21,7 +21,7 @@ from __future__ import annotations
 import inspect
 import types
 
-from repro.machine import blockengine
+from repro.machine import blockengine, superblock
 from repro.machine.machine import Machine
 from repro.qa.oracle import OracleConfig
 
@@ -73,6 +73,71 @@ def offbyone_runner(config: OracleConfig):
         return machine
 
     return make
+
+
+#: Off-by-one target for the turbo tier: the steady-state stepper's
+#: iteration-count math.  The superblock codegen folds one completed
+#: fused iteration's retired count into the running accumulator at
+#: every back edge; adding one there makes every bulk-stepped loop
+#: over-report ``instructions`` by its trip count — invisible to the
+#: values/cycles checks, caught only by a counter-exact differential.
+_TURBO_NEEDLE = '        self.emit(f"_rt += {rt}")\n'
+_TURBO_MUTATION = '        self.emit(f"_rt += {rt} + 1")\n'
+
+#: The name the turbo mutant engine appears under in the oracle matrix.
+TURBO_MUTANT_ENGINE = "turbo-offbyone"
+
+
+def offbyone_superblock() -> types.ModuleType:
+    """A scratch copy of :mod:`repro.machine.superblock` with a seeded
+    off-by-one in the back-edge retired-count accumulation."""
+    source = inspect.getsource(superblock)
+    if _TURBO_NEEDLE not in source:
+        raise RuntimeError(
+            "mutation anchor not found in superblock source; "
+            "update repro.qa.mutants after refactoring the back-edge "
+            "accumulation"
+        )
+    mutated = source.replace(_TURBO_NEEDLE, _TURBO_MUTATION, 1)
+    module = types.ModuleType("repro.machine._qa_offbyone_superblock")
+    module.__file__ = "<qa-mutant:superblock>"
+    exec(compile(mutated, "<qa-mutant:superblock>", "exec"), module.__dict__)
+    return module
+
+
+def turbo_offbyone_runner(config: OracleConfig):
+    """Machine factory for the turbo off-by-one mutant (pass to the
+    oracle as ``runners={TURBO_MUTANT_ENGINE: turbo_offbyone_runner(config)}``)."""
+    mutant = offbyone_superblock()
+
+    def make(module, space) -> Machine:
+        machine = Machine(
+            module, space, config=config.machine_config(), engine="turbo"
+        )
+        for name, function in module.functions.items():
+            machine._compiled[("turbo", name)] = mutant.compile_turbo(
+                function, machine.config
+            )
+        return machine
+
+    return make
+
+
+def turbo_mutant_oracle_setup(base: OracleConfig = None):
+    """The (config, runners) pair for a turbo-mutant differential run:
+    the reference interpreter vs the broken bulk stepper, untraced
+    'none' scheme only (tracing armed would bypass bulk stepping and
+    hide the defect)."""
+    base = base or OracleConfig()
+    from dataclasses import replace
+
+    config = replace(
+        base,
+        engines=("reference", TURBO_MUTANT_ENGINE),
+        schemes=("none",),
+        traced_modes=(False,),
+    )
+    return config, {TURBO_MUTANT_ENGINE: turbo_offbyone_runner(config)}
 
 
 def mutant_oracle_setup(base: OracleConfig = None):

@@ -6,8 +6,9 @@ One spec is checked as ``schemes x engines x tracing``:
   Ainsworth & Jones pass (``aj``), and the full profile-guided APT-GET
   pipeline (``apt-get``: profile on the reference engine, Eq-1/Eq-2
   analysis, injection pass, strict re-verification);
-* **engines** — every canonical engine (fast / translate / reference)
-  plus any caller-supplied scratch runners (see :mod:`repro.qa.mutants`);
+* **engines** — every canonical engine (turbo / fast / translate /
+  reference) plus any caller-supplied scratch runners (see
+  :mod:`repro.qa.mutants`);
 * **tracing** — lifecycle tracing off and on.
 
 Every observation must be **bit-identical** across engines (return

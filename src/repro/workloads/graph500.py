@@ -32,7 +32,13 @@ class _RMATDataset(Dataset):
         object.__setattr__(self, "scale", scale)
         object.__setattr__(self, "edgefactor", edgefactor)
 
-    def build(self) -> CSRGraph:
+    def _cache_params(self) -> dict:
+        params = super()._cache_params()
+        params["rmat_scale"] = self.scale  # type: ignore[attr-defined]
+        params["edgefactor"] = self.edgefactor  # type: ignore[attr-defined]
+        return params
+
+    def _generate(self) -> CSRGraph:
         return rmat_graph(
             self.scale,  # type: ignore[attr-defined]
             self.edgefactor,  # type: ignore[attr-defined]

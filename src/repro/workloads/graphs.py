@@ -145,6 +145,33 @@ def rmat_graph(
 
 
 # ----------------------------------------------------------------------
+# Content-addressed memoization of graph generation
+# ----------------------------------------------------------------------
+#: Process-wide store for generated graphs.  Lazily constructed (and
+#: imported lazily: repro.service imports the workload registry, so a
+#: top-level import here would be circular).  Suite runs build the same
+#: (workload, scale, seed) graph once per job otherwise — the R-MAT
+#: generator alone is a measurable fraction of a cold suite pass.
+_GRAPH_STORE = None
+
+
+def graph_store():
+    """The shared in-process graph store (a ``repro.service`` MemoryStore)."""
+    global _GRAPH_STORE
+    if _GRAPH_STORE is None:
+        from repro.service.store import MemoryStore
+
+        _GRAPH_STORE = MemoryStore()
+    return _GRAPH_STORE
+
+
+def clear_graph_cache() -> None:
+    """Drop every memoized graph (test isolation aid)."""
+    global _GRAPH_STORE
+    _GRAPH_STORE = None
+
+
+# ----------------------------------------------------------------------
 # Dataset catalog (Table 4 analog)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -159,7 +186,17 @@ class Dataset:
     original_vertices: int = 0
     original_edges: int = 0
 
-    def build(self) -> CSRGraph:
+    def _cache_params(self) -> dict:
+        """The generator-identity parameters folded into the cache key.
+        Subclasses adding generator knobs must extend this."""
+        return {
+            "generator": self.kind,
+            "seed": self.seed,
+            "avg_degree": f"{self.avg_degree:g}",
+        }
+
+    def _generate(self) -> CSRGraph:
+        """Run the actual generator (subclass hook; no caching)."""
         if self.kind == "power":
             return power_law_graph(
                 self.vertices, self.avg_degree, self.seed, name=self.name
@@ -176,6 +213,49 @@ class Dataset:
                 avg_degree=self.avg_degree,
             )
         raise ValueError(f"unknown dataset kind {self.kind!r}")
+
+    def build(self) -> CSRGraph:
+        """The dataset's graph, memoized through the content-addressed
+        ``repro.service`` store keyed by (workload name, size, seed and
+        the other generator parameters).
+
+        A cache hit decodes a fresh :class:`CSRGraph` from the stored
+        JSON, so callers can never alias each other's row/col lists; a
+        miss returns the generated object directly and stores a
+        serialized copy (workload builders copy row/col into address
+        -space segments, never mutate the graph in place).
+        """
+        from repro.service.store import CacheKey
+
+        store = graph_store()
+        key = CacheKey.make(
+            kind="graph",
+            workload=self.name,
+            scale=f"n{self.vertices}",
+            config="graph-generator-v1",
+            **self._cache_params(),
+        )
+        payload = store.get(key)
+        if payload is not None:
+            store.metrics.inc("graph_cache.hits")
+            return CSRGraph(
+                name=payload["name"],
+                n=payload["n"],
+                row=payload["row"],
+                col=payload["col"],
+            )
+        graph = self._generate()
+        store.put(
+            key,
+            {
+                "name": graph.name,
+                "n": graph.n,
+                "row": graph.row,
+                "col": graph.col,
+            },
+        )
+        store.metrics.inc("graph_cache.misses")
+        return graph
 
 
 #: Table 4 of the paper, scaled (original sizes retained as metadata).

@@ -2,8 +2,8 @@
 
 Corpus cases are shrunk former fuzzer failures plus seeded
 construct-coverage programs; each must pass the *full* differential
-oracle (three engines x tracing on/off x every scheme).  See
-docs/TESTING.md for the add/prune workflow.
+oracle (all four engines — turbo included — x tracing on/off x every
+scheme).  See docs/TESTING.md for the add/prune workflow.
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ class TestMachine:
         module, space, _ = sum_loop
         with pytest.raises(ValueError):
             Machine(module, space, engine="jit")
-        assert set(ENGINES) == {"fast", "translate", "reference"}
+        assert set(ENGINES) == {"turbo", "fast", "translate", "reference"}
 
     def test_interpret_alias_warns_and_maps_to_reference(self, sum_loop):
         module, space, _ = sum_loop

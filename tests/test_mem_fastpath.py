@@ -1,0 +1,205 @@
+"""Property tests for the stacked L1/L2/LLC demand fast path.
+
+The fast path keeps no state of its own — its per-level views
+structurally share the caches' set dicts — so the single invariant that
+matters is: after *any* interleaving of demand loads, stores, software
+prefetches, drains, and hardware-prefetch fills, the views must equal a
+fresh structural scan of the hierarchy (same lines, same LRU order,
+same masks).  ``MemoryFastPath.scan_consistent`` performs that scan;
+these tests drive every line-removal path through
+``invalidate_line`` — LLC capacity evictions, hardware-prefetch fills
+displacing a victim, and store write-allocates — and check the
+invariant continuously.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.machine.pmu import Counters
+from repro.mem.address import AddressSpace
+from repro.mem.config import CacheConfig, MemoryConfig
+from repro.mem.hierarchy import MemorySystem
+
+
+def make_system(stride=False, next_line=False, mshr=8):
+    """A deliberately tiny hierarchy: 8-line L1, 16-line L2, 32-line
+    LLC over a 4096-line segment, so every burst of traffic forces
+    evictions and inclusive back-invalidations."""
+    space = AddressSpace()
+    space.allocate("data", 1 << 15, elem_size=8)  # 256 KiB = 4096 lines
+    counters = Counters()
+    config = MemoryConfig(
+        l1=CacheConfig("L1D", 512, 2, 2),
+        l2=CacheConfig("L2", 1024, 2, 12),
+        llc=CacheConfig("LLC", 2048, 4, 40),
+        dram_latency=360,
+        mshr_entries=mshr,
+        stride_prefetcher=stride,
+        next_line_prefetcher=next_line,
+    )
+    mem = MemorySystem(config, space, counters)
+    return mem, mem.front(), space, counters
+
+
+def addr(space: AddressSpace, index: int) -> int:
+    return space.segment("data").address_of(index)
+
+
+def assert_inclusive(front) -> None:
+    """The views must show an inclusive hierarchy: every L1/L2-resident
+    line is LLC-resident (back-invalidation keeps this true)."""
+    views = front.view_lines()
+    llc = set(views["llc"])
+    assert set(views["l1"]) <= llc
+    assert set(views["l2"]) <= llc
+
+
+class TestRandomTraffic:
+    def test_views_match_fresh_scan_under_random_traffic(self):
+        """The workhorse property: a long seeded mix of every demand
+        operation, checked against a structural scan throughout."""
+        mem, front, space, counters = make_system(
+            stride=True, next_line=True
+        )
+        rng = random.Random(1234)
+        now = 0.0
+        for step in range(4_000):
+            index = rng.randrange(4096) * 8
+            a = addr(space, index)
+            op = rng.randrange(8)
+            if op < 4:
+                now += front.load(a, now, pc=100 + (index % 7))
+            elif op < 6:
+                now += front.store(a, now, pc=200)
+            else:
+                mem.prefetch(a, now, pc=300)
+                now += 1
+            if step % 97 == 0:
+                assert front.scan_consistent(), f"diverged at step {step}"
+                assert_inclusive(front)
+        # Let every in-flight fill land, then scan one last time.
+        mem.drain(now + 10_000)
+        assert front.scan_consistent()
+        assert mem.inflight() == 0
+        assert counters.l1_hits > 0 and counters.llc_misses > 0
+
+    def test_sequential_traffic_with_hw_prefetchers(self):
+        """Striding loads keep both hardware prefetchers firing; their
+        fills displace victims through invalidate_line."""
+        mem, front, space, counters = make_system(
+            stride=True, next_line=True
+        )
+        now = 0.0
+        for i in range(512):
+            now += front.load(addr(space, i * 8), now, pc=77)
+            if i % 31 == 0:
+                assert front.scan_consistent()
+        assert counters.hw_prefetch_issued > 0
+        assert front.scan_consistent()
+        assert_inclusive(front)
+
+
+class TestInvalidationPaths:
+    def test_llc_capacity_eviction_back_invalidates(self):
+        """Touching more distinct lines than the LLC holds forces
+        capacity evictions; the victims must vanish from every view."""
+        mem, front, space, counters = make_system()
+        now = 0.0
+        lines = 64  # 2x LLC capacity (32 lines)
+        for i in range(lines):
+            now += front.load(addr(space, i * 8), now, pc=5)
+        views = front.view_lines()
+        assert len(views["llc"]) == 32  # full, having evicted half
+        first_line = addr(space, 0) >> 6
+        assert first_line not in views["llc"]
+        assert first_line not in views["l1"]
+        assert first_line not in views["l2"]
+        assert front.scan_consistent()
+        assert_inclusive(front)
+
+    def test_hw_prefetch_fill_displaces_victim(self):
+        """A next-line prefetch fill evicts through the same path as a
+        demand fill; the displaced victim leaves every view."""
+        mem, front, space, counters = make_system(next_line=True)
+        now = 0.0
+        # Fill the LLC with far-away lines first.
+        for i in range(2048, 2048 + 32):
+            now += front.load(addr(space, i * 8), now, pc=5)
+        assert len(front.view_lines()["llc"]) == 32
+        # Misses issue next-line prefetches; once drained, their fills
+        # must displace residents consistently.
+        for i in range(16):
+            now += front.load(addr(space, i * 8), now, pc=6)
+        now += 10_000
+        now += front.load(addr(space, 4000 * 8), now, pc=7)  # drains
+        assert counters.hw_prefetch_issued > 0
+        assert front.scan_consistent()
+        assert_inclusive(front)
+
+    def test_store_write_allocate_evicts_consistently(self):
+        """Store misses write-allocate; the fills evict residents and
+        the usefulness side table stays in sync."""
+        mem, front, space, counters = make_system()
+        now = 0.0
+        for i in range(64):
+            now += front.store(addr(space, i * 8), now, pc=9)
+            if i % 13 == 0:
+                assert front.scan_consistent()
+        assert front.scan_consistent()
+        assert_inclusive(front)
+
+    def test_direct_invalidate_line_removes_everywhere(self):
+        mem, front, space, counters = make_system()
+        a = addr(space, 0)
+        front.load(a, 0.0, pc=1)
+        line = a >> 6
+        views = front.view_lines()
+        assert line in views["l1"] and line in views["llc"]
+        front.invalidate_line(a)
+        views = front.view_lines()
+        assert line not in views["l1"]
+        assert line not in views["l2"]
+        assert line not in views["llc"]
+        assert front.scan_consistent()
+
+
+class TestDrainOrdering:
+    def test_drain_fills_in_ready_order(self):
+        """MSHR entries complete strictly in issue order (uniform DRAM
+        latency at a monotone clock), and a partial drain leaves the
+        next-ready bound on the first still-pending entry."""
+        mem, front, space, counters = make_system(mshr=8)
+        base = 1000
+        for i in range(4):
+            mem.prefetch(addr(space, (base + i) * 8), float(i * 10), pc=2)
+        assert mem.inflight() == 4
+        # DRAM latency is 400 total; at now=415 exactly the first two
+        # fills (ready at 400 and 410) are due.
+        front.load(addr(space, 0), 415.0, pc=3)
+        assert mem.inflight() == 2
+        assert mem._mshr_next_ready == 420.0
+        assert front.scan_consistent()
+        views = front.view_lines()
+        resident = set(views["llc"])
+        assert (addr(space, base * 8) >> 6) in resident
+        assert (addr(space, (base + 1) * 8) >> 6) in resident
+        assert (addr(space, (base + 3) * 8) >> 6) not in resident
+        # Far in the future everything lands and the bound resets.
+        front.load(addr(space, 8), 100_000.0, pc=3)
+        assert mem.inflight() == 0
+        assert mem._mshr_next_ready == float("inf")
+        assert front.scan_consistent()
+
+    def test_fastpath_and_slow_path_share_state(self):
+        """Interleaving slow-path and fast-path calls on one system
+        cannot desynchronize the views (they share the set dicts)."""
+        mem, front, space, counters = make_system()
+        now = 0.0
+        for i in range(48):
+            if i % 2:
+                now += front.load(addr(space, i * 8), now, pc=4)
+            else:
+                now += mem.load(addr(space, i * 8), now, pc=4)
+        assert front.scan_consistent()
+        assert_inclusive(front)

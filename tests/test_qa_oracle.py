@@ -10,8 +10,11 @@ from repro.qa.fuzz import run_fuzz
 from repro.qa.generate import generate_spec
 from repro.qa.mutants import (
     MUTANT_ENGINE,
+    TURBO_MUTANT_ENGINE,
     mutant_oracle_setup,
     offbyone_blockengine,
+    offbyone_superblock,
+    turbo_mutant_oracle_setup,
 )
 from repro.qa.oracle import (
     OracleConfig,
@@ -24,7 +27,7 @@ from repro.qa.oracle import (
 
 
 def test_generated_programs_pass_full_matrix():
-    # Three engines x tracing on/off x three schemes, bit-identical.
+    # Four engines x tracing on/off x three schemes, bit-identical.
     for seed in (0, 1, 2):
         check_program(generate_spec(seed))
 
@@ -43,6 +46,29 @@ def test_mutant_engine_is_caught():
     assert failure.engine == MUTANT_ENGINE
     assert failure.check == "differential"
     assert "cycles" in failure.detail
+
+
+def test_turbo_mutant_engine_is_caught():
+    # The seeded off-by-one in the bulk stepper's iteration-count math
+    # only perturbs the instructions counter — values and cycles stay
+    # clean — so catching it proves the oracle is counter-exact across
+    # bulk-stepped iterations, not just end-state-exact.
+    config, runners = turbo_mutant_oracle_setup()
+    spec = generate_spec(0)
+    failure = oracle_failure(spec, config, runners)
+    assert failure is not None
+    assert failure.engine == TURBO_MUTANT_ENGINE
+    assert failure.check == "differential"
+    assert "instructions" in failure.detail
+
+
+def test_turbo_mutant_module_is_scratch_copy():
+    import repro.machine.superblock as real
+
+    mutant = offbyone_superblock()
+    assert mutant is not real
+    assert mutant.compile_turbo is not real.compile_turbo
+    assert "offbyone" not in (real.__file__ or "")
 
 
 def test_mutant_module_is_scratch_copy():
