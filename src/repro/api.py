@@ -283,6 +283,44 @@ _REQUEST_TYPES = (
     SuiteRequest,
 )
 
+#: Payload ``kind`` -> dataclass, for the wire (the ``repro.serve`` HTTP
+#: boundary and the job journal both carry bare payload dicts).
+REQUEST_KINDS = {cls.__name__: cls for cls in _REQUEST_TYPES}
+RESULT_KINDS = {
+    cls.__name__: cls
+    for cls in (ProfileResult, RunResult, SiteReportResult, SuiteResult)
+}
+
+
+def request_from_payload(payload: dict):
+    """Rehydrate any v1 *request* payload by its ``kind`` field.
+
+    This is the single deserialization point for the HTTP front end and
+    the job queue; every malformed shape raises ``ValueError`` with the
+    offending detail (mapped to a 400 at the HTTP boundary).
+    """
+    return _from_payload_by_kind(payload, REQUEST_KINDS, "request")
+
+
+def result_from_payload(payload: dict):
+    """Rehydrate any v1 *result* payload by its ``kind`` field."""
+    return _from_payload_by_kind(payload, RESULT_KINDS, "result")
+
+
+def _from_payload_by_kind(payload, kinds: dict, what: str):
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{what} payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    cls = kinds.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown {what} kind {kind!r}; expected one of {sorted(kinds)}"
+        )
+    return cls.from_payload(payload)
+
 
 # ----------------------------------------------------------------------
 # Execution
@@ -454,6 +492,8 @@ def compare_suite(
 __all__ = [
     "API_VERSION",
     "ENGINES",
+    "REQUEST_KINDS",
+    "RESULT_KINDS",
     "ProfileRequest",
     "ProfileResult",
     "RunRequest",
@@ -468,6 +508,8 @@ __all__ = [
     "execute",
     "get_service",
     "profile",
+    "request_from_payload",
+    "result_from_payload",
     "run",
     "site_report",
 ]

@@ -15,7 +15,13 @@ Mirrors the paper's workflow as subcommands:
 * ``qa``          — generative differential fuzzing: ``fuzz`` random
                     programs through every engine/pass/tracing
                     combination, ``replay`` the regression corpus, or
-                    ``shrink`` a failing case to a minimal program.
+                    ``shrink`` a failing case to a minimal program;
+* ``serve``       — run the controller: durable job queue + HTTP front
+                    end + ``N`` agent worker processes (see
+                    docs/SERVICE.md);
+* ``agent``       — run one standalone agent worker against an existing
+                    queue directory (attach extra capacity from other
+                    terminals or hosts sharing the filesystem).
 """
 
 from __future__ import annotations
@@ -397,6 +403,56 @@ def cmd_qa_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.controller import Controller
+
+    controller = Controller(
+        args.queue_dir,
+        cache_dir=args.cache_dir,
+        agents=args.agents,
+        host=args.host,
+        port=args.port,
+        lease=args.lease,
+        max_attempts=args.max_attempts,
+        max_depth=args.max_depth,
+        engine=args.engine,
+    )
+    controller.start()
+    print(
+        f"repro.serve: listening on http://{controller.host}:"
+        f"{controller.port} (queue {args.queue_dir}, "
+        f"{controller.num_agents} agent(s), lease {controller.lease:g}s)"
+    )
+    print("endpoints: POST /v1/jobs  GET /v1/jobs/<id>  "
+          "GET /v1/results/<id>  /healthz  /metrics")
+    try:
+        controller.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        controller.stop()
+        stats = controller.queue.stats()
+        print(f"stopped; queue states: {stats['by_state']}")
+    return 0
+
+
+def cmd_agent(args: argparse.Namespace) -> int:
+    from repro.serve.agent import AgentWorker, main_loop
+
+    worker = AgentWorker(
+        args.queue_dir,
+        cache_dir=args.cache_dir,
+        agent_id=args.agent_id,
+        lease=args.lease,
+        poll_interval=args.poll,
+        engine=args.engine,
+    )
+    print(f"agent {worker.agent_id}: draining {args.queue_dir}")
+    executed = main_loop(worker, max_jobs=args.max_jobs)
+    print(f"agent {worker.agent_id}: executed {executed} job(s)")
+    return 0
+
+
 def _add_common_flags(p: argparse.ArgumentParser) -> None:
     """The normalized per-workload flags shared by every subcommand:
     ``--workload``, ``--scale``, ``--engine``."""
@@ -580,6 +636,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the shrunk case (default: alongside the input)",
     )
     pq.set_defaults(fn=cmd_qa_shrink)
+
+    p = sub.add_parser(
+        "serve",
+        help="controller: durable job queue + HTTP API + agent workers",
+    )
+    p.add_argument(
+        "--queue-dir", required=True, help="durable queue directory"
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared artifact cache (default: <queue-dir>/cache)",
+    )
+    p.add_argument(
+        "--agents", type=int, default=1,
+        help="agent worker processes to spawn (0 = front end only)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023)
+    p.add_argument(
+        "--lease", type=float, default=30.0,
+        help="claim lease seconds (a dead agent's job is requeued "
+        "after at most this long)",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="claims a job may burn before parking as failed/lost",
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=None,
+        help="backpressure bound on live jobs (429 past it)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=ENGINES + tuple(ENGINE_ALIASES),
+        default=None,
+        help="execution engine for agent measurements",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "agent", help="standalone agent worker for an existing queue"
+    )
+    p.add_argument("--queue-dir", required=True)
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="shared artifact cache (default: <queue-dir>/cache)",
+    )
+    p.add_argument("--agent-id", default=None, help="override the agent id")
+    p.add_argument("--lease", type=float, default=30.0)
+    p.add_argument(
+        "--poll", type=float, default=0.2,
+        help="idle poll interval in seconds",
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="exit after this many jobs (default: run until signalled)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=ENGINES + tuple(ENGINE_ALIASES),
+        default=None,
+        help="execution engine for measurements",
+    )
+    p.set_defaults(fn=cmd_agent)
 
     return parser
 

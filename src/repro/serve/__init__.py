@@ -1,0 +1,54 @@
+"""``repro.serve`` — the controller/agent job-queue service.
+
+The production-scale front half of the tuning service: where
+:mod:`repro.service` gives one process a cached, parallel
+:class:`~repro.service.api.TuningService`, this package turns that into
+a long-lived **service**: a durable on-disk queue of v1 API requests, a
+fleet of agent worker processes sharing one content-addressed artifact
+cache, and a dependency-free HTTP front end.
+
+* :mod:`repro.serve.queue`      — crash-safe sqlite job queue
+  (``queued → claimed → running → done|failed|lost``) with lease-based
+  claims, heartbeats, retry-with-backoff, artifact-key dedup and
+  ``max_depth`` backpressure;
+* :mod:`repro.serve.agent`      — worker processes that claim jobs,
+  execute them through the frozen v1 :mod:`repro.api` payloads (the
+  wire *and* journal format) and heartbeat while they run;
+* :mod:`repro.serve.controller` — supervises agents, reaps lapsed
+  leases, merges per-agent metric snapshots;
+* :mod:`repro.serve.httpd`      — ``POST /v1/jobs``, ``GET
+  /v1/jobs/<id>``, ``GET /v1/results/<id>``, ``GET /healthz``,
+  ``GET /metrics``.
+
+See ``docs/SERVICE.md`` for the state diagram, the on-disk layout and a
+two-terminal controller+agent walkthrough.
+"""
+
+from repro.serve.agent import AgentWorker, default_agent_id, metrics_dir
+from repro.serve.controller import Controller
+from repro.serve.httpd import ServeHTTPServer, render_metrics_text
+from repro.serve.queue import (
+    ACTIVE_STATES,
+    LIVE_STATES,
+    STATES,
+    TERMINAL_STATES,
+    JobQueue,
+    JobRecord,
+    QueueFull,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "AgentWorker",
+    "Controller",
+    "JobQueue",
+    "JobRecord",
+    "LIVE_STATES",
+    "QueueFull",
+    "STATES",
+    "ServeHTTPServer",
+    "TERMINAL_STATES",
+    "default_agent_id",
+    "metrics_dir",
+    "render_metrics_text",
+]

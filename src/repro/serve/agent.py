@@ -1,0 +1,184 @@
+"""Agent workers: claim jobs from the durable queue and execute them.
+
+An :class:`AgentWorker` is the unit of horizontal scale in the
+controller/agent architecture.  Any number of agents — spawned by the
+controller (``repro.cli serve --agents N``) or started standalone on
+the same filesystem (``repro.cli agent --queue-dir …``) — share one
+queue and one content-addressed artifact cache:
+
+* **claim** the oldest runnable job (reaping lapsed leases on the way,
+  so a SIGKILLed sibling's work is picked up by whoever claims next);
+* **execute** it through the frozen v1 :mod:`repro.api` dataclasses —
+  the queue's journaled payloads *are* the wire format, so rehydrating
+  a request and running it is one ``request_from_payload`` +
+  ``execute`` pair;
+* **heartbeat** from a background thread while the (potentially long)
+  simulation runs, keeping the lease alive;
+* **complete** with the result payload (artifacts land in the shared
+  :class:`~repro.service.store.ArtifactStore` as a side effect of
+  execution, so a later duplicate request is a pure cache hit), or
+  **fail** and let the queue decide between retry-with-backoff and a
+  terminal ``failed``.
+
+Metrics: each agent owns one :class:`MetricsRegistry` shared by its
+queue handle and its :class:`TuningService` (``auto_flush=False``), and
+republishes it as ``metrics/metrics-<pid>.json`` after every job — the
+controller merges these for ``/metrics`` and the cumulative
+``metrics.json``; the agent itself never touches a shared file.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Optional
+
+from repro.machine.config import MachineConfig
+from repro.service.api import TuningService
+from repro.service.metrics import MetricsRegistry, write_snapshot
+from repro.serve.queue import JobQueue, JobRecord
+
+#: Job-execution wall-clock histogram buckets (seconds).
+_JOB_SECONDS_BUCKETS = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0,
+)
+
+
+def default_agent_id() -> str:
+    """``agent-<host>-<pid>``: unique per process, greppable per host."""
+    return f"agent-{socket.gethostname()}-{os.getpid()}"
+
+
+def metrics_dir(queue_dir: str | os.PathLike) -> Path:
+    """Where per-process metric snapshots live for one queue."""
+    return Path(queue_dir) / "metrics"
+
+
+class AgentWorker:
+    """One worker process's claim/execute/heartbeat loop."""
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike,
+        cache_dir: Optional[str | os.PathLike] = None,
+        *,
+        agent_id: Optional[str] = None,
+        lease: float = 30.0,
+        poll_interval: float = 0.2,
+        heartbeat_interval: Optional[float] = None,
+        engine: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        service: Optional[TuningService] = None,
+    ) -> None:
+        self.queue_dir = Path(queue_dir)
+        self.agent_id = agent_id or default_agent_id()
+        self.poll_interval = float(poll_interval)
+        self.heartbeat_interval = (
+            float(heartbeat_interval)
+            if heartbeat_interval is not None
+            else max(0.05, lease / 3.0)
+        )
+        self.metrics = metrics or MetricsRegistry()
+        self.queue = JobQueue(queue_dir, lease=lease, metrics=self.metrics)
+        if service is not None:
+            self.service = service
+        else:
+            if cache_dir is None:
+                cache_dir = self.queue_dir / "cache"
+            config = MachineConfig(engine=engine) if engine else None
+            self.service = TuningService(
+                cache_dir=cache_dir,
+                metrics=self.metrics,
+                machine_config=config,
+                auto_flush=False,
+            )
+
+    # ------------------------------------------------------------------
+    def run_one(self) -> bool:
+        """Claim and execute at most one job; ``True`` if one ran."""
+        job = self.queue.claim(self.agent_id)
+        if job is None:
+            return False
+        self._execute(job)
+        return True
+
+    def run_forever(
+        self,
+        stop: Optional[threading.Event] = None,
+        max_jobs: Optional[int] = None,
+    ) -> int:
+        """Drain the queue until stopped; returns jobs executed."""
+        stop = stop or threading.Event()
+        executed = 0
+        self.publish_metrics()
+        while not stop.is_set():
+            if self.run_one():
+                executed += 1
+                if max_jobs is not None and executed >= max_jobs:
+                    break
+            else:
+                stop.wait(self.poll_interval)
+        self.publish_metrics()
+        return executed
+
+    # ------------------------------------------------------------------
+    def _execute(self, job: JobRecord) -> None:
+        from repro import api as api_v1
+
+        self.queue.start(job.id, self.agent_id)
+        stop_heartbeat = threading.Event()
+        beats = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(job.id, stop_heartbeat),
+            daemon=True,
+        )
+        beats.start()
+        started = time.perf_counter()
+        try:
+            request = api_v1.request_from_payload(job.request)
+            result = api_v1.execute(request, service=self.service)
+        except Exception:
+            error = traceback.format_exc(limit=8).strip()
+            self.queue.fail(job.id, self.agent_id, error)
+        else:
+            self.queue.complete(job.id, self.agent_id, result.to_payload())
+        finally:
+            stop_heartbeat.set()
+            beats.join()
+            self.metrics.histogram(
+                "serve.job_seconds", _JOB_SECONDS_BUCKETS
+            ).observe(time.perf_counter() - started)
+            self.publish_metrics()
+
+    def _heartbeat_loop(self, job_id: str, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            if not self.queue.heartbeat(job_id, self.agent_id):
+                # The lease lapsed and the job was reclaimed; our
+                # eventual complete/fail will be rejected as stale.
+                self.metrics.inc("serve.heartbeat_rejected")
+                return
+
+    # ------------------------------------------------------------------
+    def publish_metrics(self) -> None:
+        """Atomically rewrite this process's ``metrics-<pid>.json``."""
+        write_snapshot(self.metrics, metrics_dir(self.queue_dir))
+
+
+def main_loop(worker: AgentWorker, max_jobs: Optional[int] = None) -> int:
+    """CLI entry: run until SIGTERM/SIGINT (installed only when possible —
+    i.e. on the main thread), then exit cleanly with jobs-executed."""
+    import signal
+
+    stop = threading.Event()
+
+    def _stop(signum, frame):  # pragma: no cover - signal plumbing
+        stop.set()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    return worker.run_forever(stop=stop, max_jobs=max_jobs)

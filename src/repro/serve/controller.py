@@ -1,0 +1,219 @@
+"""The controller: HTTP front end + agent supervision + lease reaping.
+
+One controller process per queue directory:
+
+* serves the HTTP API (:mod:`repro.serve.httpd`) — submissions are
+  deduplicated against the queue by their engine-aware artifact-key
+  digest before they are enqueued;
+* optionally spawns ``N`` agent subprocesses (``repro.cli agent``)
+  sharing the queue and the artifact cache — standalone agents started
+  by hand against the same ``--queue-dir`` join the same pool;
+* runs a **reaper loop**: requeues jobs whose lease lapsed (an agent
+  SIGKILLed mid-run loses its claim after at most one lease interval)
+  and folds the agents' per-pid metric snapshots into the store's
+  cumulative ``metrics.json`` — the controller is the *only* writer of
+  that shared file, so agent flushes can never clobber each other.
+
+The controller executes no jobs itself; with ``agents=0`` it is a pure
+front end over whatever external agents attach.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.machine.config import MachineConfig
+from repro.service.api import TuningService
+from repro.service.metrics import MetricsRegistry, iter_snapshots
+from repro.serve.agent import metrics_dir
+from repro.serve.httpd import ServeHTTPServer
+from repro.serve.queue import JobQueue
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8023
+
+
+class Controller:
+    """Front end + supervisor for one queue directory."""
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike,
+        cache_dir: Optional[str | os.PathLike] = None,
+        *,
+        agents: int = 1,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        lease: float = 30.0,
+        max_attempts: int = 3,
+        backoff: float = 0.5,
+        max_depth: Optional[int] = None,
+        engine: Optional[str] = None,
+        reap_interval: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.queue_dir = Path(queue_dir)
+        self.cache_dir = (
+            Path(cache_dir) if cache_dir is not None
+            else self.queue_dir / "cache"
+        )
+        self.num_agents = max(0, int(agents))
+        self.lease = float(lease)
+        self.engine = engine
+        self.reap_interval = (
+            float(reap_interval)
+            if reap_interval is not None
+            else max(0.2, self.lease / 2.0)
+        )
+        self.metrics = metrics or MetricsRegistry()
+        self.queue = JobQueue(
+            queue_dir,
+            lease=lease,
+            max_attempts=max_attempts,
+            backoff=backoff,
+            max_depth=max_depth,
+            metrics=self.metrics,
+        )
+        config = MachineConfig(engine=engine) if engine else None
+        #: Used for request keys and shared-store access; the controller
+        #: itself never executes jobs through it.
+        self.service = TuningService(
+            cache_dir=self.cache_dir,
+            metrics=self.metrics,
+            machine_config=config,
+            auto_flush=False,
+        )
+        self.server = ServeHTTPServer(
+            (host, port),
+            self.queue,
+            dedup_key_fn=lambda request: self.service.request_key(
+                request
+            ).digest(),
+            metrics_fn=self.merged_metrics,
+            health_fn=self._health,
+        )
+        self.host, self.port = self.server.server_address[:2]
+        self.agents: list[subprocess.Popen] = []
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        #: Per-snapshot counters already folded into metrics.json, so
+        #: repeated folds only add deltas (snapshots are cumulative).
+        self._folded: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for _ in range(self.num_agents):
+            self.spawn_agent()
+        server_thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="serve-http",
+        )
+        reaper_thread = threading.Thread(
+            target=self._reaper_loop, daemon=True, name="serve-reaper"
+        )
+        self._threads = [server_thread, reaper_thread]
+        for thread in self._threads:
+            thread.start()
+
+    def spawn_agent(self) -> subprocess.Popen:
+        """Start one ``repro.cli agent`` subprocess on this queue."""
+        argv = [
+            sys.executable, "-m", "repro.cli", "agent",
+            "--queue-dir", str(self.queue_dir),
+            "--cache-dir", str(self.cache_dir),
+            "--lease", str(self.lease),
+        ]
+        if self.engine:
+            argv += ["--engine", self.engine]
+        process = subprocess.Popen(argv)
+        self.agents.append(process)
+        self.metrics.inc("serve.agents_spawned")
+        return process
+
+    def wait(self) -> None:
+        """Block until :meth:`stop` (e.g. from a signal handler)."""
+        while not self._stop.is_set():
+            self._stop.wait(0.5)
+
+    def stop(self, agent_timeout: float = 5.0) -> None:
+        self._stop.set()
+        self.server.shutdown()
+        self.server.server_close()
+        for process in self.agents:
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + agent_timeout
+        for process in self.agents:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self.fold_metrics()
+
+    # ------------------------------------------------------------------
+    # Reaping + metrics merging.
+    # ------------------------------------------------------------------
+    def _reaper_loop(self) -> None:
+        while not self._stop.wait(self.reap_interval):
+            try:
+                self.queue.requeue_lapsed()
+                self.fold_metrics()
+            except Exception:  # pragma: no cover - keep the loop alive
+                self.metrics.inc("serve.reaper_errors")
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Controller counters + every agent snapshot, freshly merged
+        (what ``/metrics`` renders)."""
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.metrics.to_dict())
+        for _, snapshot in iter_snapshots(metrics_dir(self.queue_dir)):
+            merged.merge_snapshot(snapshot)
+        return merged
+
+    def fold_metrics(self) -> None:
+        """Fold agent snapshot *deltas* into the store's cumulative
+        ``metrics.json``.  Snapshots are cumulative per process, so the
+        controller remembers what it already folded per file and adds
+        only the difference — idempotent across repeated folds."""
+        for path, snapshot in iter_snapshots(metrics_dir(self.queue_dir)):
+            counters = {
+                name: value
+                for name, value in snapshot.get("counters", {}).items()
+                if isinstance(value, (int, float))
+            }
+            previous = self._folded.get(path.name, {})
+            deltas = {
+                name: int(value) - previous.get(name, 0)
+                for name, value in counters.items()
+            }
+            deltas = {k: v for k, v in deltas.items() if v}
+            if deltas:
+                self.service.store.merge_metrics(deltas)
+            self._folded[path.name] = {
+                name: int(value) for name, value in counters.items()
+            }
+
+    def _health(self) -> dict:
+        return {
+            "agents": {
+                "spawned": len(self.agents),
+                "alive": sum(
+                    1 for p in self.agents if p.poll() is None
+                ),
+            },
+            "cache_dir": str(self.cache_dir),
+        }

@@ -1,0 +1,226 @@
+"""Stdlib HTTP front end for the job-queue service.
+
+``http.server``-based (no dependencies), threaded, JSON in/out.  The
+wire format is exactly the frozen v1 :mod:`repro.api` payloads — they
+round-trip losslessly through JSON, so a client posts
+``request.to_payload()`` and rehydrates the fetched result with
+``api.result_from_payload``.
+
+Endpoints:
+
+========================  ============================================
+``POST /v1/jobs``         submit a Profile/Run/SiteReport/Suite request
+                          payload; replies ``{"id", "state", "deduped"}``
+                          (202 accepted, 200 when deduped onto an
+                          existing job, 400 malformed, 429 queue full)
+``GET /v1/jobs/<id>``     job status (state/attempts/agent/error)
+``GET /v1/results/<id>``  the result payload once ``done`` (409 while
+                          pending, 500 body with the error when the job
+                          ended ``failed``/``lost``)
+``GET /healthz``          liveness + queue depth
+``GET /metrics``          Prometheus-style text: queue depth by state,
+                          merged controller+agent counters (cache hit
+                          ratio, retries, …) and histograms (claim
+                          latency, job seconds)
+========================  ============================================
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.service.metrics import MetricsRegistry
+from repro.serve.queue import JobQueue, QueueFull
+
+_MAX_BODY = 8 * 1024 * 1024  # a request payload is small; 8 MiB is ample
+
+
+def _sanitize(name: str) -> str:
+    """Metric name -> Prometheus-legal identifier."""
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def render_metrics_text(
+    registry: MetricsRegistry, queue_stats: Optional[dict] = None
+) -> str:
+    """Prometheus text-exposition rendering of a merged registry."""
+    lines: list[str] = []
+    if queue_stats is not None:
+        lines.append("# TYPE repro_queue_jobs gauge")
+        for state, count in sorted(queue_stats["by_state"].items()):
+            lines.append(f'repro_queue_jobs{{state="{state}"}} {count}')
+        lines.append(f"repro_queue_depth {queue_stats['depth']}")
+    snapshot = registry.to_dict()
+    counters = snapshot["counters"]
+    for name, value in counters.items():
+        lines.append(f"repro_{_sanitize(name)}_total {value}")
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits + misses:
+        lines.append(
+            f"repro_cache_hit_ratio {hits / (hits + misses):.6f}"
+        )
+    for name, data in snapshot["histograms"].items():
+        base = f"repro_{_sanitize(name)}"
+        cumulative = 0
+        for bound, count in data["buckets"].items():
+            cumulative += count
+            lines.append(f'{base}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f"{base}_count {data['count']}")
+        lines.append(f"{base}_sum {data['sum']:.6f}")
+    return "\n".join(lines) + "\n"
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """The HTTP server plus its service wiring (queue + callbacks)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        queue: JobQueue,
+        *,
+        dedup_key_fn: Callable[[object], str],
+        metrics_fn: Optional[Callable[[], MetricsRegistry]] = None,
+        health_fn: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        super().__init__(address, ServeHandler)
+        self.queue = queue
+        self.dedup_key_fn = dedup_key_fn
+        self.metrics_fn = metrics_fn
+        self.health_fn = health_fn
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server: ServeHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        import logging
+
+        logging.getLogger("repro.serve.http").debug(
+            "%s %s", self.address_string(), format % args
+        )
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0 or length > _MAX_BODY:
+            self._send_json(
+                400, {"error": f"bad Content-Length (max {_MAX_BODY})"}
+            )
+            return None
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as error:
+            self._send_json(400, {"error": f"invalid JSON: {error}"})
+            return None
+        if not isinstance(body, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return None
+        return body
+
+    # ------------------------------------------------------------------
+    # Routes.
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        from repro import api as api_v1
+
+        try:
+            request = api_v1.request_from_payload(body)
+            dedup_key = self.server.dedup_key_fn(request)
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            record, deduped = self.server.queue.submit(
+                type(request).__name__,
+                request.to_payload(),
+                dedup_key=dedup_key,
+            )
+        except QueueFull as error:
+            self._send_json(429, {"error": str(error)})
+            return
+        self._send_json(
+            200 if deduped else 202,
+            {"id": record.id, "state": record.state, "deduped": deduped},
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            stats = self.server.queue.stats()
+            payload = {"ok": True, "queue": stats}
+            if self.server.health_fn is not None:
+                payload.update(self.server.health_fn())
+            self._send_json(200, payload)
+            return
+        if path == "/metrics":
+            registry = (
+                self.server.metrics_fn()
+                if self.server.metrics_fn is not None
+                else self.server.queue.metrics
+            )
+            self._send_text(
+                200,
+                render_metrics_text(registry, self.server.queue.stats()),
+            )
+            return
+        match = re.fullmatch(r"/v1/(jobs|results)/([A-Za-z0-9_.-]+)", path)
+        if match is None:
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+            return
+        view, job_id = match.groups()
+        record = self.server.queue.get(job_id)
+        if record is None:
+            self._send_json(404, {"error": f"no such job {job_id!r}"})
+            return
+        if view == "jobs":
+            self._send_json(200, record.as_dict())
+            return
+        if record.state == "done":
+            self._send_json(200, record.result)
+        elif record.state in ("failed", "lost"):
+            self._send_json(
+                500,
+                {"id": record.id, "state": record.state,
+                 "error": record.error},
+            )
+        else:
+            self._send_json(
+                409,
+                {"id": record.id, "state": record.state,
+                 "error": "result not ready"},
+            )

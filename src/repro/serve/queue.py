@@ -1,0 +1,479 @@
+"""Durable on-disk job queue for the controller/agent service.
+
+One sqlite database (``<queue-dir>/queue.sqlite3``) holds every job the
+service has ever been asked to run.  All state transitions happen
+inside ``BEGIN IMMEDIATE`` transactions, so they are atomic across
+processes and crash-safe: a SIGKILL at any point leaves the queue in
+the last committed state, never a torn one.
+
+Job lifecycle::
+
+    submit ──> queued ──claim──> claimed ──start──> running ──complete──> done
+                 ▲                  │                  │
+                 │                  ├──fail (retries left, backoff)──┐
+                 │                  │                  │             │
+                 ├──────────────────┴──────────────────┴─────────────┘
+                 │                  │                  │
+                 │       lease lapses (reap): retries left -> queued
+                 │                  │                  │
+                 │                  └──> lost   (no retries left)
+                 └── fail with no retries left ──> failed
+
+* **Leases + heartbeats** — a claim grants a time-bounded lease; the
+  agent extends it by heartbeating.  A job whose lease lapses (agent
+  SIGKILLed, wedged, partitioned) is *reaped*: requeued with backoff if
+  attempts remain, else marked ``lost``.  Reaping happens inside every
+  ``claim`` and in the controller's reaper loop, so lost work is
+  recovered even when only agents (or only the controller) survive.
+* **Retry with backoff** — an application failure requeues the job with
+  ``not_before = now + backoff * 2**(attempts-1)`` until
+  ``max_attempts`` claims have been burned, then parks it as
+  ``failed`` (terminal, with the error recorded).
+* **Idempotent dedup** — jobs are keyed by the same engine-aware
+  artifact-key digests :class:`~repro.service.api.TuningService`
+  computes (see :meth:`TuningService.request_key`), so submitting the
+  same request twice returns the same job; resubmitting a terminal
+  ``failed``/``lost`` job revives it with a fresh retry budget.
+* **Backpressure** — an optional ``max_depth`` bounds live (queued +
+  claimed + running) jobs; past it, ``submit`` raises
+  :class:`QueueFull` (the HTTP front end maps this to 429).
+
+Every mutation is attributed: completes/fails/heartbeats must name the
+agent holding the lease, so a zombie agent whose job was reclaimed
+cannot clobber the rightful owner's result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from repro.service.metrics import MetricsRegistry
+
+#: Valid job states (the journal/state-machine vocabulary).
+STATES = ("queued", "claimed", "running", "done", "failed", "lost")
+
+#: States a job can be in while an agent may still act on it.
+ACTIVE_STATES = ("claimed", "running")
+
+#: States counting against the ``max_depth`` backpressure bound.
+LIVE_STATES = ("queued", "claimed", "running")
+
+#: Terminal states (nothing will happen without a resubmit).
+TERMINAL_STATES = ("done", "failed", "lost")
+
+DEFAULT_LEASE = 30.0
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_BACKOFF = 0.5
+
+#: Buckets for the submit->claim latency histogram (seconds).
+CLAIM_LATENCY_BUCKETS = (
+    0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0, 300.0,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            TEXT PRIMARY KEY,
+    dedup_key     TEXT NOT NULL UNIQUE,
+    kind          TEXT NOT NULL,
+    request       TEXT NOT NULL,
+    state         TEXT NOT NULL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL,
+    agent         TEXT,
+    created       REAL NOT NULL,
+    updated       REAL NOT NULL,
+    queued_at     REAL NOT NULL,
+    not_before    REAL NOT NULL DEFAULT 0,
+    lease_expires REAL,
+    result        TEXT,
+    error         TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state, not_before, queued_at);
+"""
+
+_COLUMNS = (
+    "id", "dedup_key", "kind", "request", "state", "attempts",
+    "max_attempts", "agent", "created", "updated", "queued_at",
+    "not_before", "lease_expires", "result", "error",
+)
+
+
+class QueueFull(RuntimeError):
+    """``submit`` refused: the queue is at its ``max_depth`` bound."""
+
+
+@dataclass
+class JobRecord:
+    """One job row, decoded.  ``request``/``result`` are payload dicts."""
+
+    id: str
+    dedup_key: str
+    kind: str
+    request: dict
+    state: str
+    attempts: int
+    max_attempts: int
+    agent: Optional[str]
+    created: float
+    updated: float
+    queued_at: float
+    not_before: float
+    lease_expires: Optional[float]
+    result: Optional[dict]
+    error: Optional[str]
+
+    @classmethod
+    def from_row(cls, row) -> "JobRecord":
+        data = dict(zip(_COLUMNS, row))
+        data["request"] = json.loads(data["request"])
+        if data["result"] is not None:
+            data["result"] = json.loads(data["result"])
+        return cls(**data)
+
+    def as_dict(self, include_request: bool = False) -> dict:
+        """JSON-safe status view (what ``GET /v1/jobs/<id>`` serves)."""
+        out = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "agent": self.agent,
+            "created": self.created,
+            "updated": self.updated,
+            "error": self.error,
+        }
+        if include_request:
+            out["request"] = self.request
+        return out
+
+
+class JobQueue:
+    """The durable queue; see the module docstring for semantics.
+
+    ``clock`` is injectable so tests (including the stateful property
+    tests) can drive lease expiry deterministically.  Every public
+    method opens its own short-lived sqlite connection, so one
+    :class:`JobQueue` instance is safe to share across threads and the
+    same directory is safe to share across processes.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike,
+        *,
+        lease: float = DEFAULT_LEASE,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff: float = DEFAULT_BACKOFF,
+        max_depth: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.queue_dir = Path(queue_dir)
+        self.db_path = self.queue_dir / "queue.sqlite3"
+        self.lease = float(lease)
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff = float(backoff)
+        self.max_depth = max_depth
+        self.clock = clock
+        self.metrics = metrics or MetricsRegistry()
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        # executescript() commits on its own; no transaction wrapper.
+        conn = sqlite3.connect(self.db_path, timeout=30.0)
+        try:
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.executescript(_SCHEMA)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Connection / transaction plumbing.
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _tx(self) -> Iterator[sqlite3.Connection]:
+        conn = sqlite3.connect(self.db_path, timeout=30.0, isolation_level=None)
+        try:
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.execute("BEGIN IMMEDIATE")
+            yield conn
+            conn.execute("COMMIT")
+        except BaseException:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise
+        finally:
+            conn.close()
+
+    def _fetch(self, conn: sqlite3.Connection, job_id: str) -> Optional[JobRecord]:
+        row = conn.execute(
+            f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE id=?", (job_id,)
+        ).fetchone()
+        return JobRecord.from_row(row) if row is not None else None
+
+    # ------------------------------------------------------------------
+    # Submission + dedup.
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        request: dict,
+        *,
+        dedup_key: Optional[str] = None,
+        max_attempts: Optional[int] = None,
+    ) -> tuple[JobRecord, bool]:
+        """Enqueue a request; returns ``(record, deduped)``.
+
+        ``dedup_key`` is normally the request's artifact-key digest.  A
+        live or ``done`` job with the same key is returned as-is
+        (``deduped=True``); a terminal ``failed``/``lost`` one is
+        revived in place with a fresh attempt budget.  With no key, the
+        job id itself is used (no dedup).
+        """
+        now = self.clock()
+        encoded = json.dumps(request, sort_keys=True)
+        budget = self.max_attempts if max_attempts is None else max(1, int(max_attempts))
+        job_id = "j-" + uuid.uuid4().hex[:12]
+        key = dedup_key if dedup_key is not None else job_id
+        with self._tx() as conn:
+            self._reap(conn, now)
+            row = conn.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE dedup_key=?",
+                (key,),
+            ).fetchone()
+            if row is not None:
+                record = JobRecord.from_row(row)
+                if record.state in ("failed", "lost"):
+                    conn.execute(
+                        "UPDATE jobs SET state='queued', attempts=0, agent=NULL,"
+                        " lease_expires=NULL, result=NULL, error=NULL,"
+                        " not_before=0, queued_at=?, updated=?, max_attempts=?"
+                        " WHERE id=?",
+                        (now, now, budget, record.id),
+                    )
+                    self.metrics.inc("serve.resubmitted")
+                    return self._fetch(conn, record.id), False
+                self.metrics.inc("serve.deduped")
+                return record, True
+            if self.max_depth is not None:
+                live = conn.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE state IN (?,?,?)",
+                    LIVE_STATES,
+                ).fetchone()[0]
+                if live >= self.max_depth:
+                    self.metrics.inc("serve.rejected_full")
+                    raise QueueFull(
+                        f"queue at max depth {self.max_depth} "
+                        f"({live} live job(s))"
+                    )
+            conn.execute(
+                "INSERT INTO jobs (id, dedup_key, kind, request, state,"
+                " attempts, max_attempts, created, updated, queued_at,"
+                " not_before) VALUES (?,?,?,?, 'queued', 0, ?, ?, ?, ?, 0)",
+                (job_id, key, kind, encoded, budget, now, now, now),
+            )
+            self.metrics.inc("serve.submitted")
+            return self._fetch(conn, job_id), False
+
+    # ------------------------------------------------------------------
+    # Claim / heartbeat / transitions.
+    # ------------------------------------------------------------------
+    def claim(self, agent: str) -> Optional[JobRecord]:
+        """Claim the oldest runnable job for ``agent`` (or ``None``).
+
+        Also reaps lapsed leases first, so a dead agent's work is
+        recovered by whichever live agent claims next — no controller
+        required.
+        """
+        now = self.clock()
+        with self._tx() as conn:
+            self._reap(conn, now)
+            row = conn.execute(
+                "SELECT id, queued_at FROM jobs"
+                " WHERE state='queued' AND not_before<=?"
+                " ORDER BY queued_at, id LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                return None
+            job_id, queued_at = row
+            conn.execute(
+                "UPDATE jobs SET state='claimed', agent=?, attempts=attempts+1,"
+                " lease_expires=?, updated=? WHERE id=? AND state='queued'",
+                (agent, now + self.lease, now, job_id),
+            )
+            self.metrics.inc("serve.claimed")
+            self.metrics.histogram(
+                "serve.claim_seconds", CLAIM_LATENCY_BUCKETS
+            ).observe(max(0.0, now - queued_at))
+            return self._fetch(conn, job_id)
+
+    def start(self, job_id: str, agent: str) -> bool:
+        """claimed -> running (lease also refreshed)."""
+        now = self.clock()
+        with self._tx() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state='running', lease_expires=?, updated=?"
+                " WHERE id=? AND agent=? AND state='claimed'",
+                (now + self.lease, now, job_id, agent),
+            )
+            return cur.rowcount == 1
+
+    def heartbeat(self, job_id: str, agent: str) -> bool:
+        """Extend the lease; ``False`` means the job was reclaimed."""
+        now = self.clock()
+        with self._tx() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET lease_expires=?, updated=?"
+                " WHERE id=? AND agent=? AND state IN (?, ?)",
+                (now + self.lease, now, job_id, agent, *ACTIVE_STATES),
+            )
+            ok = cur.rowcount == 1
+        if ok:
+            self.metrics.inc("serve.heartbeats")
+        return ok
+
+    def complete(self, job_id: str, agent: str, result: dict) -> bool:
+        """running|claimed -> done, recording the result payload."""
+        now = self.clock()
+        with self._tx() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state='done', result=?, error=NULL,"
+                " lease_expires=NULL, updated=?"
+                " WHERE id=? AND agent=? AND state IN (?, ?)",
+                (
+                    json.dumps(result, sort_keys=True),
+                    now, job_id, agent, *ACTIVE_STATES,
+                ),
+            )
+            ok = cur.rowcount == 1
+        if ok:
+            self.metrics.inc("serve.done")
+        else:
+            self.metrics.inc("serve.stale_completions")
+        return ok
+
+    def fail(self, job_id: str, agent: str, error: str) -> Optional[str]:
+        """Record an application failure.
+
+        Returns the job's new state (``queued`` if it will be retried,
+        ``failed`` if its attempt budget is spent) or ``None`` when the
+        job was not ours to fail (reclaimed from under us).
+        """
+        now = self.clock()
+        with self._tx() as conn:
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM jobs"
+                " WHERE id=? AND agent=? AND state IN (?, ?)",
+                (job_id, agent, *ACTIVE_STATES),
+            ).fetchone()
+            if row is None:
+                self.metrics.inc("serve.stale_failures")
+                return None
+            attempts, max_attempts = row
+            if attempts >= max_attempts:
+                conn.execute(
+                    "UPDATE jobs SET state='failed', error=?, agent=NULL,"
+                    " lease_expires=NULL, updated=? WHERE id=?",
+                    (error, now, job_id),
+                )
+                self.metrics.inc("serve.failed")
+                return "failed"
+            conn.execute(
+                "UPDATE jobs SET state='queued', error=?, agent=NULL,"
+                " lease_expires=NULL, not_before=?, queued_at=?, updated=?"
+                " WHERE id=?",
+                (error, now + self._backoff_delay(attempts), now, now, job_id),
+            )
+            self.metrics.inc("serve.retries")
+            return "queued"
+
+    def _backoff_delay(self, attempts: int) -> float:
+        return self.backoff * (2 ** max(0, attempts - 1))
+
+    # ------------------------------------------------------------------
+    # Lease reaping (crash recovery).
+    # ------------------------------------------------------------------
+    def _reap(self, conn: sqlite3.Connection, now: float) -> int:
+        """Requeue (or park as ``lost``) every job whose lease lapsed."""
+        rows = conn.execute(
+            "SELECT id, attempts, max_attempts FROM jobs"
+            " WHERE state IN (?, ?) AND lease_expires IS NOT NULL"
+            " AND lease_expires<?",
+            (*ACTIVE_STATES, now),
+        ).fetchall()
+        for job_id, attempts, max_attempts in rows:
+            if attempts >= max_attempts:
+                conn.execute(
+                    "UPDATE jobs SET state='lost', agent=NULL,"
+                    " lease_expires=NULL, updated=?,"
+                    " error=COALESCE(error, 'lease expired') WHERE id=?",
+                    (now, job_id),
+                )
+                self.metrics.inc("serve.lost")
+            else:
+                conn.execute(
+                    "UPDATE jobs SET state='queued', agent=NULL,"
+                    " lease_expires=NULL, not_before=?, queued_at=?,"
+                    " updated=? WHERE id=?",
+                    (now + self._backoff_delay(attempts), now, now, job_id),
+                )
+                self.metrics.inc("serve.requeued")
+        return len(rows)
+
+    def requeue_lapsed(self) -> int:
+        """Reap now (the controller's reaper loop); returns jobs moved."""
+        with self._tx() as conn:
+            return self._reap(conn, self.clock())
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._tx() as conn:
+            return self._fetch(conn, job_id)
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        agent: Optional[str] = None,
+        limit: int = 100,
+    ) -> list[JobRecord]:
+        query = f"SELECT {', '.join(_COLUMNS)} FROM jobs"
+        clauses, params = [], []
+        if state is not None:
+            clauses.append("state=?")
+            params.append(state)
+        if agent is not None:
+            clauses.append("agent=?")
+            params.append(agent)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY created LIMIT ?"
+        params.append(int(limit))
+        with self._tx() as conn:
+            rows = conn.execute(query, params).fetchall()
+        return [JobRecord.from_row(row) for row in rows]
+
+    def stats(self) -> dict:
+        """Job counts by state plus the live depth."""
+        with self._tx() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        by_state = {state: 0 for state in STATES}
+        by_state.update(dict(rows))
+        return {
+            "by_state": by_state,
+            "depth": sum(by_state[s] for s in LIVE_STATES),
+            "total": sum(by_state.values()),
+        }

@@ -200,6 +200,7 @@ class TuningService:
         backoff: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
         machine_config: Optional[MachineConfig] = None,
+        auto_flush: bool = True,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         self.store: ArtifactStore | MemoryStore
@@ -214,6 +215,11 @@ class TuningService:
         self.config = machine_config or MachineConfig()
         self._fingerprint = config_fingerprint(self.config)
         self._flushed_counters: dict[str, int] = {}
+        #: ``repro.serve`` agents set this False: they publish metrics
+        #: through per-process snapshot files instead (one writer per
+        #: file), and the controller folds the deltas into the store's
+        #: cumulative ``metrics.json`` exactly once.
+        self.auto_flush = auto_flush
 
     # ------------------------------------------------------------------
     # Keys + store access with hit/miss accounting.
@@ -272,6 +278,53 @@ class TuningService:
                 "cache.hit", kind=key.kind, workload=key.workload
             )
         return payload
+
+    def request_key(self, request) -> CacheKey:
+        """The engine-aware artifact key identifying a v1 request.
+
+        For profile/run/site-report requests this is *exactly* the key
+        the corresponding artifact is cached under, so the ``repro.serve``
+        queue deduplicating on its digest is idempotent with the cache:
+        two submissions of one request share one execution and one
+        stored artifact.  Suite requests get a composite key in the same
+        family (kind ``suite``) naming the resolved workload list.
+        """
+        from repro import api as api_v1
+
+        config = self._config_for(getattr(request, "engine", None))
+        if isinstance(request, api_v1.ProfileRequest):
+            return self._key(
+                "profile", request.workload, request.scale, config=config
+            )
+        if isinstance(request, api_v1.RunRequest):
+            params = {"scheme": request.scheme}
+            if request.scheme == "aj":
+                params["distance"] = request.distance
+            return self._key(
+                "run", request.workload, request.scale, config=config,
+                **params,
+            )
+        if isinstance(request, api_v1.SiteReportRequest):
+            params = {}
+            if request.fixed_distance is not None:
+                params["fixed_distance"] = request.fixed_distance
+            return self._key(
+                "sites", request.workload, request.scale, config=config,
+                **params,
+            )
+        if isinstance(request, api_v1.SuiteRequest):
+            names = (
+                tuple(request.workloads)
+                if request.workloads is not None
+                else tuple(scale_suite(request.scale))
+            )
+            return self._key(
+                "suite", "+".join(names), request.scale, config=config,
+                aj_distance=request.aj_distance,
+            )
+        raise TypeError(
+            f"cannot key request of type {type(request).__name__}"
+        )
 
     def execute(self, request):
         """Run one ``repro.api`` v1 request against this service.
@@ -605,7 +658,11 @@ class TuningService:
 
     def flush_metrics(self) -> None:
         """Fold this service's counter *deltas* into the store's
-        cumulative ``metrics.json`` (no-op for in-memory stores)."""
+        cumulative ``metrics.json`` (no-op for in-memory stores, and
+        for services with ``auto_flush=False``, whose process publishes
+        a snapshot file instead)."""
+        if not self.auto_flush:
+            return
         current = self.metrics.counters()
         deltas = {
             name: value - self._flushed_counters.get(name, 0)

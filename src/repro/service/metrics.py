@@ -8,15 +8,27 @@ histograms with ``sum``/``count``) so a later PR can export it.
 Every mutation can also emit a structured ``logging`` event on the
 ``repro.service`` logger (DEBUG level), so ``logging.basicConfig`` plus
 a level is enough to trace a run.
+
+**Multi-process use** (the ``repro.serve`` controller/agent split):
+registries do not share state across processes, and concurrent
+read-modify-write flushes to one shared file can clobber each other.
+Instead, each process atomically owns its *own* snapshot file —
+``metrics-<pid>.json``, written with :func:`write_snapshot` — and a
+single merger (the controller) folds all snapshots together with
+:func:`merge_snapshots` for ``/metrics`` and the cumulative
+``metrics.json``.  One writer per file, one merger, no clobbering.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
+import tempfile
 import threading
 from bisect import bisect_left
-from typing import Optional, Sequence, Union
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 logger = logging.getLogger("repro.service")
 
@@ -76,6 +88,35 @@ class Histogram:
             "max": self.max,
             "buckets": buckets,
         }
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a ``to_dict()`` snapshot (possibly from another process)
+        into this histogram.  Matching bucket layouts merge exactly; a
+        foreign bound's count lands in the bucket containing that bound.
+        """
+        count = int(data.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.sum += float(data.get("sum", 0.0))
+        for field in ("min", "max"):
+            value = data.get(field)
+            if value is None:
+                continue
+            current = getattr(self, field)
+            if current is None:
+                setattr(self, field, value)
+            else:
+                pick = min if field == "min" else max
+                setattr(self, field, pick(current, value))
+        for bound, bucket_count in data.get("buckets", {}).items():
+            if not bucket_count:
+                continue
+            if bound == "+inf":
+                self.bucket_counts[-1] += bucket_count
+            else:
+                index = bisect_left(self.buckets, float(bound))
+                self.bucket_counts[index] += bucket_count
 
 
 class MetricsRegistry:
@@ -145,6 +186,30 @@ class MetricsRegistry:
                 },
             }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a ``to_dict()``-shaped snapshot into this registry.
+
+        Counters add; histograms merge bucket-by-bucket (bounds are
+        unioned, so snapshots taken with different bucket layouts still
+        combine losslessly at the dict level).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if isinstance(value, (int, float)) and value:
+                self.inc(name, int(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    bounds = tuple(
+                        float(b)
+                        for b in data.get("buckets", {})
+                        if b != "+inf"
+                    )
+                    histogram = self._histograms[name] = Histogram(
+                        name, bounds or DEFAULT_BUCKETS
+                    )
+            histogram.merge_dict(data)
+
     def report(self) -> str:
         """Human-readable one-metric-per-line rendering."""
         snapshot = self.to_dict()
@@ -161,3 +226,77 @@ class MetricsRegistry:
                 )
             )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-process snapshot files (the multi-process flush protocol).
+# ----------------------------------------------------------------------
+def snapshot_path(directory: str | os.PathLike, pid: Optional[int] = None) -> Path:
+    """The canonical per-process snapshot file: ``metrics-<pid>.json``."""
+    pid = os.getpid() if pid is None else pid
+    return Path(directory) / f"metrics-{pid}.json"
+
+
+def write_snapshot(
+    registry: MetricsRegistry,
+    directory: str | os.PathLike,
+    pid: Optional[int] = None,
+) -> Path:
+    """Atomically (re)write this process's snapshot file.
+
+    Each process only ever rewrites its *own* ``metrics-<pid>.json``
+    (single-writer), so concurrent agents cannot clobber each other the
+    way concurrent read-modify-write flushes to one shared file can.
+    """
+    path = snapshot_path(directory, pid)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".tmp-metrics-", suffix=".json", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(registry.to_dict(), sort_keys=True))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_snapshot(path: str | os.PathLike) -> Optional[dict]:
+    """One snapshot file, or ``None`` if unreadable/corrupt (a torn or
+    half-written file degrades to 'no data', never a crash)."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict):
+        return None
+    return raw
+
+
+def iter_snapshots(directory: str | os.PathLike) -> Iterable[tuple[Path, dict]]:
+    """Yield ``(path, snapshot)`` for every readable snapshot file."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("metrics-*.json")):
+        snapshot = read_snapshot(path)
+        if snapshot is not None:
+            yield path, snapshot
+
+
+def merge_snapshots(
+    directory: str | os.PathLike,
+    into: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Fold every per-process snapshot under ``directory`` into one
+    registry (a fresh one unless ``into`` is given).  This is the
+    controller's merge step behind ``/metrics``."""
+    merged = into if into is not None else MetricsRegistry()
+    for _, snapshot in iter_snapshots(directory):
+        merged.merge_snapshot(snapshot)
+    return merged

@@ -30,6 +30,8 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -256,26 +258,75 @@ class ArtifactStore:
         }
 
     def merge_metrics(self, deltas: dict[str, int]) -> None:
-        """Atomically add counter deltas into ``metrics.json``."""
+        """Atomically add counter deltas into ``metrics.json``.
+
+        The read-modify-write cycle is guarded by a best-effort lock
+        file so two processes flushing at once cannot clobber each
+        other's deltas (multi-*process* agents should still prefer the
+        per-pid snapshot protocol in :mod:`repro.service.metrics`, which
+        needs no cross-process coordination at all).
+        """
         if not any(deltas.values()):
             return
-        counters = self.read_metrics()
-        for name, delta in deltas.items():
-            counters[name] = counters.get(name, 0) + delta
         self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".tmp-metrics-", suffix=".json", dir=self.root
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps({"counters": counters}, sort_keys=True))
-            os.replace(tmp_name, self.metrics_path)
-        except BaseException:
+        with self._metrics_lock():
+            counters = self.read_metrics()
+            for name, delta in deltas.items():
+                counters[name] = counters.get(name, 0) + delta
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-metrics-", suffix=".json", dir=self.root
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(
+                        json.dumps({"counters": counters}, sort_keys=True)
+                    )
+                os.replace(tmp_name, self.metrics_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+    @contextmanager
+    def _metrics_lock(self, timeout: float = 5.0, stale: float = 30.0):
+        """O_EXCL spin lock around the metrics read-modify-write.
+
+        Best-effort by design: a lock older than ``stale`` seconds is
+        presumed orphaned (its holder crashed) and broken; failing to
+        acquire within ``timeout`` proceeds unlocked rather than
+        wedging the caller — a rare double-count beats a deadlock.
+        """
+        lock_path = self.root / "metrics.lock"
+        deadline = time.monotonic() + timeout
+        fd = None
+        while True:
+            try:
+                fd = os.open(
+                    lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                    if age > stale:
+                        lock_path.unlink()
+                        continue
+                except OSError:
+                    pass
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            if fd is not None:
+                os.close(fd)
+                try:
+                    lock_path.unlink()
+                except OSError:
+                    pass
 
 
 class MemoryStore:

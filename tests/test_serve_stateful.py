@@ -1,0 +1,319 @@
+"""Stateful property tests: the job queue and the artifact store.
+
+The ROADMAP's stateful-property-testing item, first slice: hypothesis
+``RuleBasedStateMachine``s drive random operation sequences against the
+real implementations while a plain-dict model predicts every outcome.
+
+* :class:`QueueMachine` — random submit/claim/heartbeat/complete/fail/
+  crash(=let the lease lapse)/requeue sequences against one
+  :class:`JobQueue` with an injected clock.  The model tracks each
+  job's state, attempts, owner, lease and backoff window, and every
+  transition's return value must match the model's prediction.
+* :class:`StoreMachine` — put/get/overwrite/corrupt/clear against a
+  disk :class:`ArtifactStore`; a corrupted entry must read back as a
+  miss (quarantined), never a crash or a stale payload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.service.store import ArtifactStore, CacheKey
+from repro.serve.queue import JobQueue
+
+# ----------------------------------------------------------------------
+# Queue machine
+# ----------------------------------------------------------------------
+LEASE = 10.0
+BACKOFF = 1.0
+MAX_ATTEMPTS = 3
+
+KEYS = st.sampled_from(["ka", "kb", "kc", "kd"])
+AGENTS = st.sampled_from(["a1", "a2", "a3"])
+
+
+class QueueMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        import tempfile
+
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-queue-sm-")
+        self.now = 1000.0
+        self.queue = JobQueue(
+            self._tmp.name,
+            lease=LEASE,
+            max_attempts=MAX_ATTEMPTS,
+            backoff=BACKOFF,
+            clock=lambda: self.now,
+        )
+        #: dedup_key -> model row (one job per key, like the queue).
+        self.model: dict[str, dict] = {}
+
+    def teardown(self) -> None:
+        self._tmp.cleanup()
+        super().teardown()
+
+    # -- model helpers -------------------------------------------------
+    def _backoff(self, attempts: int) -> float:
+        return BACKOFF * (2 ** max(0, attempts - 1))
+
+    def _model_reap(self) -> None:
+        """Mirror the queue's claim/submit-time lease reaping."""
+        for row in self.model.values():
+            if row["state"] in ("claimed", "running") and (
+                row["lease_expires"] < self.now
+            ):
+                if row["attempts"] >= MAX_ATTEMPTS:
+                    row.update(state="lost", agent=None)
+                else:
+                    row.update(
+                        state="queued",
+                        agent=None,
+                        not_before=self.now + self._backoff(row["attempts"]),
+                        queued_at=self.now,
+                    )
+
+    def _model_claimable(self):
+        eligible = [
+            (row["queued_at"], row["id"], key)
+            for key, row in self.model.items()
+            if row["state"] == "queued" and row["not_before"] <= self.now
+        ]
+        return min(eligible)[2] if eligible else None
+
+    # -- rules ---------------------------------------------------------
+    @rule(dt=st.sampled_from([0.5, 2.0, 6.0, 11.0, 25.0]))
+    def advance_time(self, dt) -> None:
+        self.now += dt
+
+    @rule(key=KEYS)
+    def submit(self, key) -> None:
+        record, deduped = self.queue.submit(
+            "X", {"kind": "X", "key": key}, dedup_key=key
+        )
+        self._model_reap()
+        row = self.model.get(key)
+        if row is None:
+            assert not deduped
+            assert record.state == "queued"
+            self.model[key] = {
+                "id": record.id,
+                "state": "queued",
+                "attempts": 0,
+                "agent": None,
+                "not_before": 0.0,
+                "queued_at": self.now,
+                "lease_expires": None,
+            }
+        elif row["state"] in ("failed", "lost"):
+            assert not deduped
+            assert record.id == row["id"]
+            assert record.state == "queued"
+            row.update(
+                state="queued",
+                attempts=0,
+                agent=None,
+                not_before=0.0,
+                queued_at=self.now,
+                lease_expires=None,
+            )
+        else:
+            assert deduped
+            assert record.id == row["id"]
+            assert record.state == row["state"]
+
+    @rule(agent=AGENTS)
+    def claim(self, agent) -> None:
+        record = self.queue.claim(agent)
+        self._model_reap()
+        expected = self._model_claimable()
+        if expected is None:
+            assert record is None
+            return
+        row = self.model[expected]
+        assert record is not None
+        assert record.id == row["id"]
+        assert record.state == "claimed"
+        row.update(
+            state="claimed",
+            agent=agent,
+            attempts=row["attempts"] + 1,
+            lease_expires=self.now + LEASE,
+        )
+        assert record.attempts == row["attempts"]
+
+    @precondition(lambda self: self.model)
+    @rule(key=KEYS, agent=AGENTS)
+    def start(self, key, agent) -> None:
+        row = self.model.get(key)
+        if row is None:
+            return
+        ok = self.queue.start(row["id"], agent)
+        should = row["state"] == "claimed" and row["agent"] == agent
+        assert ok == should
+        if should:
+            row.update(state="running", lease_expires=self.now + LEASE)
+
+    @precondition(lambda self: self.model)
+    @rule(key=KEYS, agent=AGENTS)
+    def heartbeat(self, key, agent) -> None:
+        row = self.model.get(key)
+        if row is None:
+            return
+        ok = self.queue.heartbeat(row["id"], agent)
+        should = (
+            row["state"] in ("claimed", "running") and row["agent"] == agent
+        )
+        assert ok == should
+        if should:
+            row["lease_expires"] = self.now + LEASE
+
+    @precondition(lambda self: self.model)
+    @rule(key=KEYS, agent=AGENTS)
+    def complete(self, key, agent) -> None:
+        row = self.model.get(key)
+        if row is None:
+            return
+        ok = self.queue.complete(row["id"], agent, {"done": key})
+        should = (
+            row["state"] in ("claimed", "running") and row["agent"] == agent
+        )
+        assert ok == should
+        if should:
+            row.update(state="done", agent=None, lease_expires=None)
+
+    @precondition(lambda self: self.model)
+    @rule(key=KEYS, agent=AGENTS)
+    def fail(self, key, agent) -> None:
+        row = self.model.get(key)
+        if row is None:
+            return
+        new_state = self.queue.fail(row["id"], agent, "boom")
+        actionable = (
+            row["state"] in ("claimed", "running") and row["agent"] == agent
+        )
+        if not actionable:
+            assert new_state is None
+            return
+        if row["attempts"] >= MAX_ATTEMPTS:
+            assert new_state == "failed"
+            row.update(state="failed", agent=None, lease_expires=None)
+        else:
+            assert new_state == "queued"
+            row.update(
+                state="queued",
+                agent=None,
+                lease_expires=None,
+                not_before=self.now + self._backoff(row["attempts"]),
+                queued_at=self.now,
+            )
+
+    @rule()
+    def crash_and_requeue(self) -> None:
+        """SIGKILL-shaped: leases stop being renewed, time passes, the
+        reaper runs.  Every lapsed job must move exactly as modelled."""
+        self.now += LEASE + 1.0
+        self.queue.requeue_lapsed()
+        self._model_reap()
+
+    # -- invariants ----------------------------------------------------
+    @invariant()
+    def states_match_model(self) -> None:
+        for key, row in self.model.items():
+            record = self.queue.get(row["id"])
+            assert record is not None
+            assert record.state == row["state"], (
+                f"{key}: queue={record.state} model={row['state']}"
+            )
+            assert record.attempts == row["attempts"]
+            if row["state"] in ("claimed", "running"):
+                assert record.agent == row["agent"]
+
+    @invariant()
+    def stats_match_model(self) -> None:
+        stats = self.queue.stats()
+        assert stats["total"] == len(self.model)
+        by_state: dict[str, int] = {}
+        for row in self.model.values():
+            by_state[row["state"]] = by_state.get(row["state"], 0) + 1
+        for state, count in by_state.items():
+            assert stats["by_state"][state] == count
+
+
+TestQueueStateful = QueueMachine.TestCase
+
+
+# ----------------------------------------------------------------------
+# Store machine (concurrent-shape put/get/corrupt over the disk store)
+# ----------------------------------------------------------------------
+STORE_KEYS = ["alpha", "beta", "gamma"]
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        import tempfile
+
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-store-sm-")
+        self.store = ArtifactStore(self._tmp.name)
+        self.model: dict[str, dict] = {}
+        self.rng = random.Random(1234)
+
+    def teardown(self) -> None:
+        self._tmp.cleanup()
+        super().teardown()
+
+    def _key(self, name: str) -> CacheKey:
+        return CacheKey.make("profile", name, "tiny", "fp0")
+
+    @rule(name=st.sampled_from(STORE_KEYS), value=st.integers(0, 1 << 30))
+    def put(self, name, value) -> None:
+        payload = {"value": value}
+        self.store.put(self._key(name), payload)
+        self.model[name] = payload
+
+    @rule(name=st.sampled_from(STORE_KEYS))
+    def get(self, name) -> None:
+        assert self.store.get(self._key(name)) == self.model.get(name)
+
+    @rule(name=st.sampled_from(STORE_KEYS))
+    def overwrite_then_get_is_fresh(self, name) -> None:
+        """Returned payloads are fresh objects: mutating one must not
+        poison later reads (the aliasing hazard the store exists to
+        prevent)."""
+        if name not in self.model:
+            return
+        first = self.store.get(self._key(name))
+        first["value"] = -1
+        assert self.store.get(self._key(name)) == self.model[name]
+
+    @rule(name=st.sampled_from(STORE_KEYS))
+    def corrupt(self, name) -> None:
+        """A torn/garbage entry degrades to a miss via quarantine."""
+        if name not in self.model:
+            return
+        path = self.store._entry_path(self._key(name))
+        path.write_text("{corrupt json" + str(self.rng.random()))
+        assert self.store.get(self._key(name)) is None  # quarantined
+        del self.model[name]
+        assert self.store.get(self._key(name)) is None  # stays gone
+
+    @rule()
+    def clear(self) -> None:
+        self.store.clear()
+        self.model.clear()
+
+    @invariant()
+    def entry_count_matches(self) -> None:
+        assert self.store.stats()["entries"] == len(self.model)
+
+
+TestStoreStateful = StoreMachine.TestCase

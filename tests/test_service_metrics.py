@@ -1,5 +1,7 @@
 """Unit tests for the service metrics registry."""
 
+import pytest
+
 from repro.service.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
 
 
@@ -85,3 +87,131 @@ class TestReporting:
     def test_event_does_not_raise(self):
         metrics = MetricsRegistry()
         metrics.event("cache.hit", kind="profile", workload="micro-tiny")
+
+
+class TestHistogramMergeDict:
+    def test_merge_identical_layouts_is_exact(self):
+        buckets = (0.1, 1.0)
+        left = Histogram("h", buckets=buckets)
+        right = Histogram("h", buckets=buckets)
+        for value in (0.05, 0.5, 2.0):
+            left.observe(value)
+        for value in (0.07, 5.0):
+            right.observe(value)
+        left.merge_dict(right.to_dict())
+        data = left.to_dict()
+        assert data["count"] == 5
+        assert data["sum"] == pytest.approx(0.05 + 0.5 + 2.0 + 0.07 + 5.0)
+        assert data["min"] == 0.05
+        assert data["max"] == 5.0
+        assert data["buckets"] == {"0.1": 2, "1.0": 1, "+inf": 2}
+
+    def test_merge_empty_snapshot_is_a_noop(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        before = histogram.to_dict()
+        histogram.merge_dict(Histogram("h", buckets=(1.0,)).to_dict())
+        assert histogram.to_dict() == before
+
+    def test_merge_into_empty_adopts_min_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        other = Histogram("h", buckets=(1.0,))
+        other.observe(0.25)
+        histogram.merge_dict(other.to_dict())
+        assert histogram.to_dict()["min"] == 0.25
+        assert histogram.to_dict()["max"] == 0.25
+
+    def test_foreign_bound_lands_in_containing_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        # A snapshot taken with bound 0.5: its count belongs in <=1.0.
+        histogram.merge_dict(
+            {"count": 3, "sum": 0.9, "min": 0.2, "max": 0.4,
+             "buckets": {"0.5": 3}}
+        )
+        assert histogram.to_dict()["buckets"] == {
+            "1.0": 3, "10.0": 0, "+inf": 0,
+        }
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_histograms_fold(self):
+        left = MetricsRegistry()
+        left.inc("cache.hits", 2)
+        left.observe("service.job_seconds", 0.2)
+        right = MetricsRegistry()
+        right.inc("cache.hits", 3)
+        right.inc("cache.misses")
+        right.observe("service.job_seconds", 0.4)
+        left.merge_snapshot(right.to_dict())
+        assert left.get("cache.hits") == 5
+        assert left.get("cache.misses") == 1
+        assert left.get("service.job_seconds")["count"] == 2
+
+    def test_unknown_histogram_adopts_snapshot_bounds(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot(
+            {"histograms": {"h": {"count": 1, "sum": 2.0, "min": 2.0,
+                                  "max": 2.0, "buckets": {"5.0": 1}}}}
+        )
+        assert registry.get("h")["buckets"] == {"5.0": 1, "+inf": 0}
+
+
+class TestSnapshotFiles:
+    def test_write_then_read_round_trips(self, tmp_path):
+        from repro.service.metrics import (
+            read_snapshot,
+            snapshot_path,
+            write_snapshot,
+        )
+
+        registry = MetricsRegistry()
+        registry.inc("serve.done", 4)
+        registry.observe("service.job_seconds", 0.3)
+        path = write_snapshot(registry, tmp_path, pid=1234)
+        assert path == snapshot_path(tmp_path, pid=1234)
+        assert path.name == "metrics-1234.json"
+        snapshot = read_snapshot(path)
+        assert snapshot == registry.to_dict()
+
+    def test_rewrite_replaces_not_accumulates(self, tmp_path):
+        from repro.service.metrics import read_snapshot, write_snapshot
+
+        registry = MetricsRegistry()
+        registry.inc("serve.done")
+        write_snapshot(registry, tmp_path, pid=1)
+        registry.inc("serve.done")
+        path = write_snapshot(registry, tmp_path, pid=1)
+        assert read_snapshot(path)["counters"]["serve.done"] == 2
+        assert len(list(tmp_path.glob("*.json"))) == 1  # no temp litter
+
+    def test_corrupt_snapshot_reads_as_none(self, tmp_path):
+        from repro.service.metrics import read_snapshot
+
+        path = tmp_path / "metrics-9.json"
+        path.write_text("{torn")
+        assert read_snapshot(path) is None
+        path.write_text('"not a dict"')
+        assert read_snapshot(path) is None
+
+    def test_merge_snapshots_folds_every_process(self, tmp_path):
+        from repro.service.metrics import merge_snapshots, write_snapshot
+
+        for pid, hits in ((1, 2), (2, 5)):
+            registry = MetricsRegistry()
+            registry.inc("cache.hits", hits)
+            registry.observe("service.job_seconds", 0.1 * pid)
+            write_snapshot(registry, tmp_path, pid=pid)
+        (tmp_path / "metrics-3.json").write_text("{torn")  # skipped
+
+        merged = merge_snapshots(tmp_path)
+        assert merged.get("cache.hits") == 7
+        data = merged.get("service.job_seconds")
+        assert data["count"] == 2
+        assert data["min"] == 0.1
+        assert data["max"] == 0.2
+
+    def test_merge_snapshots_missing_dir_is_empty(self, tmp_path):
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots(tmp_path / "nope")
+        assert merged.to_dict()["counters"] == {}
