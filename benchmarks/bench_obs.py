@@ -12,6 +12,13 @@ Two numbers matter:
   stalls, branch mirror) is allowed to cost, but simulated timing must
   be bit-identical: tracing observes the machine, never perturbs it.
 
+The service-telemetry twin (:func:`measure_telemetry`) applies the same
+discipline one layer up: executing a tiny suite inside a telemetry
+``job_scope`` (engine.build/engine.run/store.put spans journaled per
+phase) must stay within a few percent of the bare execution, and the
+result payloads must be byte-identical — ``scripts/ci_perf_check.py
+--max-telemetry-overhead`` gates on it.
+
 Standalone mode emits a machine-readable JSON summary::
 
     python benchmarks/bench_obs.py [--repeats 5] [--output obs.json]
@@ -21,7 +28,9 @@ from __future__ import annotations
 
 import json
 import statistics
+import tempfile
 import time
+from pathlib import Path
 
 from repro.machine.machine import Machine
 from repro.passes.ainsworth_jones import (
@@ -78,6 +87,71 @@ def measure(repeats: int = 5) -> dict:
     }
 
 
+def measure_telemetry(repeats: int = 3) -> dict:
+    """Median wall seconds for a tiny suite with the service-telemetry
+    job scope active vs inactive, plus the bit-identity invariant.
+
+    Each traced repeat journals the full span stream (execute +
+    engine.build/engine.run/store.put per workload) to a throwaway
+    directory; the untraced repeats hit the same code with the
+    contextvar unset, i.e. the zero-cost no-op path.
+    """
+    import repro.api as api
+    from repro.obs import telemetry as obs_telemetry
+    from repro.service.api import TuningService
+
+    request = api.SuiteRequest(
+        scale="tiny", workloads=("micro-tiny", "BFS-tiny")
+    )
+
+    def run_plain() -> tuple[float, str]:
+        started = time.perf_counter()
+        result = api.execute(request, service=TuningService())
+        return time.perf_counter() - started, result.to_json()
+
+    def run_traced(telemetry, index: int) -> tuple[float, str]:
+        started = time.perf_counter()
+        with obs_telemetry.job_scope(
+            telemetry, trace=f"tr-bench-{index}", job=f"j-bench-{index}"
+        ):
+            result = api.execute(request, service=TuningService())
+        return time.perf_counter() - started, result.to_json()
+
+    plain_times: list[float] = []
+    traced_times: list[float] = []
+    payloads = set()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-tel-") as tmp:
+        telemetry = obs_telemetry.Telemetry(Path(tmp))
+        for index in range(repeats):
+            # Alternate which variant runs first so slow machine drift
+            # (thermal, page cache) does not bias one side.
+            order = (run_plain, run_traced) if index % 2 == 0 else (
+                run_traced, run_plain
+            )
+            for fn in order:
+                if fn is run_plain:
+                    elapsed, payload = run_plain()
+                    plain_times.append(elapsed)
+                else:
+                    elapsed, payload = run_traced(telemetry, index)
+                    traced_times.append(elapsed)
+                payloads.add(payload)
+        spans = len(obs_telemetry.read_records(Path(tmp)))
+    # The *minimum* over repeats is the noise-robust wall-clock
+    # estimator: every source of jitter only ever adds time.
+    plain_best = min(plain_times)
+    traced_best = min(traced_times)
+    return {
+        "suite": list(request.workloads),
+        "repeats": repeats,
+        "plain_s": plain_best,
+        "traced_s": traced_best,
+        "telemetry_overhead": traced_best / plain_best - 1.0,
+        "results_identical": len(payloads) == 1,
+        "span_records": spans,
+    }
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -108,16 +182,25 @@ def main() -> int:  # pragma: no cover - CLI entry
 
     parser = argparse.ArgumentParser()
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--telemetry-repeats", type=int, default=3,
+        help="suite repeats for the service-telemetry overhead number "
+        "(0 skips it)",
+    )
     parser.add_argument("--output", default=None)
     args = parser.parse_args()
     summary = measure(repeats=args.repeats)
+    ok = summary["cycles_identical"]
+    if args.telemetry_repeats > 0:
+        summary["service_telemetry"] = measure_telemetry(
+            repeats=args.telemetry_repeats
+        )
+        ok = ok and summary["service_telemetry"]["results_identical"]
     rendered = json.dumps(summary, indent=2, sort_keys=True)
     if args.output:
-        from pathlib import Path
-
         Path(args.output).write_text(rendered)
     print(rendered)
-    return 0 if summary["cycles_identical"] else 1
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

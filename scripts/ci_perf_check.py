@@ -15,8 +15,16 @@ surface, then asserts:
   (``--min-turbo-speedup``, default 1.0: a turbo regression below fast
   means the superblock tier has stopped paying for itself).
 
+With ``--max-telemetry-overhead`` it additionally runs the
+service-telemetry overhead probe (``benchmarks/bench_obs.py
+measure_telemetry``): executing a tiny suite inside a telemetry job
+scope must cost at most the given fraction over the bare execution
+(default gate in CI: 0.05 = 5%), and the results must stay
+byte-identical — telemetry observes, never perturbs.
+
 Usage:
     python scripts/ci_perf_check.py [--scale tiny] [--min-speedup 1.2]
+        [--max-telemetry-overhead 0.05]
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 import repro.api as api
 from repro.service.api import TuningService
@@ -52,6 +61,20 @@ def main() -> int:
         type=float,
         default=1.0,
         help="required turbo-vs-fast wall-clock ratio (default 1.0)",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=None,
+        help="also gate service-telemetry overhead: max allowed "
+        "traced/plain wall-clock excess as a fraction (e.g. 0.05); "
+        "omitted, the probe is skipped",
+    )
+    parser.add_argument(
+        "--telemetry-repeats",
+        type=int,
+        default=3,
+        help="suite repeats for the telemetry probe (median; default 3)",
     )
     args = parser.parse_args()
 
@@ -114,6 +137,35 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+
+    if args.max_telemetry_overhead is not None:
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        from bench_obs import measure_telemetry
+
+        probe = measure_telemetry(repeats=args.telemetry_repeats)
+        print(
+            f"telemetry probe: plain={probe['plain_s']:.2f}s "
+            f"traced={probe['traced_s']:.2f}s "
+            f"overhead={probe['telemetry_overhead'] * 100:.1f}% "
+            f"(ceiling {args.max_telemetry_overhead * 100:.1f}%), "
+            f"{probe['span_records']} span record(s)"
+        )
+        if not probe["results_identical"]:
+            print(
+                "FAIL: suite results differ with telemetry on vs off",
+                file=sys.stderr,
+            )
+            return 1
+        if probe["telemetry_overhead"] > args.max_telemetry_overhead:
+            print(
+                f"FAIL: telemetry overhead "
+                f"{probe['telemetry_overhead'] * 100:.1f}% exceeds the "
+                f"{args.max_telemetry_overhead * 100:.1f}% ceiling",
+                file=sys.stderr,
+            )
+            return 1
 
     print(
         "OK: counters bit-identical, engine ladder holds "

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""CI guard for end-to-end service telemetry.
+
+Drives a real controller + agent-subprocess deployment with telemetry
+on and asserts the observability contract end to end:
+
+1. submit a batch of jobs over HTTP — runs, a duplicate (the dedup hit
+   must share the original's trace id), and a ``SiteReportRequest``
+   (a traced simulator run that exports a prefetch-lifecycle timeline);
+2. once everything is terminal, every job's span journal must be
+   **balanced** (per span id, opens == closes) and end with the root
+   ``job`` span closing in the job's terminal state;
+3. ``GET /v1/jobs/<id>/events`` must replay a finished job's stream
+   **byte-identically** across two reads, and the replay must equal the
+   journal slice on disk;
+4. the merged Perfetto export must pass ``validate_chrome_trace`` and
+   contain *both* layers: service spans (pid 10) and the embedded
+   simulator timeline (pids 1-3) for the site-report's trace;
+5. ``/metrics`` must expose the span-latency histograms with
+   ``# TYPE`` lines and p50/p90/p99 quantile gauges.
+
+Usage:
+    python scripts/ci_telemetry_check.py [--scale tiny]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import repro.api as api
+from repro.obs.telemetry import (
+    read_records,
+    span_balance_problems,
+    telemetry_dir,
+)
+from repro.obs.timeline import validate_chrome_trace
+from repro.serve.controller import Controller
+
+WORKLOADS = ("micro-tiny", "BFS-tiny")
+TRACED_WORKLOAD = "micro-tiny"
+
+
+def http_json(base: str, path: str, payload: dict | None = None):
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode() if payload is not None else None,
+        headers={"Content-Type": "application/json"},
+        method="POST" if payload is not None else "GET",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+def http_raw(base: str, path: str) -> bytes:
+    with urllib.request.urlopen(f"{base}{path}") as response:
+        return response.read()
+
+
+def wait_for(predicate, timeout: float, interval: float = 0.05, what: str = ""):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise SystemExit(f"FAIL: timed out after {timeout:.0f}s waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    requests = [
+        api.RunRequest(workload=name, scale=args.scale, scheme=scheme)
+        for name in WORKLOADS
+        for scheme in ("baseline", "apt-get")
+    ]
+    site_request = api.SiteReportRequest(
+        workload=TRACED_WORKLOAD, scale=args.scale
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-ci-telemetry-") as tmp:
+        queue_dir = Path(tmp) / "queue"
+        controller = Controller(queue_dir, agents=2, port=0)
+        controller.start()
+        base = f"http://{controller.host}:{controller.port}"
+        try:
+            # ----------------------------------------------------------
+            # 1. Submit: runs + a duplicate + the traced site report.
+            # ----------------------------------------------------------
+            print(f"[1/5] submitting {len(requests) + 2} jobs to {base}")
+            job_ids = []
+            for request in requests:
+                _, submitted = http_json(
+                    base, "/v1/jobs", request.to_payload()
+                )
+                job_ids.append(submitted["id"])
+                if not submitted["trace"]:
+                    raise SystemExit(
+                        f"FAIL: submission minted no trace id: {submitted}"
+                    )
+            status, duplicate = http_json(
+                base, "/v1/jobs", requests[0].to_payload()
+            )
+            _, original = http_json(base, f"/v1/jobs/{job_ids[0]}")
+            if not (duplicate["deduped"]
+                    and duplicate["id"] == job_ids[0]
+                    and duplicate["trace"] == original["trace"]):
+                raise SystemExit(
+                    f"FAIL: dedup hit does not share the original trace: "
+                    f"{duplicate} vs {original}"
+                )
+            _, site_job = http_json(
+                base, "/v1/jobs", site_request.to_payload()
+            )
+            job_ids.append(site_job["id"])
+
+            # ----------------------------------------------------------
+            # 2. Everything terminal; every journal balanced.
+            # ----------------------------------------------------------
+            def all_done():
+                records = [controller.queue.get(i) for i in job_ids]
+                if any(r.state in ("failed", "lost") for r in records):
+                    details = [(r.id, r.state, r.error) for r in records]
+                    raise SystemExit(f"FAIL: terminal failure: {details}")
+                return all(r.state == "done" for r in records)
+
+            wait_for(all_done, args.timeout, what="every job to finish")
+            journal_dir = telemetry_dir(queue_dir)
+
+            def journals_settled():
+                for job_id in job_ids:
+                    records = read_records(journal_dir, job=job_id)
+                    if span_balance_problems(records):
+                        return False
+                return True
+
+            # The queue journals a terminal transition's closing spans
+            # just after the commit; give the writers a moment.
+            wait_for(
+                journals_settled, 10.0, what="journals to settle"
+            )
+            for job_id in job_ids:
+                records = read_records(journal_dir, job=job_id)
+                problems = span_balance_problems(records)
+                if problems:
+                    raise SystemExit(
+                        f"FAIL: unbalanced spans for {job_id}: {problems}"
+                    )
+                closing = records[-1]
+                if not (closing["ev"] == "close"
+                        and closing["span"] == job_id
+                        and closing["attrs"]["state"] == "done"):
+                    raise SystemExit(
+                        f"FAIL: {job_id} journal does not end with the "
+                        f"root span closing done: {closing}"
+                    )
+            print(
+                f"[2/5] {len(job_ids)} job(s) done, all span journals "
+                "balanced"
+            )
+
+            # ----------------------------------------------------------
+            # 3. Byte-identical replay over /events.
+            # ----------------------------------------------------------
+            for job_id in (job_ids[0], site_job["id"]):
+                first = http_raw(base, f"/v1/jobs/{job_id}/events")
+                second = http_raw(base, f"/v1/jobs/{job_id}/events")
+                if first != second:
+                    raise SystemExit(
+                        f"FAIL: /events replay for {job_id} is not "
+                        "byte-identical"
+                    )
+                streamed = [
+                    json.loads(line)
+                    for line in first.decode().splitlines()
+                ]
+                if streamed != read_records(journal_dir, job=job_id):
+                    raise SystemExit(
+                        f"FAIL: /events for {job_id} differs from the "
+                        "journal on disk"
+                    )
+            print("[3/5] /events replays are byte-identical")
+
+            # ----------------------------------------------------------
+            # 4. Merged Perfetto document: both layers, valid schema.
+            # ----------------------------------------------------------
+            out_path = Path(tmp) / "timeline.json"
+            controller.export_timeline(out_path)
+            document = json.loads(out_path.read_text())
+            problems = validate_chrome_trace(document)
+            if problems:
+                raise SystemExit(
+                    f"FAIL: merged timeline invalid: {problems}"
+                )
+            pids = {event["pid"] for event in document["traceEvents"]}
+            if 10 not in pids:
+                raise SystemExit(
+                    f"FAIL: no service spans in the merged timeline: {pids}"
+                )
+            if not pids & {1, 2, 3}:
+                raise SystemExit(
+                    "FAIL: the site report's simulator timeline was not "
+                    f"embedded: pids {pids}"
+                )
+            if site_job["trace"] not in document["otherData"]["sim_traces"]:
+                raise SystemExit(
+                    f"FAIL: sim trace not keyed to {site_job['trace']}: "
+                    f"{document['otherData']}"
+                )
+            print(
+                f"[4/5] merged timeline valid: "
+                f"{len(document['traceEvents'])} event(s), pids {sorted(pids)}"
+            )
+
+            # ----------------------------------------------------------
+            # 5. Metrics exposition: typed families + quantile gauges.
+            # ----------------------------------------------------------
+            # Span histograms live in the agents' registries and reach
+            # the controller's merged /metrics via per-pid snapshots the
+            # agent rewrites *after* the terminal commit — retry briefly.
+            needed = (
+                "# TYPE repro_serve_span_job_seconds histogram",
+                "repro_serve_span_job_seconds_p50 ",
+                "repro_serve_span_job_seconds_p99 ",
+            )
+            wait_for(
+                lambda: all(
+                    line in http_raw(base, "/metrics").decode()
+                    for line in needed
+                ),
+                10.0,
+                what=f"span histograms in /metrics ({needed})",
+            )
+            print("[5/5] /metrics exposes span histograms with quantiles")
+        finally:
+            controller.stop()
+
+    print(
+        "telemetry check OK: balanced spans, shared dedup trace, "
+        "byte-identical replay, merged Perfetto timeline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

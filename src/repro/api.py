@@ -119,11 +119,19 @@ def _check_engine(engine: Optional[str]) -> Optional[str]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, kw_only=True)
 class ProfileRequest(_Payload):
-    """Ask for a profiling run + APT-GET hint analysis (cached)."""
+    """Ask for a profiling run + APT-GET hint analysis (cached).
+
+    ``trace`` is an optional client-supplied correlation id: the
+    ``repro.serve`` queue stamps it on the job (minting one when
+    absent) so the job's telemetry spans share the caller's trace.  It
+    never participates in cache/dedup keys — two requests differing
+    only in ``trace`` are the same work.
+    """
 
     workload: str
     scale: str = "small"
     engine: Optional[str] = None
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", _check_engine(self.engine))
@@ -142,6 +150,7 @@ class RunRequest(_Payload):
     scheme: str = "baseline"
     distance: int = 32
     engine: Optional[str] = None
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", _check_engine(self.engine))
@@ -165,6 +174,7 @@ class SiteReportRequest(_Payload):
     scale: str = "small"
     fixed_distance: Optional[int] = None
     engine: Optional[str] = None
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", _check_engine(self.engine))
@@ -180,6 +190,7 @@ class SuiteRequest(_Payload):
     workloads: Optional[tuple] = None
     jobs: Optional[int] = None
     engine: Optional[str] = None
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", _check_engine(self.engine))

@@ -21,7 +21,13 @@ Mirrors the paper's workflow as subcommands:
                     docs/SERVICE.md);
 * ``agent``       — run one standalone agent worker against an existing
                     queue directory (attach extra capacity from other
-                    terminals or hosts sharing the filesystem).
+                    terminals or hosts sharing the filesystem);
+* ``top``         — polling terminal status view of a queue: depth,
+                    per-state job counts, agent liveness, and
+                    span-derived latency percentiles;
+* ``timeline``    — stitch a queue's service telemetry and any embedded
+                    simulator traces into one Perfetto/Chrome-trace
+                    JSON file.
 """
 
 from __future__ import annotations
@@ -404,7 +410,18 @@ def cmd_qa_shrink(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
     from repro.serve.controller import Controller
+
+    if args.access_log:
+        # The access log emits INFO records on ``repro.serve.http``;
+        # give that logger a stderr handler so the CLI flag actually
+        # produces output (the default root level is WARNING).
+        logger = logging.getLogger("repro.serve.http")
+        logger.setLevel(logging.INFO)
+        if not logger.handlers:
+            logger.addHandler(logging.StreamHandler())
 
     controller = Controller(
         args.queue_dir,
@@ -416,6 +433,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         max_depth=args.max_depth,
         engine=args.engine,
+        telemetry=not args.no_telemetry,
+        access_log=args.access_log,
     )
     controller.start()
     print(
@@ -424,7 +443,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{controller.num_agents} agent(s), lease {controller.lease:g}s)"
     )
     print("endpoints: POST /v1/jobs  GET /v1/jobs/<id>  "
-          "GET /v1/results/<id>  /healthz  /metrics")
+          "GET /v1/jobs/<id>/events  GET /v1/results/<id>  "
+          "/healthz  /metrics")
     try:
         controller.wait()
     except KeyboardInterrupt:
@@ -446,10 +466,140 @@ def cmd_agent(args: argparse.Namespace) -> int:
         lease=args.lease,
         poll_interval=args.poll,
         engine=args.engine,
+        telemetry=not args.no_telemetry,
     )
     print(f"agent {worker.agent_id}: draining {args.queue_dir}")
     executed = main_loop(worker, max_jobs=args.max_jobs)
     print(f"agent {worker.agent_id}: executed {executed} job(s)")
+    return 0
+
+
+#: Histograms whose span-derived percentiles ``top`` surfaces, in
+#: display order (queue-span latencies first, then job wall time).
+_TOP_HISTOGRAMS = (
+    "serve.span.claimed_seconds",
+    "serve.span.running_seconds",
+    "serve.span.job_seconds",
+    "serve.job.seconds",
+    "serve.claim.latency",
+)
+
+
+def _pid_alive(pid: int) -> bool:
+    import os
+
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _render_top(queue_dir: str) -> str:
+    """One frame of the ``top`` view (pure string; tested directly)."""
+    import time as _time
+
+    from repro.serve.agent import metrics_dir
+    from repro.serve.queue import STATES, JobQueue
+    from repro.service.metrics import (
+        iter_snapshots,
+        merge_snapshots,
+        snapshot_quantile,
+    )
+
+    stats = JobQueue(queue_dir).stats()
+    lines = [
+        f"repro.serve top — queue {queue_dir} "
+        f"({_time.strftime('%H:%M:%S')})",
+        f"  depth {stats['depth']} live / {stats['total']} total",
+        "  states  "
+        + "  ".join(f"{s}={stats['by_state'][s]}" for s in STATES),
+    ]
+    snapshots = list(iter_snapshots(metrics_dir(queue_dir)))
+    alive = 0
+    agent_lines = []
+    for path, _ in snapshots:
+        try:
+            pid = int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        up = _pid_alive(pid)
+        alive += up
+        agent_lines.append(f"    pid {pid}: {'alive' if up else 'gone'}")
+    lines.append(f"  workers {alive} alive / {len(agent_lines)} known")
+    lines.extend(agent_lines)
+    merged = merge_snapshots(metrics_dir(queue_dir)).to_dict()
+    histograms = merged.get("histograms", {})
+    shown = [n for n in _TOP_HISTOGRAMS if n in histograms]
+    shown += sorted(n for n in histograms if n not in _TOP_HISTOGRAMS)
+    if shown:
+        lines.append("  latency percentiles (seconds)")
+    for name in shown:
+        data = histograms[name]
+        quantiles = " ".join(
+            f"p{int(q * 100)}={value:.4f}"
+            for q, value in (
+                (q, snapshot_quantile(data, q)) for q in (0.5, 0.9, 0.99)
+            )
+            if value is not None
+        )
+        if quantiles:
+            lines.append(
+                f"    {name:<28} {quantiles} (n={data['count']})"
+            )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    iterations = args.iterations
+    shown = 0
+    try:
+        while True:
+            frame = _render_top(args.queue_dir)
+            if not args.no_clear and shown:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame)
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import merged_timeline, telemetry_dir
+    from repro.obs.timeline import validate_chrome_trace
+
+    try:
+        document = merged_timeline(
+            telemetry_dir(args.queue_dir), job=args.job, trace=args.trace
+        )
+    except ValueError as exc:
+        print(f"timeline: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"timeline: invalid document: {problem}", file=sys.stderr)
+        return 1
+    Path(args.output).write_text(
+        json.dumps(document, indent=1, sort_keys=True)
+    )
+    meta = document["otherData"]
+    print(
+        f"timeline: {len(document['traceEvents'])} event(s) from "
+        f"{len(meta['traces'])} trace(s) ({len(meta['sim_traces'])} with "
+        f"simulator timelines) -> {args.output} "
+        "(open in https://ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -674,6 +824,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution engine for agent measurements",
     )
+    p.add_argument(
+        "--access-log",
+        action="store_true",
+        help="log every HTTP request as one JSON line at INFO",
+    )
+    p.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable job-lifecycle span journaling (and the "
+        "/v1/jobs/<id>/events endpoint)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -700,7 +861,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution engine for measurements",
     )
+    p.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable job-lifecycle span journaling",
+    )
     p.set_defaults(fn=cmd_agent)
+
+    p = sub.add_parser(
+        "top",
+        help="polling status view of a queue: depth, per-state counts, "
+        "worker liveness, span latency percentiles",
+    )
+    p.add_argument("--queue-dir", required=True)
+    p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="frames to render before exiting (default: until Ctrl-C)",
+    )
+    p.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser(
+        "timeline",
+        help="export a queue's merged service+simulator telemetry as "
+        "Perfetto/Chrome-trace JSON",
+    )
+    p.add_argument("--queue-dir", required=True)
+    p.add_argument("--output", "-o", default="timeline.json")
+    p.add_argument(
+        "--job", default=None, help="restrict to one job id"
+    )
+    p.add_argument(
+        "--trace", default=None, help="restrict to one trace id"
+    )
+    p.set_defaults(fn=cmd_timeline)
 
     return parser
 

@@ -15,6 +15,7 @@ from repro.core.hints import HintSet, PrefetchHint
 from repro.core.site import InjectionSite
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine, RunResult
+from repro.obs import telemetry
 from repro.machine.pmu import PerfStat
 from repro.passes.ainsworth_jones import (
     AinsworthJonesConfig,
@@ -95,8 +96,11 @@ class WorkloadComparison:
 def run_baseline(
     workload: Workload, config: Optional[MachineConfig] = None
 ) -> SchemeRun:
-    module, space = workload.build()
-    result = Machine(module, space, config=config).run(workload.entry)
+    with telemetry.build_phase(workload.name, scheme="baseline"):
+        module, space = workload.build()
+    machine = Machine(module, space, config=config)
+    with telemetry.run_phase(machine, scheme="baseline"):
+        result = machine.run(workload.entry)
     return SchemeRun("baseline", result)
 
 
@@ -105,10 +109,16 @@ def run_ainsworth_jones(
     distance: int = 32,
     config: Optional[MachineConfig] = None,
 ) -> SchemeRun:
-    module, space = workload.build()
-    report = AinsworthJonesPass(AinsworthJonesConfig(distance=distance)).run(module)
-    result = Machine(module, space, config=config).run(workload.entry)
-    return SchemeRun(f"aj-{distance}", result, report=report)
+    scheme = f"aj-{distance}"
+    with telemetry.build_phase(workload.name, scheme=scheme):
+        module, space = workload.build()
+        report = AinsworthJonesPass(
+            AinsworthJonesConfig(distance=distance)
+        ).run(module)
+    machine = Machine(module, space, config=config)
+    with telemetry.run_phase(machine, scheme=scheme):
+        result = machine.run(workload.entry)
+    return SchemeRun(scheme, result, report=report)
 
 
 def profile_workload(
@@ -117,9 +127,11 @@ def profile_workload(
     period: Optional[int] = None,
 ) -> tuple[ExecutionProfile, HintSet]:
     """One profiling run + analysis (APT-GET steps 1-5)."""
-    module, space = workload.build()
+    with telemetry.build_phase(workload.name, scheme="profile"):
+        module, space = workload.build()
     machine = Machine(module, space, config=config)
-    profile = collect_profile(machine, workload.entry, period=period)
+    with telemetry.run_phase(machine, scheme="profile"):
+        profile = collect_profile(machine, workload.entry, period=period)
     hints = AptGet(AptGetConfig()).analyze(module, profile)
     return profile, hints
 
@@ -130,9 +142,12 @@ def run_with_hints(
     config: Optional[MachineConfig] = None,
     scheme: str = "apt-get",
 ) -> SchemeRun:
-    module, space = workload.build()
-    report = AptGetPass(hints).run(module)
-    result = Machine(module, space, config=config).run(workload.entry)
+    with telemetry.build_phase(workload.name, scheme=scheme):
+        module, space = workload.build()
+        report = AptGetPass(hints).run(module)
+    machine = Machine(module, space, config=config)
+    with telemetry.run_phase(machine, scheme=scheme):
+        result = machine.run(workload.entry)
     return SchemeRun(scheme, result, report=report, hints=hints)
 
 

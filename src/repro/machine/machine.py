@@ -17,6 +17,7 @@ For profiling runs (the paper's ``perf record`` step)::
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -90,6 +91,9 @@ class Machine:
         #: machine can serve several engines (e.g. translated_source()
         #: on a machine running the fast engine).
         self._compiled: dict[tuple[str, str], object] = {}
+        #: Wall seconds spent compiling (the compile half of the
+        #: compile-vs-execute split telemetry reports per engine.run).
+        self._compile_seconds = 0.0
 
     # ------------------------------------------------------------------
     def enable_profiling(
@@ -172,6 +176,7 @@ class Machine:
         key = (engine, name)
         compiled = self._compiled.get(key)
         if compiled is None:
+            started = time.perf_counter()
             function = self.module.function(name)
             if engine == "turbo":
                 compiled = compile_turbo(function, self.config)
@@ -180,6 +185,7 @@ class Machine:
             else:
                 compiled = compile_function(function, self.config)
             self._compiled[key] = compiled
+            self._compile_seconds += time.perf_counter() - started
         return compiled
 
     def _invoke(self, callee: str, args: Sequence[int], from_pc: int) -> int:
@@ -219,3 +225,29 @@ class Machine:
         """Source of the translating engine's code for ``function``
         (debug aid; compiles on demand whatever engine is active)."""
         return self._compile(function, engine="translate").source
+
+    def engine_run_stats(self) -> dict:
+        """Engine-phase profiling rollup for this machine's lifetime:
+        the compile-vs-execute wall split plus, on the turbo tier, the
+        superblock bulk-stepping/guard-bail tallies.  Read by the
+        telemetry layer at ``engine.run`` span close; pure observation
+        (compiled-function attributes, never PMU counters)."""
+        stats: dict = {
+            "compiled_functions": len(self._compiled),
+            "compile_seconds": round(self._compile_seconds, 6),
+        }
+        bulk_calls = bulk_iters = declines = cleared = 0
+        turbo = False
+        for compiled in self._compiled.values():
+            if hasattr(compiled, "bulk_calls"):
+                turbo = True
+                bulk_calls += compiled.bulk_calls
+                bulk_iters += compiled.bulk_iters
+                declines += compiled.guard_declines
+                cleared += compiled.adaptive_cleared
+        if turbo:
+            stats["bulk_calls"] = bulk_calls
+            stats["bulk_iters"] = bulk_iters
+            stats["guard_declines"] = declines
+            stats["adaptive_cleared"] = cleared
+        return stats

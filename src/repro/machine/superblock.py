@@ -999,6 +999,13 @@ class TurboCompiledFunction(BlockCompiledFunction):
             block_start_pc=base.block_start_pc,
         )
         self._superblocks = superblocks  # per-block-index, None when unfused
+        # Cumulative run-profiling tallies (telemetry's engine.run span
+        # reads these; they live on the compiled function, never in the
+        # PMU counters, so traced==untraced bit-identity is untouched).
+        self.bulk_calls = 0
+        self.bulk_iters = 0
+        self.guard_declines = 0
+        self.adaptive_cleared = 0
 
     def superblocks(self) -> list:
         """The fused loops (debug/test aid)."""
@@ -1012,6 +1019,10 @@ class TurboCompiledFunction(BlockCompiledFunction):
         stats["max_fusion_depth"] = max(
             (sb.depth for sb in fused), default=0
         )
+        stats["bulk_calls"] = self.bulk_calls
+        stats["bulk_iters"] = self.bulk_iters
+        stats["guard_declines"] = self.guard_declines
+        stats["adaptive_cleared"] = self.adaptive_cleared
         return stats
 
     def __call__(self, ctx: ExecutionContext, args: Sequence[int] = ()) -> int:
@@ -1075,44 +1086,59 @@ class TurboCompiledFunction(BlockCompiledFunction):
             sb_calls = [0] * len(superblocks)
             sb_iters = [0] * len(superblocks)
         profiled = sampler is not None
+        declined = 0
         bi = self._entry
-        while True:
-            if st.cycle >= st.next_sample:
-                st.next_sample = st.take(st.cycle)
-            if st.retired > max_instructions:
-                raise ExecutionLimitExceeded(
-                    f"{function.name}: exceeded {max_instructions} instructions"
-                )
+        try:
+            while True:
+                if st.cycle >= st.next_sample:
+                    st.next_sample = st.take(st.cycle)
+                if st.retired > max_instructions:
+                    raise ExecutionLimitExceeded(
+                        f"{function.name}: exceeded {max_instructions} instructions"
+                    )
+                if superblocks is not None:
+                    sb = superblocks[bi]
+                    if sb is not None:
+                        run = sb.run_profiled if profiled else sb.run_plain
+                        before = st.retired
+                        nxt = run(R, st, front)
+                        if nxt >= 0:
+                            calls = sb_calls[bi] + 1
+                            sb_calls[bi] = calls
+                            sb_iters[bi] += (
+                                st.retired - before
+                            ) // sb.bound_retired
+                            if calls == _ADAPT_WARMUP and (
+                                sb_iters[bi] < calls * _ADAPT_MIN_ITERS
+                            ):
+                                superblocks[bi] = None
+                            bi = nxt
+                            continue
+                        declined += 1
+                st.next = _FELL_THROUGH
+                for op in blocks[bi]:
+                    op(R, st)
+                nxt = st.next
+                if nxt < 0:
+                    if nxt == _RETURNED:
+                        return st.value
+                    raise IRError(
+                        f"block {self._block_names[bi]} fell through "
+                        f"without terminator"
+                    )
+                bi = nxt
+        finally:
             if superblocks is not None:
-                sb = superblocks[bi]
-                if sb is not None:
-                    run = sb.run_profiled if profiled else sb.run_plain
-                    before = st.retired
-                    nxt = run(R, st, front)
-                    if nxt >= 0:
-                        calls = sb_calls[bi] + 1
-                        sb_calls[bi] = calls
-                        sb_iters[bi] += (
-                            st.retired - before
-                        ) // sb.bound_retired
-                        if calls == _ADAPT_WARMUP and (
-                            sb_iters[bi] < calls * _ADAPT_MIN_ITERS
-                        ):
-                            superblocks[bi] = None
-                        bi = nxt
-                        continue
-            st.next = _FELL_THROUGH
-            for op in blocks[bi]:
-                op(R, st)
-            nxt = st.next
-            if nxt < 0:
-                if nxt == _RETURNED:
-                    return st.value
-                raise IRError(
-                    f"block {self._block_names[bi]} fell through "
-                    f"without terminator"
+                self.bulk_calls += sum(sb_calls)
+                self.bulk_iters += sum(sb_iters)
+                self.guard_declines += declined
+                self.adaptive_cleared += sum(
+                    1
+                    for original, current in zip(
+                        self._superblocks, superblocks
+                    )
+                    if original is not None and current is None
                 )
-            bi = nxt
 
 
 def compile_turbo(

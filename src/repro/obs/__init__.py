@@ -16,18 +16,36 @@ Entry points:
 * :func:`repro.obs.sites.site_reports` turns a trace into per-site
   rollups;
 * :func:`repro.obs.timeline.chrome_trace` exports a Perfetto-loadable
-  JSON timeline.
+  JSON timeline;
+* :mod:`repro.obs.telemetry` is the *service-level* twin: span-based
+  job-lifecycle tracing for the ``repro.serve`` stack, with
+  :func:`~repro.obs.telemetry.merged_timeline` stitching service spans
+  and the simulator timeline into one Perfetto document.
 """
 
 from repro.obs.sites import SiteReport, site_reports, site_table
+from repro.obs.telemetry import (
+    JournalTail,
+    Telemetry,
+    merged_timeline,
+    read_records,
+    span_balance_problems,
+    telemetry_dir,
+)
 from repro.obs.timeline import chrome_trace, validate_chrome_trace
 from repro.obs.trace import PrefetchTrace
 
 __all__ = [
+    "JournalTail",
     "PrefetchTrace",
     "SiteReport",
+    "Telemetry",
     "chrome_trace",
+    "merged_timeline",
+    "read_records",
     "site_reports",
     "site_table",
+    "span_balance_problems",
+    "telemetry_dir",
     "validate_chrome_trace",
 ]

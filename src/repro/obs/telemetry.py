@@ -1,0 +1,596 @@
+"""Service-level span telemetry for the ``repro.serve`` stack.
+
+PR 2's :mod:`repro.obs.trace` made *timeliness* visible inside one
+simulated run; this module is its service-level twin.  Every job the
+controller/agent service touches carries a ``trace_id``, and every
+lifecycle transition (submit → queued → claimed → running →
+done/failed/lost, plus retries and lease reclaims) and every execution
+phase (``execute`` → ``engine.build`` → ``engine.run`` → ``store.put``)
+is journaled as a structured span event, so a single merged view spans
+the HTTP POST all the way down to an individual prefetch fill.
+
+Journal layout (crash-safe, single-writer-per-file — the same protocol
+as the ``metrics-<pid>.json`` snapshots next door):
+
+* ``<queue-dir>/telemetry/spans-<pid>.jsonl`` — one JSON object per
+  line, appended and flushed per event.  A SIGKILL can tear at most the
+  final line; readers skip incomplete lines, so a torn journal degrades
+  to "one missing event", never a parse error.
+* ``<queue-dir>/telemetry/sim-<trace_id>.json`` — a simulator-level
+  Chrome-trace document (PR 2's prefetch-lifecycle timeline) exported
+  by a traced job (e.g. a ``SiteReportRequest``), keyed by the job's
+  trace id so :func:`merged_timeline` can stitch the two layers.
+
+Event records::
+
+    {"t": <wall seconds>, "pid": <os pid>, "seq": <per-pid counter>,
+     "ev": "open"|"close"|"point", "trace": "tr-…", "job": "j-…",
+     "span": "<span id>", "name": "running", "parent": "…",
+     "attrs": {...}}
+
+Span ids are **deterministic** (``<job>:<state>:a<attempt>`` for queue
+states, ``<job>:x<attempt>.<n>`` for execution phases), so the process
+that closes a span need not be the one that opened it — the agent
+closes the ``queued`` span the controller opened.  The balance
+invariant (:func:`span_balance_problems`) is therefore a *multiset*
+contract: per span id, opens == closes.  A revived job legitimately
+opens its root span twice and closes it twice.
+
+Execution-phase hooks are **context-local**: :func:`job_scope`
+establishes the active job on a :class:`contextvars.ContextVar`, and
+the deep layers (:mod:`repro.experiments.runner`,
+:class:`~repro.service.api.TuningService`) emit through
+:func:`phase`/:func:`annotate`, which are no-ops when no job is active
+— the same ``if trace is not None`` observation discipline PR 2's
+memory-system hooks follow.  Telemetry observes the service; it never
+changes what a job computes (enforced by tests: results are
+byte-identical with telemetry on and off).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+#: Chrome-trace pseudo-pid for service spans; PR 2's simulator timeline
+#: uses pids 1-3, so the merged document keeps the layers separable.
+PID_SERVICE = 10
+
+#: Event vocabulary.
+EVENTS = ("open", "close", "point")
+
+
+def telemetry_dir(queue_dir: str | os.PathLike) -> Path:
+    """Where one queue's span journals live (sibling of ``metrics/``)."""
+    return Path(queue_dir) / "telemetry"
+
+
+def sim_trace_path(directory: str | os.PathLike, trace_id: str) -> Path:
+    """The simulator-timeline file exported for one trace id."""
+    return Path(directory) / f"sim-{trace_id}.json"
+
+
+def _record_key(record: dict) -> tuple:
+    """Deterministic merge order: wall time, then pid, then seq."""
+    return (
+        record.get("t", 0.0),
+        record.get("pid", 0),
+        record.get("seq", 0),
+    )
+
+
+class Telemetry:
+    """One process's append-only span journal (``spans-<pid>.jsonl``).
+
+    Single-writer: each process only ever appends to its own file, so
+    concurrent controller/agent processes cannot interleave partial
+    lines.  Thread-safe within the process (the HTTP front end journals
+    submissions from handler threads).  ``clock`` is injectable so the
+    queue's deterministic test clocks stamp deterministic timestamps.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        pid: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.directory = Path(directory)
+        self.pid = os.getpid() if pid is None else pid
+        self.clock = clock
+        self.path = self.directory / f"spans-{self.pid}.jsonl"
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        ev: str,
+        *,
+        trace: str,
+        name: str,
+        span: Optional[str] = None,
+        parent: Optional[str] = None,
+        job: Optional[str] = None,
+        t: Optional[float] = None,
+        **attrs,
+    ) -> dict:
+        """Append one event; returns the record written."""
+        record: dict = {
+            "ev": ev,
+            "trace": trace,
+            "name": name,
+            "t": float(self.clock() if t is None else t),
+            "pid": self.pid,
+        }
+        if span is not None:
+            record["span"] = span
+        if parent is not None:
+            record["parent"] = parent
+        if job is not None:
+            record["job"] = job
+        if attrs:
+            record["attrs"] = attrs
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            if self._handle is None:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        return record
+
+    def open_span(self, trace, span, name, *, parent=None, job=None,
+                  t=None, **attrs) -> dict:
+        return self.emit("open", trace=trace, span=span, name=name,
+                         parent=parent, job=job, t=t, **attrs)
+
+    def close_span(self, trace, span, name, *, job=None, t=None,
+                   **attrs) -> dict:
+        return self.emit("close", trace=trace, span=span, name=name,
+                         job=job, t=t, **attrs)
+
+    def point(self, trace, name, *, span=None, job=None, t=None,
+              **attrs) -> dict:
+        return self.emit("point", trace=trace, span=span, name=name,
+                         job=job, t=t, **attrs)
+
+    def put_sim_trace(self, trace_id: str, document: dict) -> Path:
+        """Atomically write the simulator Chrome-trace for ``trace_id``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = sim_trace_path(self.directory, trace_id)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-sim-", suffix=".json", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(document))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# ----------------------------------------------------------------------
+# The context-local job scope: how deep layers find the active job.
+# ----------------------------------------------------------------------
+_CONTEXT: contextvars.ContextVar[Optional["JobContext"]] = (
+    contextvars.ContextVar("repro_obs_telemetry", default=None)
+)
+
+
+def current() -> Optional["JobContext"]:
+    """The active job context, or ``None`` (the common, zero-cost case)."""
+    return _CONTEXT.get()
+
+
+class JobContext:
+    """One job execution's span-emission state (stack + id allocator)."""
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        *,
+        trace: str,
+        job: str,
+        attempts: int = 0,
+    ) -> None:
+        self.telemetry = telemetry
+        self.trace = trace
+        self.job = job
+        self._prefix = f"{job}:x{attempts}"
+        self._counter = 0
+        self._stack: list[str] = []
+
+    def open(self, name: str, **attrs) -> str:
+        sid = f"{self._prefix}.{self._counter}"
+        self._counter += 1
+        parent = self._stack[-1] if self._stack else self.job
+        self.telemetry.open_span(
+            self.trace, sid, name, parent=parent, job=self.job, **attrs
+        )
+        self._stack.append(sid)
+        return sid
+
+    def close(self, sid: str, name: str, **attrs) -> None:
+        if self._stack and self._stack[-1] == sid:
+            self._stack.pop()
+        self.telemetry.close_span(self.trace, sid, name, job=self.job, **attrs)
+
+    def point(self, name: str, **attrs) -> None:
+        span = self._stack[-1] if self._stack else self.job
+        self.telemetry.point(
+            self.trace, name, span=span, job=self.job, **attrs
+        )
+
+    def put_sim_trace(self, document: dict) -> Path:
+        path = self.telemetry.put_sim_trace(self.trace, document)
+        self.point("sim-trace", path=path.name)
+        return path
+
+
+@contextmanager
+def job_scope(
+    telemetry: Telemetry,
+    *,
+    trace: str,
+    job: str,
+    attempts: int = 0,
+    **attrs,
+) -> Iterator[dict]:
+    """Run a job under an ``execute`` span; yields the close-attrs dict.
+
+    The agent wraps each job execution in one of these; everything the
+    service layer does inside (engine phases, store writes) nests under
+    the ``execute`` span via :func:`phase`.
+    """
+    ctx = JobContext(telemetry, trace=trace, job=job, attempts=attempts)
+    token = _CONTEXT.set(ctx)
+    sid = ctx.open("execute", **attrs)
+    started = time.perf_counter()
+    extra: dict = {}
+    try:
+        yield extra
+    finally:
+        extra.setdefault("seconds", round(time.perf_counter() - started, 6))
+        _CONTEXT.reset(token)
+        ctx.close(sid, "execute", **extra)
+
+
+@contextmanager
+def phase(name: str, **attrs) -> Iterator[Optional[dict]]:
+    """A named child span under the active job — or a no-op.
+
+    Yields a mutable dict the caller may extend; its contents land in
+    the close event's ``attrs`` (plus the measured ``seconds``).
+    """
+    ctx = _CONTEXT.get()
+    if ctx is None:
+        yield None
+        return
+    sid = ctx.open(name, **attrs)
+    started = time.perf_counter()
+    extra: dict = {}
+    try:
+        yield extra
+    finally:
+        extra.setdefault("seconds", round(time.perf_counter() - started, 6))
+        ctx.close(sid, name, **extra)
+
+
+def annotate(name: str, **attrs) -> None:
+    """Emit an instant event under the active job (no-op outside one)."""
+    ctx = _CONTEXT.get()
+    if ctx is not None:
+        ctx.point(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Engine-phase helpers: graph-cache + compile/execute attribution.
+# ----------------------------------------------------------------------
+@contextmanager
+def build_phase(workload: str, **attrs) -> Iterator[Optional[dict]]:
+    """``engine.build`` span around workload construction + passes,
+    annotated with the graph-generation cache's hit/miss delta."""
+    ctx = _CONTEXT.get()
+    if ctx is None:
+        yield None
+        return
+    from repro.workloads.graphs import graph_store
+
+    metrics = graph_store().metrics
+    hits = metrics.get("graph_cache.hits")
+    misses = metrics.get("graph_cache.misses")
+    with phase("engine.build", workload=workload, **attrs) as extra:
+        try:
+            yield extra
+        finally:
+            extra["graph_cache_hits"] = metrics.get("graph_cache.hits") - hits
+            extra["graph_cache_misses"] = (
+                metrics.get("graph_cache.misses") - misses
+            )
+
+
+@contextmanager
+def run_phase(machine, **attrs) -> Iterator[Optional[dict]]:
+    """``engine.run`` span around a machine run, annotated at close with
+    the engine's profiling stats: the compile-vs-execute wall split and
+    (on the turbo tier) superblock bulk-stepping/guard-bail counts."""
+    ctx = _CONTEXT.get()
+    if ctx is None:
+        yield None
+        return
+    with phase("engine.run", engine=machine.engine, **attrs) as extra:
+        try:
+            yield extra
+        finally:
+            extra.update(machine.engine_run_stats())
+
+
+# ----------------------------------------------------------------------
+# Journal readers (merge + tail).
+# ----------------------------------------------------------------------
+class JournalTail:
+    """Incremental reader over every ``spans-*.jsonl`` in a directory.
+
+    Remembers a byte offset per file and only ever consumes *complete*
+    lines, so concurrently-appended (or SIGKILL-torn) journals are safe
+    to tail.  Used by the streaming endpoint; a fresh tail's first
+    :meth:`poll` is a full merged read.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        trace: Optional[str] = None,
+        job: Optional[str] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.trace = trace
+        self.job = job
+        self._offsets: dict[Path, int] = {}
+
+    def _match(self, record: dict) -> bool:
+        if self.job is not None and record.get("job") != self.job:
+            return False
+        if self.trace is not None and record.get("trace") != self.trace:
+            return False
+        return True
+
+    def poll(self) -> list[dict]:
+        """New records since the last poll, merged and sorted."""
+        records: list[dict] = []
+        if not self.directory.is_dir():
+            return records
+        for path in sorted(self.directory.glob("spans-*.jsonl")):
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+            except OSError:
+                continue
+            if not data:
+                continue
+            complete = data.rfind(b"\n")
+            if complete < 0:
+                continue  # only a torn tail so far
+            self._offsets[path] = offset + complete + 1
+            for line in data[:complete].split(b"\n"):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn/corrupt line: skip, never crash
+                if isinstance(record, dict) and self._match(record):
+                    records.append(record)
+        records.sort(key=_record_key)
+        return records
+
+
+def read_records(
+    directory: str | os.PathLike,
+    *,
+    trace: Optional[str] = None,
+    job: Optional[str] = None,
+) -> list[dict]:
+    """Every journaled record (merged across pids, sorted, filtered)."""
+    return JournalTail(directory, trace=trace, job=job).poll()
+
+
+def render_records(records: list[dict]) -> str:
+    """Canonical NDJSON rendering — what the streaming endpoint serves.
+
+    Deterministic (sorted keys, merge-sorted records), so replaying a
+    finished job twice is byte-identical.
+    """
+    return "".join(
+        json.dumps(record, sort_keys=True) + "\n" for record in records
+    )
+
+
+# ----------------------------------------------------------------------
+# Invariants: the balanced open/close multiset contract.
+# ----------------------------------------------------------------------
+def span_balance_problems(
+    records: list[dict], require_closed: bool = True
+) -> list[str]:
+    """Check span accounting; returns problem strings (empty = OK).
+
+    Per span id, closes must never lead opens in merged order, and —
+    when ``require_closed`` (i.e. the job reached a terminal state) —
+    every open must be matched by a close.  A SIGKILLed agent
+    legitimately leaves spans open until the reaper closes the state
+    span; ``require_closed=False`` checks an in-flight stream.
+    """
+    problems: list[str] = []
+    opens: dict[str, int] = {}
+    closes: dict[str, int] = {}
+    for record in records:
+        ev = record.get("ev")
+        sid = record.get("span")
+        if ev == "point" or sid is None:
+            continue
+        if ev == "open":
+            opens[sid] = opens.get(sid, 0) + 1
+        elif ev == "close":
+            closes[sid] = closes.get(sid, 0) + 1
+            if closes[sid] > opens.get(sid, 0):
+                problems.append(f"span {sid}: close precedes open")
+    if require_closed:
+        for sid, count in sorted(opens.items()):
+            if closes.get(sid, 0) != count:
+                problems.append(
+                    f"span {sid}: {count} open(s), "
+                    f"{closes.get(sid, 0)} close(s)"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# The merged Perfetto timeline: HTTP POST down to prefetch fills.
+# ----------------------------------------------------------------------
+def service_trace_events(records: list[dict]) -> tuple[list[dict], dict]:
+    """Service span records -> Chrome-trace events (pid ``PID_SERVICE``,
+    one tid per job).  Returns ``(events, engine_run_ts)`` where the
+    latter maps trace id -> the rebased µs timestamp of its first
+    ``engine.run`` open (the anchor simulator events are shifted to).
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID_SERVICE,
+            "tid": 0,
+            "args": {"name": "service"},
+        }
+    ]
+    if not records:
+        return events, {}
+    t0 = records[0].get("t", 0.0)
+    tids: dict[str, int] = {}
+    engine_run_ts: dict[str, float] = {}
+    for record in records:
+        lane = record.get("job") or record.get("trace") or "?"
+        tid = tids.get(lane)
+        if tid is None:
+            tid = tids[lane] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PID_SERVICE,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        ts = max((record.get("t", t0) - t0) * 1e6, 0.0)
+        args = dict(record.get("attrs") or {})
+        args["trace"] = record.get("trace")
+        args["pid"] = record.get("pid")
+        ev = record.get("ev")
+        if ev == "open":
+            ph = "B"
+            if record.get("name") == "engine.run":
+                engine_run_ts.setdefault(record.get("trace"), ts)
+        elif ev == "close":
+            ph = "E"
+        else:
+            ph = "i"
+            args["span"] = record.get("span")
+        events.append(
+            {
+                "name": record.get("name", "?"),
+                "cat": "service",
+                "ph": ph,
+                "pid": PID_SERVICE,
+                "tid": tid,
+                "ts": ts,
+                "args": args,
+            }
+        )
+    return events, engine_run_ts
+
+
+def merged_timeline(
+    directory: str | os.PathLike,
+    *,
+    job: Optional[str] = None,
+    trace: Optional[str] = None,
+    metadata: Optional[dict] = None,
+) -> dict:
+    """One Chrome-trace document spanning both layers.
+
+    Service job spans (submit → … → done) render under pid
+    ``PID_SERVICE``; any simulator timeline exported for the selected
+    trace id(s) (``sim-<trace>.json``, PR 2's prefetch-lifecycle /
+    demand-stall / loop-iteration processes) is embedded with its
+    timestamps shifted onto the job's ``engine.run`` span, so an
+    individual prefetch fill lines up inside the service span that
+    caused it.  The result passes
+    :func:`repro.obs.timeline.validate_chrome_trace`.
+    """
+    directory = Path(directory)
+    records = read_records(directory, trace=trace, job=job)
+    if not records:
+        where = job or trace or "any job"
+        raise ValueError(
+            f"no telemetry records for {where} under {directory}"
+        )
+    events, engine_run_ts = service_trace_events(records)
+    traces = sorted(
+        {r.get("trace") for r in records if r.get("trace") is not None}
+    )
+    embedded = []
+    for trace_id in traces:
+        path = sim_trace_path(directory, trace_id)
+        if not path.exists():
+            continue
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        offset = engine_run_ts.get(trace_id, 0.0)
+        for event in document.get("traceEvents", []):
+            if not isinstance(event, dict):
+                continue
+            event = dict(event)
+            if event.get("ph") != "M":
+                event["ts"] = float(event.get("ts", 0.0)) + offset
+            events.append(event)
+        embedded.append(trace_id)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs.telemetry",
+            "time_unit": "wall microseconds (sim cycles embedded 1:1)",
+            "traces": traces,
+            "sim_traces": embedded,
+        },
+    }
+    if metadata:
+        document["otherData"].update(metadata)
+    return document

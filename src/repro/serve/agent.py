@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.machine.config import MachineConfig
+from repro.obs import telemetry as obs_telemetry
 from repro.service.api import TuningService
 from repro.service.metrics import MetricsRegistry, write_snapshot
 from repro.serve.queue import JobQueue, JobRecord
@@ -73,6 +74,7 @@ class AgentWorker:
         engine: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         service: Optional[TuningService] = None,
+        telemetry: bool = True,
     ) -> None:
         self.queue_dir = Path(queue_dir)
         self.agent_id = agent_id or default_agent_id()
@@ -83,7 +85,15 @@ class AgentWorker:
             else max(0.05, lease / 3.0)
         )
         self.metrics = metrics or MetricsRegistry()
-        self.queue = JobQueue(queue_dir, lease=lease, metrics=self.metrics)
+        self.telemetry = (
+            obs_telemetry.Telemetry(obs_telemetry.telemetry_dir(queue_dir))
+            if telemetry
+            else None
+        )
+        self.queue = JobQueue(
+            queue_dir, lease=lease, metrics=self.metrics,
+            telemetry=self.telemetry,
+        )
         if service is not None:
             self.service = service
         else:
@@ -127,8 +137,6 @@ class AgentWorker:
 
     # ------------------------------------------------------------------
     def _execute(self, job: JobRecord) -> None:
-        from repro import api as api_v1
-
         self.queue.start(job.id, self.agent_id)
         stop_heartbeat = threading.Event()
         beats = threading.Thread(
@@ -139,13 +147,11 @@ class AgentWorker:
         beats.start()
         started = time.perf_counter()
         try:
-            request = api_v1.request_from_payload(job.request)
-            result = api_v1.execute(request, service=self.service)
-        except Exception:
-            error = traceback.format_exc(limit=8).strip()
-            self.queue.fail(job.id, self.agent_id, error)
-        else:
-            self.queue.complete(job.id, self.agent_id, result.to_payload())
+            result, error = self._run_job(job)
+            if error is not None:
+                self.queue.fail(job.id, self.agent_id, error)
+            else:
+                self.queue.complete(job.id, self.agent_id, result.to_payload())
         finally:
             stop_heartbeat.set()
             beats.join()
@@ -153,6 +159,39 @@ class AgentWorker:
                 "serve.job_seconds", _JOB_SECONDS_BUCKETS
             ).observe(time.perf_counter() - started)
             self.publish_metrics()
+
+    def _run_job(self, job: JobRecord):
+        """Execute one journaled payload under an ``execute`` telemetry
+        span (when the job carries a trace id and telemetry is on).
+        Returns ``(result, error)``; exactly one is non-``None``.  The
+        span closes *before* the queue records the outcome, so the
+        execute span nests cleanly inside the ``running`` state span.
+        """
+        from repro import api as api_v1
+
+        def run():
+            request = api_v1.request_from_payload(job.request)
+            return api_v1.execute(request, service=self.service), None
+
+        if self.telemetry is None or not job.trace_id:
+            try:
+                return run()
+            except Exception:
+                return None, traceback.format_exc(limit=8).strip()
+        with obs_telemetry.job_scope(
+            self.telemetry,
+            trace=job.trace_id,
+            job=job.id,
+            attempts=job.attempts,
+            agent=self.agent_id,
+            kind=job.kind,
+        ) as span_attrs:
+            try:
+                return run()
+            except Exception:
+                error = traceback.format_exc(limit=8).strip()
+                span_attrs["error"] = error.splitlines()[-1][:200]
+                return None, error
 
     def _heartbeat_loop(self, job_id: str, stop: threading.Event) -> None:
         while not stop.wait(self.heartbeat_interval):

@@ -20,6 +20,7 @@ front end over whatever external agents attach.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -29,6 +30,11 @@ from pathlib import Path
 from typing import Optional
 
 from repro.machine.config import MachineConfig
+from repro.obs.telemetry import (
+    Telemetry,
+    merged_timeline,
+    telemetry_dir,
+)
 from repro.service.api import TuningService
 from repro.service.metrics import MetricsRegistry, iter_snapshots
 from repro.serve.agent import metrics_dir
@@ -57,6 +63,8 @@ class Controller:
         engine: Optional[str] = None,
         reap_interval: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: bool = True,
+        access_log: bool = False,
     ) -> None:
         self.queue_dir = Path(queue_dir)
         self.cache_dir = (
@@ -72,6 +80,12 @@ class Controller:
             else max(0.2, self.lease / 2.0)
         )
         self.metrics = metrics or MetricsRegistry()
+        self.telemetry_enabled = bool(telemetry)
+        self.telemetry = (
+            Telemetry(telemetry_dir(queue_dir))
+            if self.telemetry_enabled
+            else None
+        )
         self.queue = JobQueue(
             queue_dir,
             lease=lease,
@@ -79,6 +93,7 @@ class Controller:
             backoff=backoff,
             max_depth=max_depth,
             metrics=self.metrics,
+            telemetry=self.telemetry,
         )
         config = MachineConfig(engine=engine) if engine else None
         #: Used for request keys and shared-store access; the controller
@@ -97,6 +112,10 @@ class Controller:
             ).digest(),
             metrics_fn=self.merged_metrics,
             health_fn=self._health,
+            telemetry_dir=(
+                telemetry_dir(queue_dir) if self.telemetry_enabled else None
+            ),
+            access_log=access_log,
         )
         self.host, self.port = self.server.server_address[:2]
         self.agents: list[subprocess.Popen] = []
@@ -135,6 +154,8 @@ class Controller:
         ]
         if self.engine:
             argv += ["--engine", self.engine]
+        if not self.telemetry_enabled:
+            argv += ["--no-telemetry"]
         process = subprocess.Popen(argv)
         self.agents.append(process)
         self.metrics.inc("serve.agents_spawned")
@@ -206,6 +227,24 @@ class Controller:
             self._folded[path.name] = {
                 name: int(value) for name, value in counters.items()
             }
+
+    def export_timeline(
+        self,
+        path: str | os.PathLike,
+        *,
+        job: Optional[str] = None,
+        trace: Optional[str] = None,
+    ) -> Path:
+        """Write the merged service+simulator Perfetto timeline for one
+        job/trace (or everything) to ``path``; returns it."""
+        if not self.telemetry_enabled:
+            raise RuntimeError("telemetry is disabled on this controller")
+        document = merged_timeline(
+            telemetry_dir(self.queue_dir), job=job, trace=trace
+        )
+        path = Path(path)
+        path.write_text(json.dumps(document, indent=1, sort_keys=True))
+        return path
 
     def _health(self) -> dict:
         return {

@@ -41,6 +41,16 @@ Job lifecycle::
 Every mutation is attributed: completes/fails/heartbeats must name the
 agent holding the lease, so a zombie agent whose job was reclaimed
 cannot clobber the rightful owner's result.
+
+**Telemetry** — every job carries a ``trace_id`` correlation id, and
+when a :class:`~repro.obs.telemetry.Telemetry` sink is attached each
+lifecycle transition journals span events (deterministic ids
+``<job>:<state>:a<attempt>`` under a ``job`` root span, plus
+``dedup``/``resubmit``/``retry``/``lease-reclaim`` instants).  Events
+are collected *inside* the transaction but emitted only after COMMIT,
+so a rolled-back transition never journals phantom spans; whichever
+process commits a transition emits its events, which is why span ids
+are deterministic rather than process-local.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional
 
+from repro.obs.telemetry import Telemetry
 from repro.service.metrics import MetricsRegistry
 
 #: Valid job states (the journal/state-machine vocabulary).
@@ -78,6 +89,12 @@ CLAIM_LATENCY_BUCKETS = (
     0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0, 300.0,
 )
 
+#: Buckets for the span-latency histograms (claimed/running/whole-job).
+SPAN_SECONDS_BUCKETS = (
+    0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0, 300.0,
+    1800.0,
+)
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
     id            TEXT PRIMARY KEY,
@@ -94,7 +111,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     not_before    REAL NOT NULL DEFAULT 0,
     lease_expires REAL,
     result        TEXT,
-    error         TEXT
+    error         TEXT,
+    trace_id      TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state, not_before, queued_at);
 """
@@ -102,7 +120,7 @@ CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state, not_before, queued_at);
 _COLUMNS = (
     "id", "dedup_key", "kind", "request", "state", "attempts",
     "max_attempts", "agent", "created", "updated", "queued_at",
-    "not_before", "lease_expires", "result", "error",
+    "not_before", "lease_expires", "result", "error", "trace_id",
 )
 
 
@@ -129,6 +147,7 @@ class JobRecord:
     lease_expires: Optional[float]
     result: Optional[dict]
     error: Optional[str]
+    trace_id: Optional[str] = None
 
     @classmethod
     def from_row(cls, row) -> "JobRecord":
@@ -150,6 +169,7 @@ class JobRecord:
             "created": self.created,
             "updated": self.updated,
             "error": self.error,
+            "trace": self.trace_id,
         }
         if include_request:
             out["request"] = self.request
@@ -176,6 +196,7 @@ class JobQueue:
         max_depth: Optional[int] = None,
         clock: Callable[[], float] = time.time,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.queue_dir = Path(queue_dir)
         self.db_path = self.queue_dir / "queue.sqlite3"
@@ -185,12 +206,21 @@ class JobQueue:
         self.max_depth = max_depth
         self.clock = clock
         self.metrics = metrics or MetricsRegistry()
+        self.telemetry = telemetry
         self.queue_dir.mkdir(parents=True, exist_ok=True)
         # executescript() commits on its own; no transaction wrapper.
         conn = sqlite3.connect(self.db_path, timeout=30.0)
         try:
             conn.execute("PRAGMA busy_timeout=30000")
             conn.executescript(_SCHEMA)
+            # Migrate pre-telemetry databases in place (CREATE TABLE IF
+            # NOT EXISTS never adds columns to an existing table).
+            columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(jobs)")
+            }
+            if "trace_id" not in columns:
+                conn.execute("ALTER TABLE jobs ADD COLUMN trace_id TEXT")
+                conn.commit()
         finally:
             conn.close()
 
@@ -221,6 +251,61 @@ class JobQueue:
         return JobRecord.from_row(row) if row is not None else None
 
     # ------------------------------------------------------------------
+    # Span-event plumbing (collected in-tx, emitted after COMMIT).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _span(job_id: str, state: str, attempts: int) -> str:
+        """Deterministic cross-process span id for one state visit."""
+        return f"{job_id}:{state}:a{attempts}"
+
+    def _note(
+        self, pending: list, ev: str, trace: Optional[str], name: str,
+        *, span: str, job: str, t: float, parent: Optional[str] = None,
+        **attrs,
+    ) -> None:
+        if self.telemetry is None or not trace:
+            return
+        base = {"trace": trace, "name": name, "span": span, "job": job,
+                "t": t}
+        if parent is not None:
+            base["parent"] = parent
+        pending.append((ev, base, attrs))
+
+    def _flush_events(self, pending: list) -> None:
+        if self.telemetry is None:
+            return
+        for ev, base, attrs in pending:
+            self.telemetry.emit(ev, **base, **attrs)
+
+    def _terminal_events(
+        self, pending: list, job_id: str, trace: Optional[str],
+        state: str, attempts: int, now: float, updated: float,
+        created: float, outcome: str, error: Optional[str] = None,
+    ) -> None:
+        """Close the active state span and the ``job`` root span."""
+        attrs = {} if error is None else {"error": error}
+        if state in ACTIVE_STATES:
+            self.metrics.histogram(
+                "serve.span.running_seconds", SPAN_SECONDS_BUCKETS
+            ).observe(max(0.0, now - updated))
+            self._note(pending, "close", trace, state,
+                       span=self._span(job_id, state, attempts),
+                       job=job_id, t=now, **attrs)
+        self.metrics.histogram(
+            "serve.span.job_seconds", SPAN_SECONDS_BUCKETS
+        ).observe(max(0.0, now - created))
+        self._note(pending, "close", trace, "job", span=job_id,
+                   job=job_id, t=now, state=outcome, **attrs)
+
+    @staticmethod
+    def _short_error(error: Optional[str]) -> Optional[str]:
+        """Last line of a traceback, bounded — span attrs, not logs."""
+        if not error:
+            return error
+        line = error.strip().splitlines()[-1]
+        return line[:200]
+
+    # ------------------------------------------------------------------
     # Submission + dedup.
     # ------------------------------------------------------------------
     def submit(
@@ -230,6 +315,7 @@ class JobQueue:
         *,
         dedup_key: Optional[str] = None,
         max_attempts: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> tuple[JobRecord, bool]:
         """Enqueue a request; returns ``(record, deduped)``.
 
@@ -237,15 +323,19 @@ class JobQueue:
         live or ``done`` job with the same key is returned as-is
         (``deduped=True``); a terminal ``failed``/``lost`` one is
         revived in place with a fresh attempt budget.  With no key, the
-        job id itself is used (no dedup).
+        job id itself is used (no dedup).  ``trace_id`` propagates a
+        caller-supplied correlation id; omitted, a fresh one is minted.
+        A dedup hit keeps the original job's trace id (the duplicate
+        submission is journaled as a ``dedup`` instant on it).
         """
         now = self.clock()
         encoded = json.dumps(request, sort_keys=True)
         budget = self.max_attempts if max_attempts is None else max(1, int(max_attempts))
         job_id = "j-" + uuid.uuid4().hex[:12]
         key = dedup_key if dedup_key is not None else job_id
+        pending: list = []
         with self._tx() as conn:
-            self._reap(conn, now)
+            self._reap(conn, now, pending)
             row = conn.execute(
                 f"SELECT {', '.join(_COLUMNS)} FROM jobs WHERE dedup_key=?",
                 (key,),
@@ -253,36 +343,61 @@ class JobQueue:
             if row is not None:
                 record = JobRecord.from_row(row)
                 if record.state in ("failed", "lost"):
+                    prior = record.state
                     conn.execute(
                         "UPDATE jobs SET state='queued', attempts=0, agent=NULL,"
                         " lease_expires=NULL, result=NULL, error=NULL,"
-                        " not_before=0, queued_at=?, updated=?, max_attempts=?"
-                        " WHERE id=?",
-                        (now, now, budget, record.id),
+                        " not_before=0, queued_at=?, updated=?, max_attempts=?,"
+                        " trace_id=COALESCE(trace_id, ?) WHERE id=?",
+                        (now, now, budget, trace_id, record.id),
                     )
                     self.metrics.inc("serve.resubmitted")
-                    return self._fetch(conn, record.id), False
-                self.metrics.inc("serve.deduped")
-                return record, True
-            if self.max_depth is not None:
-                live = conn.execute(
-                    "SELECT COUNT(*) FROM jobs WHERE state IN (?,?,?)",
-                    LIVE_STATES,
-                ).fetchone()[0]
-                if live >= self.max_depth:
-                    self.metrics.inc("serve.rejected_full")
-                    raise QueueFull(
-                        f"queue at max depth {self.max_depth} "
-                        f"({live} live job(s))"
-                    )
-            conn.execute(
-                "INSERT INTO jobs (id, dedup_key, kind, request, state,"
-                " attempts, max_attempts, created, updated, queued_at,"
-                " not_before) VALUES (?,?,?,?, 'queued', 0, ?, ?, ?, ?, 0)",
-                (job_id, key, kind, encoded, budget, now, now, now),
-            )
-            self.metrics.inc("serve.submitted")
-            return self._fetch(conn, job_id), False
+                    record = self._fetch(conn, record.id)
+                    trace = record.trace_id
+                    self._note(pending, "point", trace, "resubmit",
+                               span=record.id, job=record.id, t=now,
+                               prior=prior)
+                    self._note(pending, "open", trace, "job", span=record.id,
+                               job=record.id, t=now, kind=record.kind,
+                               revived=True)
+                    self._note(pending, "open", trace, "queued",
+                               span=self._span(record.id, "queued", 0),
+                               job=record.id, t=now, parent=record.id)
+                    outcome = (record, False)
+                else:
+                    self.metrics.inc("serve.deduped")
+                    self._note(pending, "point", record.trace_id, "dedup",
+                               span=record.id, job=record.id, t=now)
+                    outcome = (record, True)
+            else:
+                if self.max_depth is not None:
+                    live = conn.execute(
+                        "SELECT COUNT(*) FROM jobs WHERE state IN (?,?,?)",
+                        LIVE_STATES,
+                    ).fetchone()[0]
+                    if live >= self.max_depth:
+                        self.metrics.inc("serve.rejected_full")
+                        raise QueueFull(
+                            f"queue at max depth {self.max_depth} "
+                            f"({live} live job(s))"
+                        )
+                trace = trace_id or ("tr-" + uuid.uuid4().hex[:12])
+                conn.execute(
+                    "INSERT INTO jobs (id, dedup_key, kind, request, state,"
+                    " attempts, max_attempts, created, updated, queued_at,"
+                    " not_before, trace_id)"
+                    " VALUES (?,?,?,?, 'queued', 0, ?, ?, ?, ?, 0, ?)",
+                    (job_id, key, kind, encoded, budget, now, now, now, trace),
+                )
+                self.metrics.inc("serve.submitted")
+                self._note(pending, "open", trace, "job", span=job_id,
+                           job=job_id, t=now, kind=kind)
+                self._note(pending, "open", trace, "queued",
+                           span=self._span(job_id, "queued", 0), job=job_id,
+                           t=now, parent=job_id)
+                outcome = (self._fetch(conn, job_id), False)
+        self._flush_events(pending)
+        return outcome
 
     # ------------------------------------------------------------------
     # Claim / heartbeat / transitions.
@@ -295,38 +410,67 @@ class JobQueue:
         required.
         """
         now = self.clock()
+        pending: list = []
         with self._tx() as conn:
-            self._reap(conn, now)
+            self._reap(conn, now, pending)
             row = conn.execute(
-                "SELECT id, queued_at FROM jobs"
+                "SELECT id, queued_at, attempts, trace_id FROM jobs"
                 " WHERE state='queued' AND not_before<=?"
                 " ORDER BY queued_at, id LIMIT 1",
                 (now,),
             ).fetchone()
             if row is None:
-                return None
-            job_id, queued_at = row
-            conn.execute(
-                "UPDATE jobs SET state='claimed', agent=?, attempts=attempts+1,"
-                " lease_expires=?, updated=? WHERE id=? AND state='queued'",
-                (agent, now + self.lease, now, job_id),
-            )
-            self.metrics.inc("serve.claimed")
-            self.metrics.histogram(
-                "serve.claim_seconds", CLAIM_LATENCY_BUCKETS
-            ).observe(max(0.0, now - queued_at))
-            return self._fetch(conn, job_id)
+                record = None
+            else:
+                job_id, queued_at, attempts, trace = row
+                conn.execute(
+                    "UPDATE jobs SET state='claimed', agent=?, attempts=attempts+1,"
+                    " lease_expires=?, updated=? WHERE id=? AND state='queued'",
+                    (agent, now + self.lease, now, job_id),
+                )
+                self.metrics.inc("serve.claimed")
+                self.metrics.histogram(
+                    "serve.claim_seconds", CLAIM_LATENCY_BUCKETS
+                ).observe(max(0.0, now - queued_at))
+                self._note(pending, "close", trace, "queued",
+                           span=self._span(job_id, "queued", attempts),
+                           job=job_id, t=now)
+                self._note(pending, "open", trace, "claimed",
+                           span=self._span(job_id, "claimed", attempts + 1),
+                           job=job_id, t=now, parent=job_id, agent=agent)
+                record = self._fetch(conn, job_id)
+        self._flush_events(pending)
+        return record
 
     def start(self, job_id: str, agent: str) -> bool:
         """claimed -> running (lease also refreshed)."""
         now = self.clock()
+        pending: list = []
         with self._tx() as conn:
+            row = conn.execute(
+                "SELECT attempts, trace_id, updated FROM jobs"
+                " WHERE id=? AND agent=? AND state='claimed'",
+                (job_id, agent),
+            ).fetchone()
             cur = conn.execute(
                 "UPDATE jobs SET state='running', lease_expires=?, updated=?"
                 " WHERE id=? AND agent=? AND state='claimed'",
                 (now + self.lease, now, job_id, agent),
             )
-            return cur.rowcount == 1
+            ok = cur.rowcount == 1
+            if ok and row is not None:
+                attempts, trace, claimed_at = row
+                self.metrics.histogram(
+                    "serve.span.claimed_seconds", SPAN_SECONDS_BUCKETS
+                ).observe(max(0.0, now - claimed_at))
+                self._note(pending, "close", trace, "claimed",
+                           span=self._span(job_id, "claimed", attempts),
+                           job=job_id, t=now)
+                self._note(pending, "open", trace, "running",
+                           span=self._span(job_id, "running", attempts),
+                           job=job_id, t=now, parent=job_id, agent=agent)
+        self._flush_events(pending)
+        return ok
 
     def heartbeat(self, job_id: str, agent: str) -> bool:
         """Extend the lease; ``False`` means the job was reclaimed."""
@@ -345,7 +489,13 @@ class JobQueue:
     def complete(self, job_id: str, agent: str, result: dict) -> bool:
         """running|claimed -> done, recording the result payload."""
         now = self.clock()
+        pending: list = []
         with self._tx() as conn:
+            row = conn.execute(
+                "SELECT state, attempts, trace_id, updated, created FROM jobs"
+                " WHERE id=? AND agent=? AND state IN (?, ?)",
+                (job_id, agent, *ACTIVE_STATES),
+            ).fetchone()
             cur = conn.execute(
                 "UPDATE jobs SET state='done', result=?, error=NULL,"
                 " lease_expires=NULL, updated=?"
@@ -356,10 +506,17 @@ class JobQueue:
                 ),
             )
             ok = cur.rowcount == 1
+            if ok and row is not None:
+                state, attempts, trace, updated, created = row
+                self._terminal_events(
+                    pending, job_id, trace, state, attempts, now, updated,
+                    created, "done",
+                )
         if ok:
             self.metrics.inc("serve.done")
         else:
             self.metrics.inc("serve.stale_completions")
+        self._flush_events(pending)
         return ok
 
     def fail(self, job_id: str, agent: str, error: str) -> Optional[str]:
@@ -370,16 +527,18 @@ class JobQueue:
         job was not ours to fail (reclaimed from under us).
         """
         now = self.clock()
+        pending: list = []
         with self._tx() as conn:
             row = conn.execute(
-                "SELECT attempts, max_attempts FROM jobs"
-                " WHERE id=? AND agent=? AND state IN (?, ?)",
+                "SELECT attempts, max_attempts, state, trace_id, updated,"
+                " created FROM jobs WHERE id=? AND agent=? AND state IN (?, ?)",
                 (job_id, agent, *ACTIVE_STATES),
             ).fetchone()
             if row is None:
                 self.metrics.inc("serve.stale_failures")
                 return None
-            attempts, max_attempts = row
+            attempts, max_attempts, state, trace, updated, created = row
+            brief = self._short_error(error)
             if attempts >= max_attempts:
                 conn.execute(
                     "UPDATE jobs SET state='failed', error=?, agent=NULL,"
@@ -387,15 +546,32 @@ class JobQueue:
                     (error, now, job_id),
                 )
                 self.metrics.inc("serve.failed")
-                return "failed"
-            conn.execute(
-                "UPDATE jobs SET state='queued', error=?, agent=NULL,"
-                " lease_expires=NULL, not_before=?, queued_at=?, updated=?"
-                " WHERE id=?",
-                (error, now + self._backoff_delay(attempts), now, now, job_id),
-            )
-            self.metrics.inc("serve.retries")
-            return "queued"
+                self._terminal_events(
+                    pending, job_id, trace, state, attempts, now, updated,
+                    created, "failed", error=brief,
+                )
+                new_state = "failed"
+            else:
+                delay = self._backoff_delay(attempts)
+                conn.execute(
+                    "UPDATE jobs SET state='queued', error=?, agent=NULL,"
+                    " lease_expires=NULL, not_before=?, queued_at=?, updated=?"
+                    " WHERE id=?",
+                    (error, now + delay, now, now, job_id),
+                )
+                self.metrics.inc("serve.retries")
+                self._note(pending, "close", trace, state,
+                           span=self._span(job_id, state, attempts),
+                           job=job_id, t=now, error=brief)
+                self._note(pending, "point", trace, "retry", span=job_id,
+                           job=job_id, t=now, attempt=attempts,
+                           backoff=round(delay, 6))
+                self._note(pending, "open", trace, "queued",
+                           span=self._span(job_id, "queued", attempts),
+                           job=job_id, t=now, parent=job_id)
+                new_state = "queued"
+        self._flush_events(pending)
+        return new_state
 
     def _backoff_delay(self, attempts: int) -> float:
         return self.backoff * (2 ** max(0, attempts - 1))
@@ -403,15 +579,24 @@ class JobQueue:
     # ------------------------------------------------------------------
     # Lease reaping (crash recovery).
     # ------------------------------------------------------------------
-    def _reap(self, conn: sqlite3.Connection, now: float) -> int:
+    def _reap(
+        self, conn: sqlite3.Connection, now: float,
+        pending: Optional[list] = None,
+    ) -> int:
         """Requeue (or park as ``lost``) every job whose lease lapsed."""
+        if pending is None:
+            pending = []
         rows = conn.execute(
-            "SELECT id, attempts, max_attempts FROM jobs"
+            "SELECT id, attempts, max_attempts, state, trace_id, updated,"
+            " created FROM jobs"
             " WHERE state IN (?, ?) AND lease_expires IS NOT NULL"
             " AND lease_expires<?",
             (*ACTIVE_STATES, now),
         ).fetchall()
-        for job_id, attempts, max_attempts in rows:
+        for (job_id, attempts, max_attempts, state, trace, updated,
+             created) in rows:
+            self._note(pending, "point", trace, "lease-reclaim", span=job_id,
+                       job=job_id, t=now, attempt=attempts, state=state)
             if attempts >= max_attempts:
                 conn.execute(
                     "UPDATE jobs SET state='lost', agent=NULL,"
@@ -420,6 +605,10 @@ class JobQueue:
                     (now, job_id),
                 )
                 self.metrics.inc("serve.lost")
+                self._terminal_events(
+                    pending, job_id, trace, state, attempts, now, updated,
+                    created, "lost", error="lease expired",
+                )
             else:
                 conn.execute(
                     "UPDATE jobs SET state='queued', agent=NULL,"
@@ -428,12 +617,21 @@ class JobQueue:
                     (now + self._backoff_delay(attempts), now, now, job_id),
                 )
                 self.metrics.inc("serve.requeued")
+                self._note(pending, "close", trace, state,
+                           span=self._span(job_id, state, attempts),
+                           job=job_id, t=now, reclaimed=True)
+                self._note(pending, "open", trace, "queued",
+                           span=self._span(job_id, "queued", attempts),
+                           job=job_id, t=now, parent=job_id)
         return len(rows)
 
     def requeue_lapsed(self) -> int:
         """Reap now (the controller's reaper loop); returns jobs moved."""
+        pending: list = []
         with self._tx() as conn:
-            return self._reap(conn, self.clock())
+            count = self._reap(conn, self.clock(), pending)
+        self._flush_events(pending)
+        return count
 
     # ------------------------------------------------------------------
     # Introspection.

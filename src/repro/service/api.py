@@ -39,6 +39,7 @@ from repro.experiments.runner import (
 )
 from repro.machine.config import MachineConfig, normalize_engine
 from repro.machine.machine import Machine, RunResult
+from repro.obs import telemetry
 from repro.obs.sites import SiteReport, site_reports
 from repro.passes.aptget_pass import AptGetPass
 from repro.machine.pmu import Counters
@@ -277,7 +278,17 @@ class TuningService:
             self.metrics.event(
                 "cache.hit", kind=key.kind, workload=key.workload
             )
+        telemetry.annotate(
+            "artifact-cache", kind=key.kind, workload=key.workload,
+            hit=payload is not None,
+        )
         return payload
+
+    def _put(self, key: CacheKey, payload: dict) -> None:
+        """``store.put`` under a telemetry span (no-op outside a job)."""
+        with telemetry.phase("store.put", kind=key.kind,
+                             workload=key.workload):
+            self.store.put(key, payload)
 
     def request_key(self, request) -> CacheKey:
         """The engine-aware artifact key identifying a v1 request.
@@ -375,7 +386,7 @@ class TuningService:
                 make_workload(workload, scale), config=config
             )
             payload = profile_to_payload(profile, hints)
-            self.store.put(key, payload)
+            self._put(key, payload)
         return profile_from_payload(payload)
 
     def analyze(
@@ -450,7 +461,7 @@ class TuningService:
         payload = self._get(key)
         if payload is None:
             payload = run_to_payload(compute())
-            self.store.put(key, payload)
+            self._put(key, payload)
         return run_from_payload(payload)
 
     def site_report(
@@ -492,11 +503,13 @@ class TuningService:
                     fixed_distance,
                 )
             instance = make_workload(workload, scale)
-            module, space = instance.build()
-            AptGetPass(hints).run(module)
+            with telemetry.build_phase(instance.name, scheme="sites"):
+                module, space = instance.build()
+                AptGetPass(hints).run(module)
             machine = Machine(module, space, config=config)
             trace = machine.enable_tracing()
-            machine.run(instance.entry)
+            with telemetry.run_phase(machine, scheme="sites", traced=True):
+                machine.run(instance.entry)
             reports = site_reports(trace)
             payload = {
                 "sites": {
@@ -504,7 +517,19 @@ class TuningService:
                     for label, report in reports.items()
                 }
             }
-            self.store.put(key, payload)
+            self._put(key, payload)
+            # A traced run is the one place the simulator-level
+            # prefetch-lifecycle timeline exists; export it keyed by
+            # the job's trace id so the controller can stitch it under
+            # this job's engine.run span (merged Perfetto view).
+            context = telemetry.current()
+            if context is not None:
+                from repro.obs.timeline import chrome_trace
+
+                context.put_sim_trace(chrome_trace(
+                    trace,
+                    metadata={"workload": workload, "scale": scale},
+                ))
             for field in (
                 "issued", "timely", "late", "early_evicted", "unused"
             ):
@@ -592,7 +617,7 @@ class TuningService:
                     key = self._piece_key(
                         piece, outcome.key, scale, aj_distance, config
                     )
-                    self.store.put(key, payload)
+                    self._put(key, payload)
                     state[outcome.key][piece] = payload
 
         comparisons: dict[str, WorkloadComparison] = {}

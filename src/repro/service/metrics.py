@@ -89,6 +89,12 @@ class Histogram:
             "buckets": buckets,
         }
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (0..1) by linear interpolation within
+        the landing bucket, clamped to the observed min/max; ``None``
+        with no observations.  See :func:`snapshot_quantile`."""
+        return snapshot_quantile(self.to_dict(), q)
+
     def merge_dict(self, data: dict) -> None:
         """Fold a ``to_dict()`` snapshot (possibly from another process)
         into this histogram.  Matching bucket layouts merge exactly; a
@@ -226,6 +232,45 @@ class MetricsRegistry:
                 )
             )
         return "\n".join(lines)
+
+
+def snapshot_quantile(data: dict, q: float) -> Optional[float]:
+    """Estimated q-quantile of a ``Histogram.to_dict()`` snapshot.
+
+    The classic fixed-bucket estimator (what PromQL's
+    ``histogram_quantile`` computes): find the bucket the rank lands
+    in, interpolate linearly between its bounds, and clamp to the
+    recorded min/max so sparse histograms don't report values outside
+    what was ever observed.  A rank landing in the ``+inf`` tail
+    reports the observed max.  Returns ``None`` for empty histograms.
+    """
+    count = int(data.get("count", 0))
+    if count <= 0:
+        return None
+    q = min(1.0, max(0.0, float(q)))
+    buckets = data.get("buckets", {})
+    bounds = sorted(float(bound) for bound in buckets if bound != "+inf")
+    rank = q * count
+    cumulative = 0
+    lower = 0.0
+    value = None
+    for bound in bounds:
+        bucket_count = int(buckets.get(str(bound), 0))
+        if bucket_count and cumulative + bucket_count >= rank:
+            fraction = (rank - cumulative) / bucket_count
+            value = lower + (bound - lower) * fraction
+            break
+        cumulative += bucket_count
+        lower = bound
+    minimum = data.get("min")
+    maximum = data.get("max")
+    if value is None:  # +inf tail
+        value = maximum if maximum is not None else lower
+    if minimum is not None:
+        value = max(value, minimum)
+    if maximum is not None:
+        value = min(value, maximum)
+    return value
 
 
 # ----------------------------------------------------------------------

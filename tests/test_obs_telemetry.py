@@ -1,0 +1,500 @@
+"""Service telemetry: journal durability, span balance through the job
+queue's whole lifecycle (retries, revives, lease reclaims), the
+zero-interference contract (results byte-identical with telemetry on and
+off), and the merged service+simulator Perfetto document.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.obs.telemetry import (
+    JobContext,
+    JournalTail,
+    Telemetry,
+    annotate,
+    build_phase,
+    job_scope,
+    merged_timeline,
+    phase,
+    read_records,
+    render_records,
+    run_phase,
+    sim_trace_path,
+    span_balance_problems,
+)
+from repro.obs.timeline import validate_chrome_trace
+from repro.serve.queue import JobQueue
+
+
+class FakeClock:
+    """Deterministic queue/telemetry clock (same pattern as the queue
+    tests): every record's ``t`` is reproducible."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tele(tmp_path, clock):
+    return Telemetry(tmp_path / "telemetry", pid=111, clock=clock)
+
+
+def traced_queue(tmp_path, clock, **kwargs):
+    tele = Telemetry(tmp_path / "telemetry", pid=111, clock=clock)
+    queue = JobQueue(
+        tmp_path / "q", clock=clock, telemetry=tele, **kwargs
+    )
+    return queue, tele
+
+
+# ----------------------------------------------------------------------
+# Journal mechanics
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_events_round_trip(self, tmp_path, tele):
+        tele.open_span("tr-1", "s1", "job", job="j-1", kind="RunRequest")
+        tele.point("tr-1", "retry", span="s1", job="j-1", attempt=2)
+        tele.close_span("tr-1", "s1", "job", job="j-1")
+        records = read_records(tmp_path / "telemetry")
+        assert [r["ev"] for r in records] == ["open", "point", "close"]
+        assert records[0]["attrs"] == {"kind": "RunRequest"}
+        assert all(r["trace"] == "tr-1" for r in records)
+        # seq increases per pid; t comes from the injected clock.
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[0]["t"] == 1000.0
+
+    def test_torn_tail_is_skipped(self, tmp_path, tele):
+        tele.open_span("tr-1", "s1", "job")
+        tele.close_span("tr-1", "s1", "job")
+        # SIGKILL mid-append: the last line has no trailing newline.
+        with open(tele.path, "a") as handle:
+            handle.write('{"ev": "open", "trace": "tr-1", "na')
+        records = read_records(tmp_path / "telemetry")
+        assert len(records) == 2
+
+    def test_corrupt_line_is_skipped(self, tmp_path, tele):
+        tele.open_span("tr-1", "s1", "job")
+        with open(tele.path, "a") as handle:
+            handle.write("not json at all\n")
+        tele2 = Telemetry(tmp_path / "telemetry", pid=222)
+        tele2.close_span("tr-1", "s1", "job")
+        records = read_records(tmp_path / "telemetry")
+        assert [r["ev"] for r in records] == ["open", "close"]
+
+    def test_tail_only_returns_new_records(self, tmp_path, tele):
+        tail = JournalTail(tmp_path / "telemetry")
+        tele.open_span("tr-1", "s1", "job")
+        assert [r["ev"] for r in tail.poll()] == ["open"]
+        assert tail.poll() == []
+        tele.close_span("tr-1", "s1", "job")
+        assert [r["ev"] for r in tail.poll()] == ["close"]
+
+    def test_multi_pid_merge_is_time_ordered(self, tmp_path, clock):
+        a = Telemetry(tmp_path / "telemetry", pid=1, clock=clock)
+        b = Telemetry(tmp_path / "telemetry", pid=2, clock=clock)
+        a.open_span("tr-1", "s1", "queued")
+        clock.advance(1.0)
+        b.close_span("tr-1", "s1", "queued")
+        clock.advance(1.0)
+        a.open_span("tr-1", "s2", "claimed")
+        records = read_records(tmp_path / "telemetry")
+        assert [(r["ev"], r["pid"]) for r in records] == [
+            ("open", 1), ("close", 2), ("open", 1),
+        ]
+
+    def test_filters(self, tmp_path, tele):
+        tele.open_span("tr-1", "a", "job", job="j-1")
+        tele.open_span("tr-2", "b", "job", job="j-2")
+        assert len(read_records(tmp_path / "telemetry", job="j-1")) == 1
+        assert len(read_records(tmp_path / "telemetry", trace="tr-2")) == 1
+        assert read_records(tmp_path / "telemetry", trace="tr-9") == []
+
+    def test_render_is_deterministic(self, tmp_path, tele):
+        tele.open_span("tr-1", "s1", "job", zebra=1, apple=2)
+        tele.close_span("tr-1", "s1", "job")
+        records = read_records(tmp_path / "telemetry")
+        text = render_records(records)
+        assert text == render_records(read_records(tmp_path / "telemetry"))
+        assert text.endswith("\n")
+        # Keys are sorted within each line (canonical form).
+        first = text.splitlines()[0]
+        assert first.index('"apple"') < first.index('"zebra"')
+
+
+# ----------------------------------------------------------------------
+# Balance checking
+# ----------------------------------------------------------------------
+class TestSpanBalance:
+    def test_balanced_tree_passes(self):
+        records = [
+            {"ev": "open", "span": "j"},
+            {"ev": "open", "span": "j:x1.0"},
+            {"ev": "close", "span": "j:x1.0"},
+            {"ev": "close", "span": "j"},
+        ]
+        assert span_balance_problems(records) == []
+
+    def test_unclosed_span_is_reported(self):
+        records = [{"ev": "open", "span": "j"}]
+        assert span_balance_problems(records) != []
+        assert span_balance_problems(records, require_closed=False) == []
+
+    def test_close_before_open_is_reported(self):
+        records = [{"ev": "close", "span": "j"}, {"ev": "open", "span": "j"}]
+        assert any(
+            "precedes" in p for p in span_balance_problems(records)
+        )
+
+    def test_revived_job_double_open_close_is_legal(self):
+        records = [
+            {"ev": "open", "span": "j"},
+            {"ev": "close", "span": "j"},
+            {"ev": "open", "span": "j"},
+            {"ev": "close", "span": "j"},
+        ]
+        assert span_balance_problems(records) == []
+
+
+# ----------------------------------------------------------------------
+# Queue lifecycle spans
+# ----------------------------------------------------------------------
+def drain(queue, clock=None, *, fail_first=0, agent="agent-t"):
+    """Claim+run jobs to completion, failing the first ``fail_first``
+    attempts; returns the executed job ids in order.  With a ``clock``,
+    skips over retry backoff windows."""
+    done = []
+    while True:
+        job = queue.claim(agent)
+        if job is None:
+            if clock is not None and queue.stats()["by_state"]["queued"]:
+                clock.advance(60.0)  # leap over the retry backoff
+                continue
+            return done
+        queue.start(job.id, agent)
+        if fail_first > 0:
+            fail_first -= 1
+            queue.fail(job.id, agent, "boom: synthetic\nValueError: nope")
+        else:
+            queue.complete(job.id, agent, {"ok": True})
+            done.append(job.id)
+
+
+class TestQueueLifecycleSpans:
+    def test_happy_path_is_balanced_and_named(self, tmp_path, clock):
+        queue, tele = traced_queue(tmp_path, clock)
+        job, _ = queue.submit(
+            "RunRequest", {"kind": "RunRequest"}, dedup_key="k1"
+        )
+        assert job.trace_id and job.trace_id.startswith("tr-")
+        drain(queue)
+        records = read_records(tmp_path / "telemetry", job=job.id)
+        assert span_balance_problems(records) == []
+        names = [r["name"] for r in records]
+        assert names == [
+            "job", "queued", "queued", "claimed", "claimed",
+            "running", "running", "job",
+        ]
+        closing = records[-1]
+        assert closing["ev"] == "close"
+        assert closing["attrs"]["state"] == "done"
+
+    def test_caller_trace_id_is_honoured(self, tmp_path, clock):
+        queue, _ = traced_queue(tmp_path, clock)
+        job, _ = queue.submit(
+            "RunRequest", {}, dedup_key="k1", trace_id="tr-mine"
+        )
+        assert job.trace_id == "tr-mine"
+        records = read_records(tmp_path / "telemetry", job=job.id)
+        assert all(r["trace"] == "tr-mine" for r in records)
+
+    def test_dedup_emits_point_and_shares_trace(self, tmp_path, clock):
+        queue, _ = traced_queue(tmp_path, clock)
+        first, _ = queue.submit("RunRequest", {}, dedup_key="k1")
+        again, deduped = queue.submit("RunRequest", {}, dedup_key="k1")
+        assert deduped and again.id == first.id
+        assert again.trace_id == first.trace_id
+        records = read_records(tmp_path / "telemetry", job=first.id)
+        assert [r["name"] for r in records if r["ev"] == "point"] == [
+            "dedup"
+        ]
+
+    def test_retry_and_terminal_failure_stay_balanced(
+        self, tmp_path, clock
+    ):
+        queue, _ = traced_queue(tmp_path, clock, max_attempts=2)
+        job, _ = queue.submit("RunRequest", {}, dedup_key="k1")
+        drain(queue, clock, fail_first=2)
+        assert queue.get(job.id).state == "failed"
+        records = read_records(tmp_path / "telemetry", job=job.id)
+        assert span_balance_problems(records) == []
+        points = [r["name"] for r in records if r["ev"] == "point"]
+        assert points == ["retry"]
+        closing = records[-1]
+        assert closing["attrs"]["state"] == "failed"
+        # The brief error (the traceback's last line) rides the close.
+        assert "ValueError" in closing["attrs"]["error"]
+
+    def test_lease_reclaim_spans(self, tmp_path, clock):
+        queue, _ = traced_queue(tmp_path, clock, lease=5.0, max_attempts=2)
+        job, _ = queue.submit("RunRequest", {}, dedup_key="k1")
+        claimed = queue.claim("agent-dead")
+        assert claimed.id == job.id
+        clock.advance(20.0)  # lease expires; next claim reaps first
+        drain(queue, clock)
+        assert queue.get(job.id).state == "done"
+        records = read_records(tmp_path / "telemetry", job=job.id)
+        assert span_balance_problems(records) == []
+        points = [r["name"] for r in records if r["ev"] == "point"]
+        assert "lease-reclaim" in points
+
+    def test_lost_job_closes_root(self, tmp_path, clock):
+        queue, _ = traced_queue(tmp_path, clock, lease=5.0, max_attempts=1)
+        job, _ = queue.submit("RunRequest", {}, dedup_key="k1")
+        queue.claim("agent-dead")
+        clock.advance(20.0)
+        queue.requeue_lapsed()
+        assert queue.get(job.id).state == "lost"
+        records = read_records(tmp_path / "telemetry", job=job.id)
+        assert span_balance_problems(records) == []
+        assert records[-1]["attrs"]["state"] == "lost"
+
+    def test_revived_job_reopens_root(self, tmp_path, clock):
+        queue, _ = traced_queue(tmp_path, clock, max_attempts=1)
+        job, _ = queue.submit("RunRequest", {}, dedup_key="k1")
+        drain(queue, clock, fail_first=1)
+        assert queue.get(job.id).state == "failed"
+        revived, _ = queue.submit("RunRequest", {}, dedup_key="k1")
+        assert revived.id == job.id
+        drain(queue)
+        assert queue.get(job.id).state == "done"
+        records = read_records(tmp_path / "telemetry", job=job.id)
+        assert span_balance_problems(records) == []
+        roots = [
+            r for r in records
+            if r.get("span") == job.id and r["ev"] != "point"
+        ]
+        assert [r["ev"] for r in roots] == [
+            "open", "close", "open", "close",
+        ]
+        points = [r["name"] for r in records if r["ev"] == "point"]
+        assert "resubmit" in points
+
+    def test_untraced_queue_writes_no_journal(self, tmp_path, clock):
+        queue = JobQueue(tmp_path / "q", clock=clock)
+        queue.submit("RunRequest", {}, dedup_key="k1")
+        drain(queue)
+        assert read_records(tmp_path / "telemetry") == []
+
+
+# ----------------------------------------------------------------------
+# Execution-phase scopes
+# ----------------------------------------------------------------------
+class TestPhases:
+    def test_phases_are_noops_outside_a_job(self):
+        with phase("engine.build") as extra:
+            assert extra is None
+        annotate("artifact-cache", hit=True)  # must not raise
+
+    def test_job_scope_nests_phases(self, tmp_path, tele):
+        with job_scope(
+            tele, trace="tr-1", job="j-1", attempts=2, agent="a"
+        ):
+            with phase("engine.build", workload="w") as extra:
+                extra["graph_cache_hits"] = 1
+            annotate("artifact-cache", hit=False)
+        records = read_records(tmp_path / "telemetry")
+        assert span_balance_problems(records) == []
+        names = [r["name"] for r in records]
+        assert names == [
+            "execute", "engine.build", "engine.build",
+            "artifact-cache", "execute",
+        ]
+        build_open = records[1]
+        assert build_open["parent"] == "j-1:x2.0"
+        assert build_open["span"] == "j-1:x2.1"
+        build_close = records[2]
+        assert build_close["attrs"]["graph_cache_hits"] == 1
+        assert "seconds" in build_close["attrs"]
+
+    def test_job_scope_failure_closes_execute(self, tmp_path, tele):
+        with pytest.raises(ValueError):
+            with job_scope(tele, trace="tr-1", job="j-1") as extra:
+                extra["error"] = "nope"
+                raise ValueError("nope")
+        records = read_records(tmp_path / "telemetry")
+        assert span_balance_problems(records) == []
+        assert records[-1]["attrs"]["error"] == "nope"
+
+    def test_run_phase_reports_engine_stats(self, tmp_path, tele):
+        from repro.workloads.registry import make_workload
+        from repro.machine.machine import Machine
+
+        workload = make_workload("micro-tiny", "tiny")
+        with job_scope(tele, trace="tr-1", job="j-1"):
+            with build_phase(workload.name, scheme="baseline"):
+                module, space = workload.build()
+            machine = Machine(module, space)
+            with run_phase(machine, scheme="baseline"):
+                machine.run(workload.entry)
+        records = read_records(tmp_path / "telemetry")
+        assert span_balance_problems(records) == []
+        run_close = [
+            r for r in records
+            if r["name"] == "engine.run" and r["ev"] == "close"
+        ][0]
+        assert run_close["attrs"]["compiled_functions"] >= 1
+        assert run_close["attrs"]["compile_seconds"] >= 0.0
+        build_close = [
+            r for r in records
+            if r["name"] == "engine.build" and r["ev"] == "close"
+        ][0]
+        assert "graph_cache_hits" in build_close["attrs"]
+
+    def test_turbo_run_phase_reports_superblock_stats(
+        self, tmp_path, tele
+    ):
+        from repro.machine.config import MachineConfig
+        from repro.machine.machine import Machine
+        from repro.workloads.registry import make_workload
+
+        workload = make_workload("micro-tiny", "tiny")
+        module, space = workload.build()
+        machine = Machine(
+            module, space, config=MachineConfig(engine="turbo")
+        )
+        with job_scope(tele, trace="tr-1", job="j-1"):
+            with run_phase(machine):
+                machine.run(workload.entry)
+        records = read_records(tmp_path / "telemetry")
+        run_open = [
+            r for r in records
+            if r["name"] == "engine.run" and r["ev"] == "open"
+        ][0]
+        assert run_open["attrs"]["engine"] == "turbo"
+        run_close = [
+            r for r in records
+            if r["name"] == "engine.run" and r["ev"] == "close"
+        ][0]
+        assert "bulk_calls" in run_close["attrs"]
+        assert "guard_declines" in run_close["attrs"]
+
+
+# ----------------------------------------------------------------------
+# Zero interference: telemetry observes, never changes results.
+# ----------------------------------------------------------------------
+class TestZeroInterference:
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            api.RunRequest(workload="micro-tiny", scale="tiny"),
+            api.SiteReportRequest(workload="micro-tiny", scale="tiny"),
+        ],
+        ids=lambda r: type(r).__name__,
+    )
+    def test_results_identical_with_telemetry_on_and_off(
+        self, tmp_path, request_obj
+    ):
+        from repro.service.api import TuningService
+
+        plain = api.execute(request_obj, service=TuningService())
+        tele = Telemetry(tmp_path / "telemetry", pid=111)
+        with job_scope(tele, trace="tr-1", job="j-1"):
+            traced = api.execute(request_obj, service=TuningService())
+        assert plain.to_json() == traced.to_json()
+        # ...and the traced run actually journaled engine phases.
+        names = {
+            r["name"] for r in read_records(tmp_path / "telemetry")
+        }
+        assert "engine.run" in names
+        assert "store.put" in names
+
+
+# ----------------------------------------------------------------------
+# The merged Perfetto document
+# ----------------------------------------------------------------------
+class TestMergedTimeline:
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            merged_timeline(tmp_path / "telemetry")
+
+    def test_service_only_document_validates(self, tmp_path, clock):
+        queue, _ = traced_queue(tmp_path, clock)
+        job, _ = queue.submit("RunRequest", {}, dedup_key="k1")
+        drain(queue)
+        document = merged_timeline(tmp_path / "telemetry", job=job.id)
+        assert validate_chrome_trace(document) == []
+        assert document["otherData"]["sim_traces"] == []
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"job", "queued", "claimed", "running"} <= names
+
+    def test_sim_trace_embeds_after_engine_run(self, tmp_path, tele):
+        tele.open_span("tr-1", "j-1", "job", job="j-1", t=100.0)
+        tele.open_span("tr-1", "j-1:x1.0", "engine.run", job="j-1",
+                       t=101.0)
+        tele.close_span("tr-1", "j-1:x1.0", "engine.run", job="j-1",
+                        t=102.0)
+        tele.close_span("tr-1", "j-1", "job", job="j-1", t=103.0)
+        sim = {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "prefetches"}},
+                {"name": "pf", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 5.0, "dur": 3.0, "args": {}},
+            ]
+        }
+        tele.put_sim_trace("tr-1", sim)
+        assert sim_trace_path(tele.directory, "tr-1").exists()
+        document = merged_timeline(tmp_path / "telemetry")
+        assert validate_chrome_trace(document) == []
+        assert document["otherData"]["sim_traces"] == ["tr-1"]
+        embedded = [
+            e for e in document["traceEvents"] if e["name"] == "pf"
+        ][0]
+        # engine.run opened 1s after t0 -> sim ts shifted by 1e6 µs.
+        assert embedded["ts"] == pytest.approx(1e6 + 5.0)
+
+    def test_document_is_json_serializable(self, tmp_path, clock):
+        queue, _ = traced_queue(tmp_path, clock)
+        queue.submit("RunRequest", {}, dedup_key="k1")
+        drain(queue)
+        document = merged_timeline(tmp_path / "telemetry")
+        json.dumps(document)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# JobContext internals
+# ----------------------------------------------------------------------
+class TestJobContext:
+    def test_span_ids_are_deterministic(self, tele):
+        ctx = JobContext(tele, trace="tr-1", job="j-1", attempts=3)
+        first = ctx.open("execute")
+        second = ctx.open("engine.build")
+        assert first == "j-1:x3.0"
+        assert second == "j-1:x3.1"
+        ctx.close(second, "engine.build")
+        third = ctx.open("engine.run")
+        assert third == "j-1:x3.2"
+
+    def test_points_attach_to_stack_top(self, tmp_path, tele):
+        ctx = JobContext(tele, trace="tr-1", job="j-1", attempts=1)
+        sid = ctx.open("execute")
+        ctx.point("artifact-cache", hit=True)
+        ctx.close(sid, "execute")
+        records = read_records(tmp_path / "telemetry")
+        point = [r for r in records if r["ev"] == "point"][0]
+        assert point["span"] == sid
