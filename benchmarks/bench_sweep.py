@@ -1,0 +1,217 @@
+"""Batched multi-config sweep benchmark: one batched pass vs N runs.
+
+Times an 8-cell A&J prefetch-distance sweep (the Figure-6-style
+distance axis) on one workload two ways:
+
+* **batched** — all cells execute in a single
+  :func:`repro.machine.batch.run_batch` pass: one shared front-end
+  walks the aligned modules once while per-cell cache hierarchies
+  (L1/L2/LLC + MSHRs) track each cell's timing; and
+* **sequential** — the same cells run one at a time through a fresh
+  :class:`~repro.machine.machine.Machine` per cell, once per engine
+  tier (reference / fast / turbo).
+
+Distances start at 2: at distance 1 the A&J pass folds the loop
+increment into the prefetch advance, which changes instruction shape
+per cell and (correctly) forces the batch tier's per-cell fallback —
+a valid configuration, but then the benchmark would be measuring the
+fallback path, not the batch engine.
+
+Every batched cell must be bit-identical (value + full counter vector)
+to its sequential fast-engine twin — a sweep benchmark whose cells
+computed different things would be meaningless.
+
+Standalone use (writes ``BENCH_sweep.json`` next to this file)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--scale tiny]
+
+or as a bench test::
+
+    pytest benchmarks/bench_sweep.py --benchmark-only
+
+See docs/PERFORMANCE.md for how to read the emitted JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
+from pathlib import Path
+
+from repro.machine import Machine
+from repro.machine.batch import BatchCell, run_batch
+from repro.machine.config import MachineConfig
+from repro.passes.ainsworth_jones import (
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+)
+from repro.workloads.registry import make_workload
+
+#: The 8-cell distance axis (>= 2; see module docstring).
+DEFAULT_DISTANCES = (2, 4, 8, 12, 16, 24, 32, 48)
+
+DEFAULT_WORKLOAD = "BFS-tiny"
+
+#: Sequential comparators, slowest first.  ``reference`` is the
+#: canonical sequential replay a sweep would otherwise cost (and the
+#: tier the CI floor is measured against); fast/turbo show the batch
+#: tier still beats the compiled single-config engines.
+SEQUENTIAL_ENGINES = ("reference", "fast", "turbo")
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+
+def _build_cells(
+    workload: str, scale: str, distances: tuple
+) -> tuple[list, str]:
+    """Fresh per-distance cells: build + A&J injection at each distance.
+
+    Rebuilding per measurement is mandatory — a run mutates the
+    workload's data segments, so cells are never reused across timed
+    passes.
+    """
+    config = MachineConfig()
+    cells = []
+    entry = None
+    for distance in distances:
+        instance = make_workload(workload, scale)
+        module, space = instance.build()
+        entry = instance.entry
+        AinsworthJonesPass(AinsworthJonesConfig(distance=distance)).run(module)
+        cells.append(BatchCell(module, space, config))
+    return cells, entry
+
+
+def _signature(result) -> dict:
+    return {"value": result.value, **result.counters.as_dict()}
+
+
+def measure_sweep(
+    workload: str = DEFAULT_WORKLOAD,
+    scale: str = "tiny",
+    distances: tuple = DEFAULT_DISTANCES,
+    reps: int = 3,
+) -> dict:
+    """Batched vs sequential wall-clock for one distance sweep.
+
+    Returns ``{"batched_s", "sequential_s": {engine: s}, "speedup":
+    {engine: ratio}, ...}`` where each time is the best of ``reps``
+    (cell construction excluded — it is identical on both sides).
+    """
+    batched_s = float("inf")
+    signatures: list[dict] = []
+    for _ in range(reps):
+        cells, entry = _build_cells(workload, scale, distances)
+        start = time.perf_counter()
+        outcome = run_batch(cells, function=entry)
+        batched_s = min(batched_s, time.perf_counter() - start)
+        if not outcome.batched:
+            raise AssertionError(
+                f"{workload}: distance sweep fell back to sequential "
+                f"replay ({outcome.reason}) — the benchmark would not "
+                "be measuring the batch engine"
+            )
+        signatures = [_signature(r) for r in outcome.results]
+
+    sequential_s: dict[str, float] = {}
+    for engine in SEQUENTIAL_ENGINES:
+        best = float("inf")
+        for _ in range(reps):
+            cells, entry = _build_cells(workload, scale, distances)
+            start = time.perf_counter()
+            results = [
+                Machine(
+                    cell.module,
+                    cell.space,
+                    config=replace(cell.config, engine=engine),
+                ).run(entry)
+                for cell in cells
+            ]
+            best = min(best, time.perf_counter() - start)
+        sequential_s[engine] = best
+        for index, result in enumerate(results):
+            if _signature(result) != signatures[index]:
+                raise AssertionError(
+                    f"{workload}: batched cell {index} (distance "
+                    f"{distances[index]}) is not bit-identical with the "
+                    f"sequential {engine} engine"
+                )
+
+    return {
+        "workload": workload,
+        "scale": scale,
+        "distances": list(distances),
+        "cells": len(distances),
+        "batched_s": round(batched_s, 6),
+        "sequential_s": {
+            engine: round(seconds, 6)
+            for engine, seconds in sequential_s.items()
+        },
+        "speedup": {
+            engine: round(seconds / max(batched_s, 1e-9), 3)
+            for engine, seconds in sequential_s.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_batched_distance_sweep(benchmark):
+    report = benchmark.pedantic(measure_sweep, iterations=1, rounds=1)
+    print()
+    print(json.dumps(report["speedup"], indent=2))
+    # The batch tier must amortize the shared front-end: well above the
+    # sequential replay it replaces, and no worse than running the
+    # compiled fast engine once per cell.
+    assert report["speedup"]["reference"] >= 3.0, report["speedup"]
+    assert report["speedup"]["fast"] >= 1.0, report["speedup"]
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD)
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument(
+        "--distances",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_DISTANCES),
+        metavar="D",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3, help="repetitions (min is kept)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, metavar="PATH"
+    )
+    args = parser.parse_args()
+
+    report = measure_sweep(
+        args.workload, args.scale, tuple(args.distances), reps=args.reps
+    )
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {args.output}")
+    print(
+        f"  {report['workload']}@{report['scale']}: "
+        f"{report['cells']}-cell distance sweep "
+        f"batched={report['batched_s']:.3f}s"
+    )
+    for engine in SEQUENTIAL_ENGINES:
+        print(
+            f"  vs {engine:9s} {report['sequential_s'][engine]:.3f}s "
+            f"-> {report['speedup'][engine]:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

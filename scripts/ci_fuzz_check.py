@@ -16,6 +16,11 @@ Four gates, all with fixed seeds so the job is deterministic:
    off-by-one in its cycle accounting must be *caught* by the oracle
    and *shrunk* to at most ``--max-mutant-blocks`` basic blocks,
    proving the finder and the minimizer both work.
+5. **Batch axis** — every corpus case plus ``--batch-budget`` generated
+   programs must be bit-identical between the batched multi-config
+   runner (:func:`repro.machine.batch.run_batch`) and fresh sequential
+   ``Machine`` runs of the same cells, over both a uniform cache-scale
+   batch and a divergent A&J-distance batch.
 
 Usage:
     python scripts/ci_fuzz_check.py [--budget 50] [--seed 20260805]
@@ -30,19 +35,22 @@ import time
 
 from repro.qa.corpus import default_corpus_dir, iter_cases
 from repro.qa.fuzz import run_fuzz
+from repro.qa.generate import GeneratorConfig, generate_spec
 from repro.qa.mutants import mutant_oracle_setup
-from repro.qa.oracle import oracle_failure
+from repro.qa.oracle import batch_failure, oracle_failure
 
 # Every module an engine or the oracle reaches lazily.  Each must
 # import standalone: a typo in one of these surfaces as a hard failure
 # here instead of as a mysteriously-skipped engine in the fuzz gate.
 SANITY_MODULES = (
     "repro.api",
+    "repro.machine.batch",
     "repro.machine.blockengine",
     "repro.machine.interpreter",
     "repro.machine.machine",
     "repro.machine.superblock",
     "repro.machine.translator",
+    "repro.mem.batch",
     "repro.mem.fastpath",
     "repro.mem.hierarchy",
     "repro.qa.fuzz",
@@ -134,18 +142,51 @@ def check_mutation_selftest(seed: int, max_blocks: int) -> bool:
     return True
 
 
+def check_batch_axis(budget: int, seed: int) -> bool:
+    """Batch-vs-sequential differential: corpus + generated programs."""
+    start = time.perf_counter()
+    total = failures = 0
+    for name, case in iter_cases(default_corpus_dir()):
+        total += 1
+        failure = batch_failure(case["spec"])
+        if failure is not None:
+            failures += 1
+            print(f"FAIL: batch axis corpus {name}: {failure.summary()}")
+    gen_config = GeneratorConfig()
+    for i in range(budget):
+        total += 1
+        spec = generate_spec(seed + i, gen_config)
+        failure = batch_failure(spec)
+        if failure is not None:
+            failures += 1
+            print(f"FAIL: batch axis seed {seed + i}: {failure.summary()}")
+    if failures:
+        return False
+    if not total:
+        print("FAIL: batch axis ran zero cases")
+        return False
+    elapsed = time.perf_counter() - start
+    print(
+        f"OK: {total} case(s) bit-identical between batched and "
+        f"sequential execution in {elapsed:.1f}s"
+    )
+    return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--budget", type=int, default=50)
     parser.add_argument("--seed", type=int, default=20260805)
     parser.add_argument("--model-cases", type=int, default=200)
     parser.add_argument("--max-mutant-blocks", type=int, default=3)
+    parser.add_argument("--batch-budget", type=int, default=50)
     args = parser.parse_args()
 
     ok = check_import_sanity()
     ok = check_clean_fuzz(args.budget, args.seed, args.model_cases) and ok
     ok = check_corpus_replay() and ok
     ok = check_mutation_selftest(args.seed, args.max_mutant_blocks) and ok
+    ok = check_batch_axis(args.batch_budget, args.seed) and ok
     return 0 if ok else 1
 
 

@@ -22,9 +22,17 @@ scope must cost at most the given fraction over the bare execution
 (default gate in CI: 0.05 = 5%), and the results must stay
 byte-identical — telemetry observes, never perturbs.
 
+With ``--min-batch-speedup`` it additionally runs the batched-sweep
+probe (``benchmarks/bench_sweep.py measure_sweep``): an 8-cell A&J
+distance sweep executed in one :func:`repro.machine.batch.run_batch`
+pass must beat the per-cell sequential reference replay by at least
+the given ratio (CI gate: 3.0x) and must not lose to running the
+compiled fast engine once per cell; every batched cell is checked
+bit-identical against its sequential twin inside the probe.
+
 Usage:
     python scripts/ci_perf_check.py [--scale tiny] [--min-speedup 1.2]
-        [--max-telemetry-overhead 0.05]
+        [--max-telemetry-overhead 0.05] [--min-batch-speedup 3.0]
 """
 
 from __future__ import annotations
@@ -75,6 +83,14 @@ def main() -> int:
         type=int,
         default=3,
         help="suite repeats for the telemetry probe (median; default 3)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=None,
+        help="also gate the batched sweep tier: required batched-vs-"
+        "sequential-reference wall-clock ratio on an 8-cell distance "
+        "sweep (e.g. 3.0); omitted, the probe is skipped",
     )
     args = parser.parse_args()
 
@@ -163,6 +179,37 @@ def main() -> int:
                 f"FAIL: telemetry overhead "
                 f"{probe['telemetry_overhead'] * 100:.1f}% exceeds the "
                 f"{args.max_telemetry_overhead * 100:.1f}% ceiling",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.min_batch_speedup is not None:
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        from bench_sweep import measure_sweep
+
+        sweep = measure_sweep()
+        print(
+            f"batch probe: {sweep['workload']}@{sweep['scale']} "
+            f"{sweep['cells']}-cell distance sweep "
+            f"batched={sweep['batched_s']:.2f}s "
+            f"vs reference={sweep['speedup']['reference']:.2f}x "
+            f"(floor {args.min_batch_speedup:.2f}x) "
+            f"vs fast={sweep['speedup']['fast']:.2f}x (floor 1.00x)"
+        )
+        if sweep["speedup"]["reference"] < args.min_batch_speedup:
+            print(
+                f"FAIL: batched sweep speedup "
+                f"{sweep['speedup']['reference']:.2f}x is below the "
+                f"{args.min_batch_speedup:.2f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        if sweep["speedup"]["fast"] < 1.0:
+            print(
+                f"FAIL: batched sweep loses to per-cell fast runs "
+                f"({sweep['speedup']['fast']:.2f}x < 1.00x)",
                 file=sys.stderr,
             )
             return 1

@@ -14,6 +14,8 @@ from repro.api import (
     SiteReportResult,
     SuiteRequest,
     SuiteResult,
+    SweepRequest,
+    SweepResult,
     TuningService,
     compare_suite,
     configure_service,
@@ -22,6 +24,7 @@ from repro.api import (
     profile,
     run,
     site_report,
+    sweep,
 )
 from repro.ir import IRBuilder, Module, Opcode, verify_module
 from repro.machine import ENGINES, Machine, MachineConfig
@@ -47,6 +50,8 @@ __all__ = [
     "SiteReportResult",
     "SuiteRequest",
     "SuiteResult",
+    "SweepRequest",
+    "SweepResult",
     "TuningService",
     "compare_suite",
     "configure_service",
@@ -55,6 +60,7 @@ __all__ = [
     "profile",
     "run",
     "site_report",
+    "sweep",
     "verify_module",
     "__version__",
 ]

@@ -29,9 +29,10 @@ with ``from_payload`` without losing anything, and rich objects
 reconstructed on demand by the accessor methods.
 
 Compatibility: this module is the v1 contract.  Additions are allowed;
-renames/removals require a v2.  Legacy call shapes (``TuningService``
-methods with the old ``name=`` keyword, ``Machine(engine="interpret")``)
-keep working behind ``DeprecationWarning`` shims.
+renames/removals require a v2.  The pre-v1 ``name=`` keyword shims have
+been retired: passing ``name=`` to a ``TuningService`` method now raises
+``ValueError`` with a migration hint (pass ``workload=`` instead).
+Engine aliases (``Machine(engine="interpret")``) still normalize.
 """
 
 from __future__ import annotations
@@ -47,6 +48,7 @@ from repro.machine.config import ENGINES, normalize_engine
 from repro.obs.sites import SiteReport
 from repro.profiling.profile import ExecutionProfile
 from repro.service.api import (
+    SWEEP_SCHEMES,
     TuningService,
     configure_service,
     get_service,
@@ -54,6 +56,7 @@ from repro.service.api import (
     profile_to_payload,
     run_from_payload,
     run_to_payload,
+    sweep_cell_grid,
 )
 
 API_VERSION = 1
@@ -198,6 +201,60 @@ class SuiteRequest(_Payload):
             object.__setattr__(self, "workloads", tuple(self.workloads))
 
 
+@dataclass(frozen=True, kw_only=True)
+class SweepRequest(_Payload):
+    """Ask for a batched multi-config sweep over one workload.
+
+    The grid is the cross product of three axes: ``schemes`` (any
+    subset of ``baseline`` | ``aj`` | ``apt-get``), ``distances``
+    (prefetch distances; applies only to ``aj`` cells) and
+    ``cache_scales`` (integer divisors shrinking every cache capacity
+    in the base memory config; ``1`` is the base hierarchy, ``2``
+    halves L1/L2/LLC).  Axes are
+    canonicalized on construction — sorted, deduplicated, and the
+    distance axis dropped when no ``aj`` cells exist — so two requests
+    naming the same grid in different orders are *equal*, serialize to
+    the same payload, and share one dedup key.
+
+    Each cell is cached under exactly the key the equivalent single
+    :class:`RunRequest` would use, so sweeps and single runs share
+    artifacts in both directions.
+    """
+
+    workload: str
+    scale: str = "small"
+    schemes: tuple = ("aj",)
+    distances: tuple = (4, 8, 16, 32, 64)
+    cache_scales: tuple = (1,)
+    engine: Optional[str] = None
+    trace: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", _check_engine(self.engine))
+        if isinstance(self.schemes, str):
+            raise ValueError(
+                "schemes must be a sequence of scheme names, "
+                f"got the bare string {self.schemes!r}"
+            )
+        schemes = tuple(sorted(set(self.schemes)))
+        distances = tuple(sorted({int(d) for d in self.distances}))
+        cache_scales = tuple(sorted({int(s) for s in self.cache_scales}))
+        if "aj" not in schemes:
+            distances = ()
+        # Validates the axes (unknown schemes, empty axes, bad values)
+        # with the exact rules the executor applies.
+        sweep_cell_grid(schemes, distances, cache_scales)
+        object.__setattr__(self, "schemes", schemes)
+        object.__setattr__(self, "distances", distances)
+        object.__setattr__(self, "cache_scales", cache_scales)
+
+    def cells(self) -> list[tuple]:
+        """The canonical ``(scheme, distance, cache_scale)`` cell list."""
+        return sweep_cell_grid(
+            self.schemes, self.distances, self.cache_scales
+        )
+
+
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
@@ -286,12 +343,85 @@ class SuiteResult(_Payload):
         return out
 
 
+@dataclass(frozen=True, kw_only=True)
+class SweepResult(_Payload):
+    """A measured config grid; one entry in ``cells`` per grid cell.
+
+    Each cell dict carries its coordinates (``scheme``, ``distance``,
+    ``cache_scale``), the full run payload (``run``, same shape a
+    :class:`RunResult` stores), and provenance flags: ``cached`` (came
+    from the artifact store) and ``batched`` (executed in the batched
+    pass; ``None`` for cached cells, ``False`` for per-cell fallback).
+    ``execution`` summarizes the run: cached/computed counts and one
+    record per batch group with its fallback reason, if any.
+    """
+
+    workload: str
+    scale: str
+    engine: str
+    schemes: tuple
+    distances: tuple
+    cache_scales: tuple
+    cells: list = field(repr=False)
+    execution: dict = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "distances", tuple(self.distances))
+        object.__setattr__(
+            self, "cache_scales", tuple(self.cache_scales)
+        )
+
+    def cell(
+        self,
+        scheme: str,
+        distance: Optional[int] = None,
+        cache_scale: int = 1,
+    ) -> dict:
+        """The cell dict at the given grid coordinates."""
+        if scheme != "aj":
+            distance = None
+        for entry in self.cells:
+            if (
+                entry["scheme"] == scheme
+                and entry["distance"] == distance
+                and entry["cache_scale"] == cache_scale
+            ):
+                return entry
+        raise KeyError(
+            f"no sweep cell ({scheme!r}, {distance!r}, {cache_scale!r})"
+        )
+
+    def scheme_run(
+        self,
+        scheme: str,
+        distance: Optional[int] = None,
+        cache_scale: int = 1,
+    ) -> SchemeRun:
+        """Rehydrate one cell's run as a live :class:`SchemeRun`."""
+        return run_from_payload(
+            self.cell(scheme, distance, cache_scale)["run"]
+        )
+
+    def cycles(self) -> dict[tuple, float]:
+        """Grid coordinates -> measured cycles, for quick plotting."""
+        return {
+            (
+                entry["scheme"],
+                entry["distance"],
+                entry["cache_scale"],
+            ): entry["run"]["counters"].get("cycles", 0.0)
+            for entry in self.cells
+        }
+
+
 #: Request type -> handler name; the execute() dispatch table.
 _REQUEST_TYPES = (
     ProfileRequest,
     RunRequest,
     SiteReportRequest,
     SuiteRequest,
+    SweepRequest,
 )
 
 #: Payload ``kind`` -> dataclass, for the wire (the ``repro.serve`` HTTP
@@ -299,7 +429,13 @@ _REQUEST_TYPES = (
 REQUEST_KINDS = {cls.__name__: cls for cls in _REQUEST_TYPES}
 RESULT_KINDS = {
     cls.__name__: cls
-    for cls in (ProfileResult, RunResult, SiteReportResult, SuiteResult)
+    for cls in (
+        ProfileResult,
+        RunResult,
+        SiteReportResult,
+        SuiteResult,
+        SweepResult,
+    )
 }
 
 
@@ -417,6 +553,25 @@ def execute(
             workloads=tuple(comparisons),
             rows=rows,
         )
+    if isinstance(request, SweepRequest):
+        payload = service.sweep(
+            request.workload,
+            request.scale,
+            schemes=request.schemes,
+            distances=request.distances,
+            cache_scales=request.cache_scales,
+            engine=request.engine,
+        )
+        return SweepResult(
+            workload=request.workload,
+            scale=request.scale,
+            engine=payload["engine"],
+            schemes=request.schemes,
+            distances=request.distances,
+            cache_scales=request.cache_scales,
+            cells=payload["cells"],
+            execution=payload["execution"],
+        )
     raise TypeError(
         f"unknown request type {type(request).__name__}; "
         f"expected one of {[t.__name__ for t in _REQUEST_TYPES]}"
@@ -479,6 +634,29 @@ def site_report(
     )
 
 
+def sweep(
+    workload: str,
+    scale: str = "small",
+    *,
+    schemes: tuple = ("aj",),
+    distances: tuple = (4, 8, 16, 32, 64),
+    cache_scales: tuple = (1,),
+    engine: Optional[str] = None,
+    service: Optional[TuningService] = None,
+) -> SweepResult:
+    return execute(
+        SweepRequest(
+            workload=workload,
+            scale=scale,
+            schemes=schemes,
+            distances=distances,
+            cache_scales=cache_scales,
+            engine=engine,
+        ),
+        service=service,
+    )
+
+
 def compare_suite(
     scale: str = "small",
     *,
@@ -505,6 +683,7 @@ __all__ = [
     "ENGINES",
     "REQUEST_KINDS",
     "RESULT_KINDS",
+    "SWEEP_SCHEMES",
     "ProfileRequest",
     "ProfileResult",
     "RunRequest",
@@ -513,6 +692,8 @@ __all__ = [
     "SiteReportResult",
     "SuiteRequest",
     "SuiteResult",
+    "SweepRequest",
+    "SweepResult",
     "TuningService",
     "compare_suite",
     "configure_service",
@@ -523,4 +704,6 @@ __all__ = [
     "result_from_payload",
     "run",
     "site_report",
+    "sweep",
+    "sweep_cell_grid",
 ]

@@ -9,6 +9,9 @@ Mirrors the paper's workflow as subcommands:
 * ``run``         — run a workload under a scheme (baseline, the static
                     Ainsworth & Jones pass, or APT-GET end-to-end) and
                     print ``perf stat``-style results;
+* ``sweep``       — measure a scheme × distance × cache-scale grid over
+                    one workload in a single batched pass
+                    (``--sweep axis=v1,v2,...``, repeatable);
 * ``experiment``  — regenerate a paper table/figure (optionally in
                     parallel against a persistent artifact cache);
 * ``cache``       — inspect or clear a tuning-service artifact cache;
@@ -100,6 +103,128 @@ def _print_sw_prefetch(result) -> None:
     print(f"  {'prefetch_timeliness':>28}: {perf.prefetch_timeliness:.4f}")
 
 
+#: Axis name -> element parser for ``--sweep axis=v1,v2,...`` flags.
+_SWEEP_AXES = {
+    "schemes": str,
+    "distances": int,
+    "cache_scales": int,
+}
+
+
+def parse_sweep_axes(specs: Optional[Sequence[str]]) -> dict:
+    """Parse repeated ``--sweep axis=v1,v2,...`` flags into axis tuples.
+
+    The one sweep-grid syntax shared by ``sweep``, ``experiment`` and
+    ``report``: each flag names one axis (``schemes``, ``distances`` or
+    ``cache_scales``; dashes accepted) and its comma-separated values;
+    repeating an axis extends it.  Returns only the axes that were
+    given — callers fall back to :func:`repro.api.sweep`'s defaults for
+    the rest.  Raises ``ValueError`` on malformed flags.
+    """
+    axes: dict = {}
+    for spec in specs or ():
+        name, sep, raw = spec.partition("=")
+        name = name.strip().replace("-", "_")
+        if not sep or name not in _SWEEP_AXES:
+            raise ValueError(
+                f"bad --sweep flag {spec!r}; expected "
+                f"axis=v1,v2,... with axis one of {sorted(_SWEEP_AXES)}"
+            )
+        cast = _SWEEP_AXES[name]
+        items = [v.strip() for v in raw.split(",") if v.strip()]
+        if not items:
+            raise ValueError(f"--sweep {spec!r} names no values")
+        try:
+            values = tuple(cast(v) for v in items)
+        except ValueError:
+            raise ValueError(
+                f"--sweep {spec!r}: {name} values must be "
+                f"{cast.__name__}s"
+            ) from None
+        axes[name] = axes.get(name, ()) + values
+    return axes
+
+
+def _add_sweep_flag(p: argparse.ArgumentParser, help_text: str) -> None:
+    p.add_argument(
+        "--sweep",
+        action="append",
+        metavar="AXIS=V1,V2,...",
+        default=None,
+        help=help_text
+        + " (axes: schemes, distances, cache_scales; repeatable)",
+    )
+
+
+def _format_sweep_table(result) -> str:
+    """Fixed-width per-cell summary of one ``SweepResult``."""
+    lines = [
+        f"{result.workload} [{result.scale}] sweep on engine "
+        f"{result.engine}",
+        f"  {'scheme':<10} {'dist':>5} {'cache':>6} {'cycles':>14} "
+        f"{'vs-base':>8}  source",
+    ]
+    baselines = {
+        entry["cache_scale"]: entry["run"]["counters"].get("cycles", 0.0)
+        for entry in result.cells
+        if entry["scheme"] == "baseline"
+    }
+    for entry in result.cells:
+        cycles = entry["run"]["counters"].get("cycles", 0.0)
+        base = baselines.get(entry["cache_scale"])
+        ratio = f"{base / cycles:>8.3f}" if base and cycles else f"{'-':>8}"
+        source = "cache" if entry["cached"] else (
+            "batch" if entry["batched"] else "replay"
+        )
+        distance = entry["distance"] if entry["distance"] is not None else "-"
+        scale = f"1/{entry['cache_scale']}"
+        lines.append(
+            f"  {entry['scheme']:<10} {distance!s:>5} {scale:>6} "
+            f"{cycles:>14,.0f} {ratio}  {source}"
+        )
+    execution = result.execution
+    groups = ", ".join(
+        f"{g['scheme']}:{'batched' if g['batched'] else 'replay'}"
+        + (f" ({g['reason']})" if g.get("reason") else "")
+        for g in execution["groups"]
+    ) or "all cached"
+    lines.append(
+        f"  cells: {len(result.cells)} "
+        f"({execution['cached_cells']} cached, "
+        f"{execution['computed_cells']} computed) — {groups}"
+    )
+    return "\n".join(lines)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import repro.api as api_v1
+    from repro.service.api import configure_service, get_service
+
+    try:
+        axes = parse_sweep_axes(args.sweep)
+    except ValueError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    if args.cache_dir is not None:
+        service = configure_service(
+            cache_dir=args.cache_dir, machine_config=_machine_config(args)
+        )
+    else:
+        service = get_service()
+    result = api_v1.sweep(
+        args.workload,
+        args.scale,
+        engine=args.engine,
+        service=service,
+        **axes,
+    )
+    print(_format_sweep_table(result))
+    if args.output:
+        Path(args.output).write_text(result.to_json())
+        print(f"wrote sweep payload -> {args.output}")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -159,6 +284,20 @@ def _aggregate_timely(reports) -> float:
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.profiling.report import format_profile_report
+
+    if args.sweep:
+        import repro.api as api_v1
+
+        try:
+            axes = parse_sweep_axes(args.sweep)
+        except ValueError as error:
+            print(f"report: {error}", file=sys.stderr)
+            return 2
+        result = api_v1.sweep(
+            args.workload, args.scale, engine=args.engine, **axes
+        )
+        print(_format_sweep_table(result))
+        return 0
 
     if args.sites:
         from repro.obs.sites import format_site_reports
@@ -294,6 +433,26 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
     else:
         service = get_service()
+    if args.sweep:
+        # Pre-warm the artifact cache with batched sweeps: sweep cells
+        # are stored under exactly the keys sequential runs use, so the
+        # experiment's measurements become cache hits.
+        from repro.experiments.runner import scale_suite
+
+        try:
+            axes = parse_sweep_axes(args.sweep)
+        except ValueError as error:
+            print(f"experiment: {error}", file=sys.stderr)
+            return 2
+        for name in scale_suite(args.scale):
+            warmed = service.sweep(
+                name, args.scale, engine=args.engine, **axes
+            )
+            execution = warmed["execution"]
+            print(
+                f"prewarmed {name}: {execution['computed_cells']} "
+                f"cell(s) computed, {execution['cached_cells']} cached"
+            )
     result = module.run(args.scale)
     print(result.to_text())
     service.flush_metrics()
@@ -442,9 +601,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{controller.port} (queue {args.queue_dir}, "
         f"{controller.num_agents} agent(s), lease {controller.lease:g}s)"
     )
-    print("endpoints: POST /v1/jobs  GET /v1/jobs/<id>  "
-          "GET /v1/jobs/<id>/events  GET /v1/results/<id>  "
-          "/healthz  /metrics")
+    print("endpoints: POST /v1/jobs[?priority=N]  GET /v1/jobs/<id>  "
+          "DELETE /v1/jobs/<id>  GET /v1/jobs/<id>/events  "
+          "GET /v1/results/<id>  /healthz  /metrics")
     try:
         controller.wait()
     except KeyboardInterrupt:
@@ -675,6 +834,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
     )
+    _add_sweep_flag(
+        p, "print a batched config-sweep table instead of a profile report"
+    )
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("run", help="run a workload under a scheme")
@@ -697,6 +859,24 @@ def build_parser() -> argparse.ArgumentParser:
         "Perfetto timeline to this file",
     )
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="measure a scheme × distance × cache-scale grid in one "
+        "batched pass",
+    )
+    _add_common_flags(p)
+    _add_sweep_flag(p, "one sweep axis, e.g. --sweep distances=4,8,16")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact cache directory (default: in-memory)",
+    )
+    p.add_argument(
+        "--output", "-o", default=None,
+        help="also write the SweepResult payload JSON here",
+    )
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "disasm", help="print a workload's IR (optionally after a pass)"
@@ -728,6 +908,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persistent artifact cache directory (default: in-memory)",
+    )
+    _add_sweep_flag(
+        p, "pre-warm the cache with batched sweeps over the suite"
     )
     p.set_defaults(fn=cmd_experiment)
 

@@ -1,5 +1,12 @@
 """Execution machinery: cost model, PMU, LBR, samplers, and engines."""
 
+from repro.machine.batch import (
+    BatchCell,
+    BatchDivergence,
+    BatchMachine,
+    BatchOutcome,
+    run_batch,
+)
 from repro.machine.blockengine import BlockCompiledFunction, compile_blocks
 from repro.machine.config import (
     DEFAULT_CONFIG,
@@ -19,6 +26,10 @@ from repro.machine.superblock import TurboCompiledFunction, compile_turbo
 from repro.machine.translator import CompiledFunction, compile_function
 
 __all__ = [
+    "BatchCell",
+    "BatchDivergence",
+    "BatchMachine",
+    "BatchOutcome",
     "BlockCompiledFunction",
     "CompiledFunction",
     "Counters",
@@ -41,5 +52,6 @@ __all__ = [
     "compile_turbo",
     "normalize_engine",
     "paper_like_memory",
+    "run_batch",
     "run_function",
 ]

@@ -1042,7 +1042,7 @@ class TurboCompiledFunction(BlockCompiledFunction):
         st.counters = counters
         st.mem_load = mem.load_port()
         st.mem_store = mem.store_port()
-        st.mem_prefetch = mem.prefetch
+        st.mem_prefetch = mem.prefetch_port()
         st.sp_load = space.load
         st.sp_store = space.store
         st.lbr_push = ctx.lbr.push

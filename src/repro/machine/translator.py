@@ -86,7 +86,7 @@ class _Codegen:
         self.emit("mem = ctx.mem")
         self.emit("mem_load = mem.load_port()")
         self.emit("mem_store = mem.store_port()")
-        self.emit("mem_prefetch = mem.prefetch")
+        self.emit("mem_prefetch = mem.prefetch_port()")
         self.emit("sp = ctx.space")
         self.emit("sp_load = sp.load")
         self.emit("sp_store = sp.store")

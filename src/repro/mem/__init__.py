@@ -1,6 +1,7 @@
 """Memory subsystem: address space, caches, MSHRs, hardware prefetchers."""
 
 from repro.mem.address import LINE_BYTES, AddressSpace, MemoryError_, Segment
+from repro.mem.batch import CellState, shared_space, space_mismatch
 from repro.mem.cache import (
     FLAG_HW_PREFETCHED_UNUSED,
     FLAG_NONE,
@@ -19,6 +20,7 @@ from repro.mem.hwprefetch import NextLinePrefetcher, StridePrefetcher
 __all__ = [
     "AddressSpace",
     "CacheConfig",
+    "CellState",
     "FLAG_HW_PREFETCHED_UNUSED",
     "FLAG_NONE",
     "FLAG_SW_PREFETCHED_UNUSED",
@@ -33,4 +35,6 @@ __all__ = [
     "StridePrefetcher",
     "build_load_fastpath",
     "build_store_fastpath",
+    "shared_space",
+    "space_mismatch",
 ]

@@ -430,6 +430,39 @@ class MemoryFastPath:
         return self._mem_lat
 
     # ------------------------------------------------------------------
+    # Software prefetch: MemorySystem.prefetch with trace arms elided.
+    # ------------------------------------------------------------------
+    def prefetch(self, addr: int, now, pc: int) -> None:
+        counters = self._counters
+        counters.sw_prefetch_issued += 1
+        if not self._is_mapped(addr):
+            counters.sw_prefetch_dropped_unmapped += 1
+            return
+        mshr = self._mshr
+        if mshr and now >= self.mem._mshr_next_ready:
+            self._drain_fp(now)
+        # == _issue_prefetch(software=True): contains() probes do not
+        # refresh LRU, so plain membership tests are exact.
+        line = addr >> 6
+        if (
+            line in self._l1_sets[line & self._l1_mask]
+            or line in self._l2_sets[line & self._l2_mask]
+            or line in self._llc_sets[line & self._llc_mask]
+            or line in mshr
+        ):
+            counters.sw_prefetch_redundant += 1
+            return
+        if len(mshr) >= self._mshr_cap:
+            counters.sw_prefetch_dropped_mshr += 1
+            return
+        ready = now + self._mem_lat
+        mshr[line] = [ready, True]
+        mem = self.mem
+        if ready < mem._mshr_next_ready:
+            mem._mshr_next_ready = ready
+        counters.offcore_all_data_rd += 1
+
+    # ------------------------------------------------------------------
     # Demand store: MemorySystem.store with trace arms elided.
     # ------------------------------------------------------------------
     def store(self, addr: int, now, pc: int):

@@ -129,6 +129,15 @@ class MemorySystem:
             return self.store
         return self.front().store
 
+    def prefetch_port(self):
+        """Software-prefetch entry point; same bypass rules as
+        load_port().  Prefetch-heavy injected code (every AJ/APT-GET
+        slice ends in one) pays the general :meth:`prefetch` walk per
+        issue; the fast path inlines the drop checks."""
+        if self.trace is not None:
+            return self.prefetch
+        return self.front().prefetch
+
     def prefetched_unused_view(self) -> dict[int, bool]:
         """The live prefetched-but-unused side table (shared, not a copy)."""
         return self._unused

@@ -443,6 +443,122 @@ def check_program(
         _check_differential(observations, scheme, config)
 
 
+#: Batch-axis grids: cache-capacity divisors for the uniform batch and
+#: A&J prefetch distances for the divergent-immediate batch (>= 2: at
+#: distance 1 the A&J pass folds the loop increment into the prefetch
+#: advance, which is a legitimate per-cell-fallback case, not an
+#: alignment case).
+BATCH_CACHE_SCALES = (1, 2, 4)
+BATCH_AJ_DISTANCES = (2, 4, 8)
+
+
+def check_batch(
+    spec: dict, config: Optional[OracleConfig] = None
+) -> dict:
+    """The batch≡sequential oracle axis.
+
+    Runs the spec through :func:`repro.machine.batch.run_batch` twice —
+    a *uniform* batch (identical modules, cache capacities scaled per
+    cell) and a *divergent-immediate* batch (A&J injection at a
+    different distance per cell) — and demands every cell be
+    bit-identical (return value + full PMU counter vector) to a fresh
+    sequential :class:`Machine` run of the same module/config.
+
+    Unlike :func:`check_program`'s cells this path runs **unprofiled**
+    (no LBR/PEBS sampling, no tracing): the batch tier excludes
+    profiling by contract, so the comparison is run-to-run, not
+    batch-to-profiled-run.  The fallback path is covered too — a spec
+    the batch compiler rejects (divergent branch, misalignment, …)
+    replays per cell, and those results must *still* match sequential.
+
+    Returns ``{"axes": {label: batched}, ...}`` for reporting; raises
+    :class:`OracleFailure` on the first mismatch.
+    """
+    from repro.machine.batch import BatchCell, run_batch
+
+    config = config or OracleConfig()
+    base = config.machine_config("fast")
+
+    def uniform_cells() -> list:
+        cells = []
+        for scale in BATCH_CACHE_SCALES:
+            module, space = build_program(spec)
+            cell_config = (
+                base if scale == 1
+                else replace(base, memory=base.memory.scaled(scale))
+            )
+            cells.append(BatchCell(module, space, cell_config))
+        return cells
+
+    def aj_cells() -> list:
+        cells = []
+        for distance in BATCH_AJ_DISTANCES:
+            module, space = build_program(spec)
+            AinsworthJonesPass(
+                AinsworthJonesConfig(distance=distance)
+            ).run(module)
+            verify_module(module, strict=True)
+            cells.append(BatchCell(module, space, base))
+        return cells
+
+    outcomes: dict = {}
+    for label, make in (
+        ("batch-uniform", uniform_cells),
+        ("batch-aj", aj_cells),
+    ):
+        try:
+            outcome = run_batch(make(), function=config.function)
+        except Exception as error:
+            raise OracleFailure(
+                "exception", f"run_batch raised {error!r}", label
+            ) from error
+        replay = make()
+        for index, result in enumerate(outcome.results):
+            cell = replay[index]
+            try:
+                sequential = Machine(
+                    cell.module, cell.space, config=cell.config
+                ).run(config.function)
+            except Exception as error:
+                raise OracleFailure(
+                    "exception",
+                    f"sequential replay raised {error!r}",
+                    label,
+                    f"cell-{index}",
+                ) from error
+            if result.value != sequential.value:
+                raise OracleFailure(
+                    "batch-differential",
+                    f"value {result.value!r} != sequential "
+                    f"{sequential.value!r} (batched={outcome.batched})",
+                    label,
+                    f"cell-{index}",
+                )
+            batch_counters = result.counters.as_dict()
+            seq_counters = sequential.counters.as_dict()
+            if batch_counters != seq_counters:
+                raise OracleFailure(
+                    "batch-differential",
+                    _describe_diff("counters", seq_counters, batch_counters)
+                    + f" (batched={outcome.batched})",
+                    label,
+                    f"cell-{index}",
+                )
+        outcomes[label] = outcome.batched
+    return {"axes": outcomes}
+
+
+def batch_failure(
+    spec: dict, config: Optional[OracleConfig] = None
+) -> Optional[OracleFailure]:
+    """Predicate form of :func:`check_batch`: the failure, or None."""
+    try:
+        check_batch(spec, config)
+    except OracleFailure as failure:
+        return failure
+    return None
+
+
 def oracle_failure(
     spec: dict,
     config: Optional[OracleConfig] = None,

@@ -137,7 +137,11 @@ class AgentWorker:
 
     # ------------------------------------------------------------------
     def _execute(self, job: JobRecord) -> None:
-        self.queue.start(job.id, self.agent_id)
+        if not self.queue.start(job.id, self.agent_id):
+            # Cancelled (or reclaimed) between claim and start; don't
+            # burn a simulation on work nobody wants.
+            self.metrics.inc("serve.start_rejected")
+            return
         stop_heartbeat = threading.Event()
         beats = threading.Thread(
             target=self._heartbeat_loop,
@@ -196,8 +200,10 @@ class AgentWorker:
     def _heartbeat_loop(self, job_id: str, stop: threading.Event) -> None:
         while not stop.wait(self.heartbeat_interval):
             if not self.queue.heartbeat(job_id, self.agent_id):
-                # The lease lapsed and the job was reclaimed; our
-                # eventual complete/fail will be rejected as stale.
+                # Either the lease lapsed and the job was reclaimed, or
+                # a cancel request was honored (the queue flipped the
+                # job to ``cancelled``); in both cases our eventual
+                # complete/fail will be rejected as stale.
                 self.metrics.inc("serve.heartbeat_rejected")
                 return
 

@@ -9,14 +9,25 @@ round-trip losslessly through JSON, so a client posts
 Endpoints:
 
 ========================  ============================================
-``POST /v1/jobs``         submit a Profile/Run/SiteReport/Suite request
-                          payload; replies ``{"id", "state", "deduped"}``
-                          (202 accepted, 200 when deduped onto an
-                          existing job, 400 malformed, 429 queue full)
-``GET /v1/jobs/<id>``     job status (state/attempts/agent/error/trace)
+``POST /v1/jobs``         submit a Profile/Run/SiteReport/Suite/Sweep
+                          request payload; replies ``{"id", "state",
+                          "deduped"}`` (202 accepted, 200 when deduped
+                          onto an existing job, 400 malformed, 429
+                          queue full).  ``?priority=<int>`` orders the
+                          queue: higher claims first, age breaking
+                          ties (default 0)
+``GET /v1/jobs/<id>``     job status (state/attempts/agent/error/trace/
+                          priority)
+``DELETE /v1/jobs/<id>``  cancel: a queued job flips straight to
+                          ``cancelled``; an active one is flagged and
+                          stops at the agent's next check-in (replies
+                          ``{"id", "state"}`` with ``cancelled`` |
+                          ``cancelling``; 404 unknown id, 409 already
+                          ``done``/``failed``/``lost``)
 ``GET /v1/results/<id>``  the result payload once ``done`` (409 while
-                          pending, 500 body with the error when the job
-                          ended ``failed``/``lost``)
+                          pending, 410 when cancelled, 500 body with
+                          the error when the job ended
+                          ``failed``/``lost``)
 ``GET /v1/jobs/<id>/events``  the job's telemetry span stream as
                           NDJSON: a finished job replays its full
                           journal (byte-identical across reads); an
@@ -234,8 +245,18 @@ class ServeHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._request_started = time.perf_counter()
-        if self.path.rstrip("/") != "/v1/jobs":
+        path, _, query = self.path.partition("?")
+        if path.rstrip("/") != "/v1/jobs":
             self._send_json(404, {"error": f"no such path {self.path!r}"})
+            return
+        try:
+            priority = int(
+                urllib.parse.parse_qs(query).get("priority", ["0"])[0]
+            )
+        except ValueError:
+            self._send_json(
+                400, {"error": "priority must be an integer"}
+            )
             return
         body = self._read_body()
         if body is None:
@@ -254,6 +275,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                 request.to_payload(),
                 dedup_key=dedup_key,
                 trace_id=getattr(request, "trace", None),
+                priority=priority,
             )
         except QueueFull as error:
             self._send_json(429, {"error": str(error)})
@@ -263,6 +285,26 @@ class ServeHandler(BaseHTTPRequestHandler):
             {"id": record.id, "state": record.state, "deduped": deduped,
              "trace": record.trace_id},
         )
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._request_started = time.perf_counter()
+        path = self.path.partition("?")[0].rstrip("/")
+        match = re.fullmatch(r"/v1/jobs/([A-Za-z0-9_.-]+)", path)
+        if match is None:
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+            return
+        job_id = match.group(1)
+        state = self.server.queue.cancel(job_id)
+        if state is None:
+            self._send_json(404, {"error": f"no such job {job_id!r}"})
+        elif state in ("cancelled", "cancelling"):
+            self._send_json(200, {"id": job_id, "state": state})
+        else:
+            self._send_json(
+                409,
+                {"id": job_id, "state": state,
+                 "error": f"job already terminal ({state})"},
+            )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._request_started = time.perf_counter()
@@ -305,6 +347,12 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         if record.state == "done":
             self._send_json(200, record.result)
+        elif record.state == "cancelled":
+            self._send_json(
+                410,
+                {"id": record.id, "state": record.state,
+                 "error": record.error or "cancelled"},
+            )
         elif record.state in ("failed", "lost"):
             self._send_json(
                 500,

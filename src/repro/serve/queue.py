@@ -17,7 +17,10 @@ Job lifecycle::
                  │       lease lapses (reap): retries left -> queued
                  │                  │                  │
                  │                  └──> lost   (no retries left)
-                 └── fail with no retries left ──> failed
+                 ├── fail with no retries left ──> failed
+                 └── cancel ──> cancelled   (queued: immediately;
+                                claimed/running: at the agent's next
+                                start/heartbeat check-in)
 
 * **Leases + heartbeats** — a claim grants a time-bounded lease; the
   agent extends it by heartbeating.  A job whose lease lapses (agent
@@ -37,6 +40,15 @@ Job lifecycle::
 * **Backpressure** — an optional ``max_depth`` bounds live (queued +
   claimed + running) jobs; past it, ``submit`` raises
   :class:`QueueFull` (the HTTP front end maps this to 429).
+* **Priority** — claims pop the highest ``priority`` first, oldest
+  ``queued_at`` breaking ties, so urgent work preempts the backlog
+  without starving equal-priority jobs.
+* **Cancellation** — ``cancel`` flips queued jobs straight to the
+  terminal ``cancelled`` state; for active jobs it sets a
+  ``cancel_requested`` flag honored at the agent's next
+  ``start``/``heartbeat`` (and by the reaper if the agent died), while
+  a ``complete`` that races the flag wins — finished work is kept.
+  Cancelled jobs revive on resubmit exactly like ``failed``/``lost``.
 
 Every mutation is attributed: completes/fails/heartbeats must name the
 agent holding the lease, so a zombie agent whose job was reclaimed
@@ -69,7 +81,9 @@ from repro.obs.telemetry import Telemetry
 from repro.service.metrics import MetricsRegistry
 
 #: Valid job states (the journal/state-machine vocabulary).
-STATES = ("queued", "claimed", "running", "done", "failed", "lost")
+STATES = (
+    "queued", "claimed", "running", "done", "failed", "lost", "cancelled",
+)
 
 #: States a job can be in while an agent may still act on it.
 ACTIVE_STATES = ("claimed", "running")
@@ -78,7 +92,7 @@ ACTIVE_STATES = ("claimed", "running")
 LIVE_STATES = ("queued", "claimed", "running")
 
 #: Terminal states (nothing will happen without a resubmit).
-TERMINAL_STATES = ("done", "failed", "lost")
+TERMINAL_STATES = ("done", "failed", "lost", "cancelled")
 
 DEFAULT_LEASE = 30.0
 DEFAULT_MAX_ATTEMPTS = 3
@@ -112,15 +126,32 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_expires REAL,
     result        TEXT,
     error         TEXT,
-    trace_id      TEXT
+    trace_id      TEXT,
+    priority      INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state, not_before, queued_at);
+CREATE INDEX IF NOT EXISTS jobs_claim_order
+    ON jobs(state, not_before, priority DESC, queued_at);
 """
 
 _COLUMNS = (
     "id", "dedup_key", "kind", "request", "state", "attempts",
     "max_attempts", "agent", "created", "updated", "queued_at",
     "not_before", "lease_expires", "result", "error", "trace_id",
+    "priority", "cancel_requested",
+)
+
+#: Columns added after the v1 schema; existing databases are migrated
+#: in place with ``ALTER TABLE`` (CREATE TABLE IF NOT EXISTS never adds
+#: columns to an existing table).
+_MIGRATIONS = (
+    ("trace_id", "ALTER TABLE jobs ADD COLUMN trace_id TEXT"),
+    ("priority",
+     "ALTER TABLE jobs ADD COLUMN priority INTEGER NOT NULL DEFAULT 0"),
+    ("cancel_requested",
+     "ALTER TABLE jobs ADD COLUMN cancel_requested INTEGER NOT NULL"
+     " DEFAULT 0"),
 )
 
 
@@ -148,6 +179,8 @@ class JobRecord:
     result: Optional[dict]
     error: Optional[str]
     trace_id: Optional[str] = None
+    priority: int = 0
+    cancel_requested: int = 0
 
     @classmethod
     def from_row(cls, row) -> "JobRecord":
@@ -170,6 +203,8 @@ class JobRecord:
             "updated": self.updated,
             "error": self.error,
             "trace": self.trace_id,
+            "priority": self.priority,
+            "cancel_requested": bool(self.cancel_requested),
         }
         if include_request:
             out["request"] = self.request
@@ -213,13 +248,15 @@ class JobQueue:
         try:
             conn.execute("PRAGMA busy_timeout=30000")
             conn.executescript(_SCHEMA)
-            # Migrate pre-telemetry databases in place (CREATE TABLE IF
-            # NOT EXISTS never adds columns to an existing table).
             columns = {
                 row[1] for row in conn.execute("PRAGMA table_info(jobs)")
             }
-            if "trace_id" not in columns:
-                conn.execute("ALTER TABLE jobs ADD COLUMN trace_id TEXT")
+            migrated = False
+            for column, statement in _MIGRATIONS:
+                if column not in columns:
+                    conn.execute(statement)
+                    migrated = True
+            if migrated:
                 conn.commit()
         finally:
             conn.close()
@@ -316,17 +353,24 @@ class JobQueue:
         dedup_key: Optional[str] = None,
         max_attempts: Optional[int] = None,
         trace_id: Optional[str] = None,
+        priority: int = 0,
     ) -> tuple[JobRecord, bool]:
         """Enqueue a request; returns ``(record, deduped)``.
 
         ``dedup_key`` is normally the request's artifact-key digest.  A
         live or ``done`` job with the same key is returned as-is
-        (``deduped=True``); a terminal ``failed``/``lost`` one is
-        revived in place with a fresh attempt budget.  With no key, the
-        job id itself is used (no dedup).  ``trace_id`` propagates a
-        caller-supplied correlation id; omitted, a fresh one is minted.
-        A dedup hit keeps the original job's trace id (the duplicate
-        submission is journaled as a ``dedup`` instant on it).
+        (``deduped=True``); a terminal ``failed``/``lost``/``cancelled``
+        one is revived in place with a fresh attempt budget.  With no
+        key, the job id itself is used (no dedup).  ``trace_id``
+        propagates a caller-supplied correlation id; omitted, a fresh
+        one is minted.  A dedup hit keeps the original job's trace id
+        (the duplicate submission is journaled as a ``dedup`` instant).
+
+        ``priority`` orders claims: higher first, age breaking ties
+        (default 0; negative deprioritizes).  A dedup hit on a *queued*
+        job raises its priority to the larger of the two, so a later
+        urgent submission accelerates the queued duplicate instead of
+        being swallowed by it.
         """
         now = self.clock()
         encoded = json.dumps(request, sort_keys=True)
@@ -342,14 +386,15 @@ class JobQueue:
             ).fetchone()
             if row is not None:
                 record = JobRecord.from_row(row)
-                if record.state in ("failed", "lost"):
+                if record.state in ("failed", "lost", "cancelled"):
                     prior = record.state
                     conn.execute(
                         "UPDATE jobs SET state='queued', attempts=0, agent=NULL,"
                         " lease_expires=NULL, result=NULL, error=NULL,"
                         " not_before=0, queued_at=?, updated=?, max_attempts=?,"
+                        " priority=?, cancel_requested=0,"
                         " trace_id=COALESCE(trace_id, ?) WHERE id=?",
-                        (now, now, budget, trace_id, record.id),
+                        (now, now, budget, int(priority), trace_id, record.id),
                     )
                     self.metrics.inc("serve.resubmitted")
                     record = self._fetch(conn, record.id)
@@ -365,6 +410,16 @@ class JobQueue:
                                job=record.id, t=now, parent=record.id)
                     outcome = (record, False)
                 else:
+                    if (
+                        record.state == "queued"
+                        and int(priority) > record.priority
+                    ):
+                        conn.execute(
+                            "UPDATE jobs SET priority=?, updated=?"
+                            " WHERE id=? AND state='queued'",
+                            (int(priority), now, record.id),
+                        )
+                        record = self._fetch(conn, record.id)
                     self.metrics.inc("serve.deduped")
                     self._note(pending, "point", record.trace_id, "dedup",
                                span=record.id, job=record.id, t=now)
@@ -385,9 +440,10 @@ class JobQueue:
                 conn.execute(
                     "INSERT INTO jobs (id, dedup_key, kind, request, state,"
                     " attempts, max_attempts, created, updated, queued_at,"
-                    " not_before, trace_id)"
-                    " VALUES (?,?,?,?, 'queued', 0, ?, ?, ?, ?, 0, ?)",
-                    (job_id, key, kind, encoded, budget, now, now, now, trace),
+                    " not_before, trace_id, priority)"
+                    " VALUES (?,?,?,?, 'queued', 0, ?, ?, ?, ?, 0, ?, ?)",
+                    (job_id, key, kind, encoded, budget, now, now, now, trace,
+                     int(priority)),
                 )
                 self.metrics.inc("serve.submitted")
                 self._note(pending, "open", trace, "job", span=job_id,
@@ -403,11 +459,13 @@ class JobQueue:
     # Claim / heartbeat / transitions.
     # ------------------------------------------------------------------
     def claim(self, agent: str) -> Optional[JobRecord]:
-        """Claim the oldest runnable job for ``agent`` (or ``None``).
+        """Claim the best runnable job for ``agent`` (or ``None``).
 
-        Also reaps lapsed leases first, so a dead agent's work is
-        recovered by whichever live agent claims next — no controller
-        required.
+        "Best" is highest priority first, then oldest (``queued_at``),
+        then id — so priority preempts age but never starves equal-
+        priority work.  Also reaps lapsed leases first, so a dead
+        agent's work is recovered by whichever live agent claims next —
+        no controller required.
         """
         now = self.clock()
         pending: list = []
@@ -416,7 +474,7 @@ class JobQueue:
             row = conn.execute(
                 "SELECT id, queued_at, attempts, trace_id FROM jobs"
                 " WHERE state='queued' AND not_before<=?"
-                " ORDER BY queued_at, id LIMIT 1",
+                " ORDER BY priority DESC, queued_at, id LIMIT 1",
                 (now,),
             ).fetchone()
             if row is None:
@@ -443,15 +501,28 @@ class JobQueue:
         return record
 
     def start(self, job_id: str, agent: str) -> bool:
-        """claimed -> running (lease also refreshed)."""
+        """claimed -> running (lease also refreshed).
+
+        ``False`` also covers a cancel that raced the claim: the job is
+        flipped to ``cancelled`` before any work starts.
+        """
         now = self.clock()
         pending: list = []
         with self._tx() as conn:
             row = conn.execute(
-                "SELECT attempts, trace_id, updated FROM jobs"
+                "SELECT attempts, trace_id, updated, created,"
+                " cancel_requested FROM jobs"
                 " WHERE id=? AND agent=? AND state='claimed'",
                 (job_id, agent),
             ).fetchone()
+            if row is not None and row[4]:
+                attempts, trace, claimed_at, created, _ = row
+                self._cancel_active(
+                    conn, pending, job_id, "claimed", attempts, trace,
+                    claimed_at, created, now,
+                )
+                self._flush_events(pending)
+                return False
             cur = conn.execute(
                 "UPDATE jobs SET state='running', lease_expires=?, updated=?"
                 " WHERE id=? AND agent=? AND state='claimed'",
@@ -459,7 +530,7 @@ class JobQueue:
             )
             ok = cur.rowcount == 1
             if ok and row is not None:
-                attempts, trace, claimed_at = row
+                attempts, trace, claimed_at = row[:3]
                 self.metrics.histogram(
                     "serve.span.claimed_seconds", SPAN_SECONDS_BUCKETS
                 ).observe(max(0.0, now - claimed_at))
@@ -473,18 +544,60 @@ class JobQueue:
         return ok
 
     def heartbeat(self, job_id: str, agent: str) -> bool:
-        """Extend the lease; ``False`` means the job was reclaimed."""
+        """Extend the lease; ``False`` means stop working on the job.
+
+        ``False`` covers both "reclaimed from under us" and "cancel
+        requested": a cancellation that lands while the job is active is
+        honored here, at the next heartbeat — the job flips to
+        ``cancelled`` and the agent abandons the work.
+        """
         now = self.clock()
+        pending: list = []
         with self._tx() as conn:
-            cur = conn.execute(
-                "UPDATE jobs SET lease_expires=?, updated=?"
+            row = conn.execute(
+                "SELECT state, attempts, trace_id, updated, created,"
+                " cancel_requested FROM jobs"
                 " WHERE id=? AND agent=? AND state IN (?, ?)",
-                (now + self.lease, now, job_id, agent, *ACTIVE_STATES),
-            )
-            ok = cur.rowcount == 1
+                (job_id, agent, *ACTIVE_STATES),
+            ).fetchone()
+            if row is None:
+                ok = False
+            elif row[5]:
+                state, attempts, trace, updated, created, _ = row
+                self._cancel_active(
+                    conn, pending, job_id, state, attempts, trace,
+                    updated, created, now,
+                )
+                ok = False
+            else:
+                conn.execute(
+                    "UPDATE jobs SET lease_expires=?, updated=?"
+                    " WHERE id=? AND agent=? AND state IN (?, ?)",
+                    (now + self.lease, now, job_id, agent, *ACTIVE_STATES),
+                )
+                ok = True
         if ok:
             self.metrics.inc("serve.heartbeats")
+        self._flush_events(pending)
         return ok
+
+    def _cancel_active(
+        self, conn: sqlite3.Connection, pending: list, job_id: str,
+        state: str, attempts: int, trace: Optional[str], updated: float,
+        created: float, now: float,
+    ) -> None:
+        """Flip an active job with a pending cancel to ``cancelled``."""
+        conn.execute(
+            "UPDATE jobs SET state='cancelled', agent=NULL,"
+            " lease_expires=NULL, updated=?,"
+            " error=COALESCE(error, 'cancelled') WHERE id=?",
+            (now, job_id),
+        )
+        self.metrics.inc("serve.cancelled")
+        self._terminal_events(
+            pending, job_id, trace, state, attempts, now, updated,
+            created, "cancelled", error="cancelled",
+        )
 
     def complete(self, job_id: str, agent: str, result: dict) -> bool:
         """running|claimed -> done, recording the result payload."""
@@ -498,7 +611,7 @@ class JobQueue:
             ).fetchone()
             cur = conn.execute(
                 "UPDATE jobs SET state='done', result=?, error=NULL,"
-                " lease_expires=NULL, updated=?"
+                " lease_expires=NULL, cancel_requested=0, updated=?"
                 " WHERE id=? AND agent=? AND state IN (?, ?)",
                 (
                     json.dumps(result, sort_keys=True),
@@ -523,22 +636,33 @@ class JobQueue:
         """Record an application failure.
 
         Returns the job's new state (``queued`` if it will be retried,
-        ``failed`` if its attempt budget is spent) or ``None`` when the
-        job was not ours to fail (reclaimed from under us).
+        ``failed`` if its attempt budget is spent, ``cancelled`` if a
+        cancel was pending — no point retrying work nobody wants) or
+        ``None`` when the job was not ours to fail (reclaimed from
+        under us).
         """
         now = self.clock()
         pending: list = []
         with self._tx() as conn:
             row = conn.execute(
                 "SELECT attempts, max_attempts, state, trace_id, updated,"
-                " created FROM jobs WHERE id=? AND agent=? AND state IN (?, ?)",
+                " created, cancel_requested FROM jobs"
+                " WHERE id=? AND agent=? AND state IN (?, ?)",
                 (job_id, agent, *ACTIVE_STATES),
             ).fetchone()
             if row is None:
                 self.metrics.inc("serve.stale_failures")
                 return None
-            attempts, max_attempts, state, trace, updated, created = row
+            (attempts, max_attempts, state, trace, updated, created,
+             cancel_requested) = row
             brief = self._short_error(error)
+            if cancel_requested:
+                self._cancel_active(
+                    conn, pending, job_id, state, attempts, trace,
+                    updated, created, now,
+                )
+                self._flush_events(pending)
+                return "cancelled"
             if attempts >= max_attempts:
                 conn.execute(
                     "UPDATE jobs SET state='failed', error=?, agent=NULL,"
@@ -577,6 +701,61 @@ class JobQueue:
         return self.backoff * (2 ** max(0, attempts - 1))
 
     # ------------------------------------------------------------------
+    # Cancellation.
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Request cancellation; returns the job's resulting state.
+
+        * ``queued`` jobs flip to ``cancelled`` immediately (terminal).
+        * Active (``claimed``/``running``) jobs get ``cancel_requested``
+          set and keep running until the owning agent next checks in —
+          ``start``/``heartbeat`` then flip the job to ``cancelled``
+          and tell the agent to abandon the work.  Returns
+          ``"cancelling"``.  A ``complete``/``fail`` that lands before
+          that check-in wins the race: finished work is kept.
+        * Terminal jobs are left untouched (their state is returned, so
+          the HTTP layer can answer 409 for ``done``/``failed``/``lost``
+          and idempotent 200 for ``cancelled``).
+        * Unknown ids return ``None``.
+        """
+        now = self.clock()
+        pending: list = []
+        with self._tx() as conn:
+            record = self._fetch(conn, job_id)
+            if record is None:
+                return None
+            if record.state == "queued":
+                conn.execute(
+                    "UPDATE jobs SET state='cancelled', agent=NULL,"
+                    " lease_expires=NULL, updated=?,"
+                    " error=COALESCE(error, 'cancelled') WHERE id=?",
+                    (now, job_id),
+                )
+                self.metrics.inc("serve.cancelled")
+                self._note(pending, "close", record.trace_id, "queued",
+                           span=self._span(job_id, "queued", record.attempts),
+                           job=job_id, t=now, cancelled=True)
+                self._note(pending, "close", record.trace_id, "job",
+                           span=job_id, job=job_id, t=now, state="cancelled")
+                outcome = "cancelled"
+            elif record.state in ACTIVE_STATES:
+                if not record.cancel_requested:
+                    conn.execute(
+                        "UPDATE jobs SET cancel_requested=1, updated=?"
+                        " WHERE id=?",
+                        (now, job_id),
+                    )
+                    self.metrics.inc("serve.cancel_requested")
+                    self._note(pending, "point", record.trace_id,
+                               "cancel-request", span=job_id, job=job_id,
+                               t=now, state=record.state)
+                outcome = "cancelling"
+            else:
+                outcome = record.state
+        self._flush_events(pending)
+        return outcome
+
+    # ------------------------------------------------------------------
     # Lease reaping (crash recovery).
     # ------------------------------------------------------------------
     def _reap(
@@ -588,16 +767,23 @@ class JobQueue:
             pending = []
         rows = conn.execute(
             "SELECT id, attempts, max_attempts, state, trace_id, updated,"
-            " created FROM jobs"
+            " created, cancel_requested FROM jobs"
             " WHERE state IN (?, ?) AND lease_expires IS NOT NULL"
             " AND lease_expires<?",
             (*ACTIVE_STATES, now),
         ).fetchall()
         for (job_id, attempts, max_attempts, state, trace, updated,
-             created) in rows:
+             created, cancel_requested) in rows:
             self._note(pending, "point", trace, "lease-reclaim", span=job_id,
                        job=job_id, t=now, attempt=attempts, state=state)
-            if attempts >= max_attempts:
+            if cancel_requested:
+                # A cancel was pending when the agent died; honor it
+                # instead of requeueing work nobody wants anymore.
+                self._cancel_active(
+                    conn, pending, job_id, state, attempts, trace,
+                    updated, created, now,
+                )
+            elif attempts >= max_attempts:
                 conn.execute(
                     "UPDATE jobs SET state='lost', agent=NULL,"
                     " lease_expires=NULL, updated=?,"

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import json
 import os
-import warnings
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace
 from typing import Iterable, Optional, Sequence
@@ -37,13 +36,18 @@ from repro.experiments.runner import (
     run_with_hints,
     scale_suite,
 )
+from repro.machine.batch import BatchCell, run_batch
 from repro.machine.config import MachineConfig, normalize_engine
 from repro.machine.machine import Machine, RunResult
 from repro.obs import telemetry
 from repro.obs.sites import SiteReport, site_reports
 from repro.passes.aptget_pass import AptGetPass
 from repro.machine.pmu import Counters
-from repro.passes.ainsworth_jones import PassReport
+from repro.passes.ainsworth_jones import (
+    AinsworthJonesConfig,
+    AinsworthJonesPass,
+    PassReport,
+)
 from repro.profiling.profile import ExecutionProfile
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import Job, JobPool
@@ -184,6 +188,54 @@ def _suite_job(
 _SUITE_PIECES = ("profile", "baseline", "aj", "apt")
 
 
+#: Schemes a sweep cell may name (matches RunRequest's contract).
+SWEEP_SCHEMES = ("baseline", "aj", "apt-get")
+
+
+def sweep_cell_grid(
+    schemes: Sequence[str],
+    distances: Sequence[int],
+    cache_scales: Sequence[int],
+) -> list[tuple[str, Optional[int], int]]:
+    """Expand sweep axes into the canonical cell list.
+
+    Cells are ``(scheme, distance, cache_scale)`` triples; the distance
+    axis only applies to ``aj`` (the other schemes carry ``None``), so
+    a grid never contains redundant cells.  Axes are sorted and
+    deduplicated, making the expansion order-insensitive — two requests
+    naming the same grid in different orders produce identical cell
+    lists and therefore identical artifact/dedup keys.
+    """
+    unknown = sorted(set(schemes) - set(SWEEP_SCHEMES))
+    if unknown:
+        raise ValueError(
+            f"unknown sweep scheme(s) {unknown}; "
+            f"expected a subset of {list(SWEEP_SCHEMES)}"
+        )
+    if not schemes:
+        raise ValueError("sweep needs at least one scheme")
+    if not cache_scales:
+        raise ValueError("sweep needs at least one cache scale")
+    if any(int(s) < 1 for s in cache_scales):
+        raise ValueError("cache scales must be positive integers")
+    if "aj" in schemes:
+        if not distances:
+            raise ValueError("an aj sweep needs at least one distance")
+        if any(int(d) < 1 for d in distances):
+            raise ValueError("prefetch distances must be >= 1")
+    cells: list[tuple[str, Optional[int], int]] = []
+    for scheme in sorted(set(schemes)):
+        cell_distances: tuple
+        if scheme == "aj":
+            cell_distances = tuple(sorted({int(d) for d in distances}))
+        else:
+            cell_distances = (None,)
+        for distance in cell_distances:
+            for cache_scale in sorted({int(s) for s in cache_scales}):
+                cells.append((scheme, distance, cache_scale))
+    return cells
+
+
 class TuningService:
     """Profile-and-tuning façade over the store, pool and metrics.
 
@@ -298,7 +350,10 @@ class TuningService:
         queue deduplicating on its digest is idempotent with the cache:
         two submissions of one request share one execution and one
         stored artifact.  Suite requests get a composite key in the same
-        family (kind ``suite``) naming the resolved workload list.
+        family (kind ``suite``) naming the resolved workload list; sweep
+        requests a composite key (kind ``sweep``) naming the canonical
+        axis grid, so two submissions of the same grid in any axis order
+        share one digest.
         """
         from repro import api as api_v1
 
@@ -322,6 +377,13 @@ class TuningService:
             return self._key(
                 "sites", request.workload, request.scale, config=config,
                 **params,
+            )
+        if isinstance(request, api_v1.SweepRequest):
+            return self._key(
+                "sweep", request.workload, request.scale, config=config,
+                schemes="+".join(request.schemes),
+                distances=request.distances,
+                cache_scales=request.cache_scales,
             )
         if isinstance(request, api_v1.SuiteRequest):
             names = (
@@ -351,16 +413,19 @@ class TuningService:
 
     @staticmethod
     def _shim_workload(workload: Optional[str], name: Optional[str]) -> str:
-        """Accept the legacy ``name=`` keyword with a DeprecationWarning."""
+        """Reject the legacy ``name=`` keyword (removed in this release).
+
+        ``name=`` was deprecated when the v1 surface landed and has now
+        been retired; the parameter is kept in the signatures solely so
+        stragglers get this targeted error instead of an opaque
+        ``TypeError``.
+        """
         if name is not None:
-            if workload is not None:
-                raise TypeError("pass either workload= or name=, not both")
-            warnings.warn(
-                "the name= keyword is deprecated; use workload=",
-                DeprecationWarning,
-                stacklevel=3,
+            raise ValueError(
+                "the legacy name= keyword was removed; pass workload= "
+                "instead, e.g. service.profile(workload="
+                f"{name!r})"
             )
-            workload = name
         if workload is None:
             raise TypeError("missing required argument: workload")
         return workload
@@ -463,6 +528,213 @@ class TuningService:
             payload = run_to_payload(compute())
             self._put(key, payload)
         return run_from_payload(payload)
+
+    # ------------------------------------------------------------------
+    # Batched multi-config sweeps.
+    # ------------------------------------------------------------------
+    def _cell_config(
+        self, config: MachineConfig, cache_scale: int
+    ) -> MachineConfig:
+        if cache_scale == 1:
+            return config
+        return replace(config, memory=config.memory.scaled(cache_scale))
+
+    def _cell_key(
+        self,
+        workload: str,
+        scale: str,
+        scheme: str,
+        distance: Optional[int],
+        cell_config: MachineConfig,
+    ):
+        """The artifact key for one sweep cell.
+
+        Deliberately *identical* to the key the equivalent sequential
+        ``run()`` produces under the same machine config, so sweep
+        cells and single runs share one artifact: a sweep warms the
+        cache for later single runs and vice versa.
+        """
+        params = {"scheme": scheme}
+        if scheme == "aj":
+            params["distance"] = distance
+        return self._key(
+            "run", workload, scale, config=cell_config, **params
+        )
+
+    def sweep(
+        self,
+        workload: str,
+        scale: str = "small",
+        *,
+        schemes: Sequence[str] = ("aj",),
+        distances: Sequence[int] = (4, 8, 16, 32, 64),
+        cache_scales: Sequence[int] = (1,),
+        engine: Optional[str] = None,
+    ) -> dict:
+        """Measure a config grid over one workload in batched passes.
+
+        The grid is ``sweep_cell_grid(schemes, distances, cache_scales)``;
+        each cell is cached under exactly the key the equivalent single
+        ``run()`` would use.  Missing cells are grouped per scheme and
+        executed through :func:`repro.machine.batch.run_batch` — one
+        pass over the instruction stream per group when the cells align,
+        per-cell sequential replay when they do not (the ``execution``
+        metadata records which happened and why).
+
+        Returns a payload dict (``cells`` + ``execution``); the v1
+        :class:`repro.api.SweepRequest` path wraps it in a
+        ``SweepResult``.
+        """
+        config = self._config_for(engine)
+        grid = sweep_cell_grid(schemes, distances, cache_scales)
+        cells: list[dict] = []
+        misses: list[int] = []
+        keys = []
+        for scheme, distance, cache_scale in grid:
+            cell_config = self._cell_config(config, cache_scale)
+            key = self._cell_key(
+                workload, scale, scheme, distance, cell_config
+            )
+            keys.append(key)
+            payload = self._get(key)
+            cells.append(
+                {
+                    "scheme": scheme,
+                    "distance": distance,
+                    "cache_scale": cache_scale,
+                    "cached": payload is not None,
+                    "batched": None,
+                    "run": payload,
+                }
+            )
+            if payload is None:
+                misses.append(len(cells) - 1)
+
+        groups: list[dict] = []
+        by_scheme: dict[str, list[int]] = {}
+        for index in misses:
+            by_scheme.setdefault(cells[index]["scheme"], []).append(index)
+        for scheme, indices in by_scheme.items():
+            group_meta = self._run_sweep_group(
+                workload, scale, scheme, indices, cells, keys, config,
+                engine,
+            )
+            groups.append(group_meta)
+
+        self.metrics.inc("sweep.cells", len(grid))
+        self.metrics.inc("sweep.cached_cells", len(grid) - len(misses))
+        self.flush_metrics()
+        return {
+            "workload": workload,
+            "scale": scale,
+            "engine": config.engine,
+            "cells": cells,
+            "execution": {
+                "cached_cells": len(grid) - len(misses),
+                "computed_cells": len(misses),
+                "groups": groups,
+            },
+        }
+
+    def _run_sweep_group(
+        self,
+        workload: str,
+        scale: str,
+        scheme: str,
+        indices: list[int],
+        cells: list[dict],
+        keys: list,
+        config: MachineConfig,
+        engine: Optional[str],
+    ) -> dict:
+        """Build, batch-execute and store one scheme's missing cells."""
+        batch_cells: list[BatchCell] = []
+        reports: list = []
+        hint_sets: list = []
+        entry = None
+        for index in indices:
+            cell = cells[index]
+            cell_config = self._cell_config(config, cell["cache_scale"])
+            instance = make_workload(workload, scale)
+            entry = instance.entry
+            label = self._cell_label(scheme, cell["distance"])
+            with telemetry.build_phase(instance.name, scheme=label):
+                module, space = instance.build()
+                report = None
+                hints = None
+                if scheme == "aj":
+                    report = AinsworthJonesPass(
+                        AinsworthJonesConfig(distance=cell["distance"])
+                    ).run(module)
+                elif scheme == "apt-get":
+                    hints = self._profile_with_config(
+                        workload, scale, cell_config
+                    )[1]
+                    report = AptGetPass(hints).run(module)
+            reports.append(report)
+            hint_sets.append(hints)
+            batch_cells.append(BatchCell(module, space, cell_config))
+
+        with telemetry.phase(
+            "sweep.batch", scheme=scheme, cells=len(indices)
+        ):
+            outcome = run_batch(batch_cells, function=entry)
+        telemetry.annotate(
+            "sweep.outcome",
+            scheme=scheme,
+            cells=len(indices),
+            batched=outcome.batched,
+            reason=outcome.reason,
+        )
+        self.metrics.inc(
+            "sweep.batched_cells" if outcome.batched
+            else "sweep.fallback_cells",
+            len(indices),
+        )
+        self.metrics.event(
+            "sweep.group",
+            scheme=scheme,
+            cells=len(indices),
+            batched=outcome.batched,
+        )
+
+        for position, index in enumerate(indices):
+            cell = cells[index]
+            run = SchemeRun(
+                self._cell_label(scheme, cell["distance"]),
+                outcome.results[position],
+                report=reports[position],
+                hints=hint_sets[position],
+            )
+            payload = run_to_payload(run)
+            self._put(keys[index], payload)
+            cell["run"] = payload
+            cell["batched"] = outcome.batched
+        return {
+            "scheme": scheme,
+            "cells": len(indices),
+            "batched": outcome.batched,
+            "reason": outcome.reason,
+        }
+
+    @staticmethod
+    def _cell_label(scheme: str, distance: Optional[int]) -> str:
+        """The SchemeRun label, matching the sequential runner's."""
+        return f"aj-{distance}" if scheme == "aj" else scheme
+
+    def _profile_with_config(
+        self, workload: str, scale: str, config: MachineConfig
+    ) -> tuple[ExecutionProfile, HintSet]:
+        """`profile()` under an explicit (possibly cache-scaled) config."""
+        key = self._key("profile", workload, scale, config=config)
+        payload = self._get(key)
+        if payload is None:
+            profile, hints = profile_workload(
+                make_workload(workload, scale), config=config
+            )
+            payload = profile_to_payload(profile, hints)
+            self._put(key, payload)
+        return profile_from_payload(payload)
 
     def site_report(
         self,

@@ -100,6 +100,87 @@ class TestRequestRoundTrips:
                 api.SuiteRequest(workloads=list(workloads)).workloads, tuple
             )
 
+    @FAST
+    @given(
+        workload=_names,
+        scale=_scales,
+        engine=_engines,
+        schemes=st.sets(
+            st.sampled_from(list(api.SWEEP_SCHEMES)), min_size=1
+        ),
+        distances=st.lists(
+            st.integers(min_value=1, max_value=128), min_size=1, max_size=6
+        ),
+        cache_scales=st.lists(
+            st.integers(min_value=1, max_value=8), min_size=1, max_size=4
+        ),
+    )
+    def test_sweep_request(
+        self, workload, scale, engine, schemes, distances, cache_scales
+    ):
+        request = api.SweepRequest(
+            workload=workload,
+            scale=scale,
+            schemes=tuple(schemes),
+            distances=tuple(distances),
+            cache_scales=tuple(cache_scales),
+            engine=engine,
+        )
+        _roundtrip(request)
+        # Axes canonicalize: sorted, deduped, tuples.
+        assert request.schemes == tuple(sorted(schemes))
+        assert request.distances == (
+            tuple(sorted(set(distances))) if "aj" in schemes else ()
+        )
+        assert request.cache_scales == tuple(sorted(set(cache_scales)))
+        # The expanded grid is exactly one cell per axis combination.
+        cells = request.cells()
+        per_scheme = {s: 0 for s in request.schemes}
+        for scheme, distance, cache_scale in cells:
+            per_scheme[scheme] += 1
+            assert (distance is None) == (scheme != "aj")
+            assert cache_scale in request.cache_scales
+        for scheme, count in per_scheme.items():
+            expected = len(request.cache_scales) * (
+                len(request.distances) if scheme == "aj" else 1
+            )
+            assert count == expected
+
+    def test_sweep_request_axis_order_is_irrelevant(self):
+        a = api.SweepRequest(
+            workload="w",
+            schemes=("baseline", "aj"),
+            distances=(8, 4, 4),
+            cache_scales=(2, 1),
+        )
+        b = api.SweepRequest(
+            workload="w",
+            schemes=("aj", "baseline"),
+            distances=(4, 8),
+            cache_scales=(1, 2),
+        )
+        assert a == b
+        assert a.cells() == b.cells()
+
+    def test_sweep_request_validation(self):
+        with pytest.raises(ValueError, match="bare string"):
+            api.SweepRequest(workload="w", schemes="aj")
+        with pytest.raises(ValueError, match="unknown sweep scheme"):
+            api.SweepRequest(workload="w", schemes=("turbo",))
+        with pytest.raises(ValueError):
+            api.SweepRequest(workload="w", schemes=())
+        with pytest.raises(ValueError):  # aj without distances
+            api.SweepRequest(
+                workload="w", schemes=("aj",), distances=()
+            )
+        with pytest.raises(ValueError):  # scales must be >= 1
+            api.SweepRequest(workload="w", cache_scales=(0,))
+        # Distances are irrelevant without "aj": they collapse to ().
+        request = api.SweepRequest(
+            workload="w", schemes=("baseline",), distances=(4, 8)
+        )
+        assert request.distances == ()
+
     def test_request_validation(self):
         with pytest.raises(ValueError):
             api.RunRequest(workload="x", scheme="turbo")
@@ -171,23 +252,122 @@ class TestExecute:
             assert result.counters == reference.counters, engine
 
 
-class TestDeprecationShims:
-    def test_name_keyword_warns_but_works(self):
+class TestSweep:
+    GRID = dict(schemes=("aj", "baseline"), distances=(2, 4), cache_scales=(1,))
+
+    def test_sweep_result_round_trips(self):
         service = TuningService()
-        with pytest.warns(DeprecationWarning, match="name="):
-            _, hints = service.profile(name="micro-tiny", scale="tiny")
-        assert len(hints) >= 1
-        with pytest.warns(DeprecationWarning):
-            run = service.baseline(name="micro-tiny", scale="tiny")
-        assert run.scheme == "baseline"
+        result = api.sweep(
+            "micro-tiny", "tiny", service=service, **self.GRID
+        )
+        assert isinstance(result, api.SweepResult)
+        _roundtrip(result)
+        # One cell per grid point, each carrying a rehydratable run.
+        assert len(result.cells) == 3  # aj x {2,4} + baseline
+        run = result.scheme_run("aj", distance=4)
+        assert run.scheme == "aj-4"
+        assert run.result.counters.cycles > 0
+        cycles = result.cycles()
+        assert set(cycles) == {
+            ("aj", 2, 1), ("aj", 4, 1), ("baseline", None, 1)
+        }
+
+    def test_missing_cell_raises_keyerror(self):
+        service = TuningService()
+        result = api.sweep(
+            "micro-tiny", "tiny", service=service, **self.GRID
+        )
+        with pytest.raises(KeyError):
+            result.cell("aj", distance=99)
+
+    def test_sweep_cells_match_single_runs(self):
+        """Batched sweep cells are bit-identical with the sequential
+        single-config API on the same configuration."""
+        service = TuningService()
+        result = api.sweep(
+            "micro-tiny", "tiny", service=service,
+            schemes=("aj",), distances=(4,), cache_scales=(1,),
+        )
+        single = api.run(
+            "micro-tiny", "tiny", scheme="aj", distance=4,
+            service=TuningService(),
+        )
+        swept = result.scheme_run("aj", distance=4)
+        assert swept.result.value == single.value
+        assert swept.result.counters.as_dict() == dict(single.counters)
+
+    def test_sweep_cells_share_artifacts_with_single_runs(self, tmp_path):
+        """Per-cell artifacts reuse the sequential run keys: a sweep
+        primes the cache for single runs and vice versa."""
+        service = TuningService(cache_dir=tmp_path)
+        api.run(
+            "micro-tiny", "tiny", scheme="aj", distance=4, service=service
+        )
+        payload = service.sweep(
+            "micro-tiny", "tiny",
+            schemes=("aj",), distances=(4, 8), cache_scales=(1,),
+        )
+        by_distance = {cell["distance"]: cell for cell in payload["cells"]}
+        assert by_distance[4]["cached"]  # served from the single run
+        assert not by_distance[8]["cached"]
+
+    def test_sweep_dedup_key_is_order_insensitive(self):
+        service = TuningService()
+        a = api.SweepRequest(
+            workload="w", schemes=("baseline", "aj"),
+            distances=(8, 2), cache_scales=(2, 1),
+        )
+        b = api.SweepRequest(
+            workload="w", schemes=("aj", "baseline"),
+            distances=(2, 8, 8), cache_scales=(1, 2),
+        )
+        assert service.request_key(a) == service.request_key(b)
+        different = api.SweepRequest(
+            workload="w", schemes=("baseline", "aj"),
+            distances=(8, 4), cache_scales=(2, 1),
+        )
+        assert service.request_key(a) != service.request_key(different)
+
+    def test_second_sweep_is_fully_cached(self, tmp_path):
+        first = TuningService(cache_dir=tmp_path)
+        first.sweep("micro-tiny", "tiny", **self.GRID)
+        warm = TuningService(cache_dir=tmp_path)
+        payload = warm.sweep("micro-tiny", "tiny", **self.GRID)
+        assert payload["execution"]["computed_cells"] == 0
+        assert payload["execution"]["cached_cells"] == len(payload["cells"])
+        assert all(cell["cached"] for cell in payload["cells"])
+
+
+class TestLegacyNameKeywordRemoved:
+    """The pre-v1 ``name=`` shims are retired: hard errors, not warnings."""
+
+    def test_name_keyword_raises_with_migration_hint(self):
+        service = TuningService()
+        with pytest.raises(ValueError, match="pass workload="):
+            service.profile(name="micro-tiny", scale="tiny")
+        with pytest.raises(ValueError, match="legacy name="):
+            service.baseline(name="micro-tiny", scale="tiny")
+
+    def test_error_names_the_replacement_call(self):
+        with pytest.raises(ValueError, match="'micro-tiny'"):
+            TuningService().profile(name="micro-tiny")
 
     def test_name_and_workload_together_rejected(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(ValueError, match="name="):
             TuningService().profile("micro-tiny", name="micro-tiny")
 
     def test_workload_missing_rejected(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(TypeError, match="workload"):
             TuningService().profile()
+
+    def test_no_deprecation_warning_machinery_left(self):
+        import warnings
+
+        service = TuningService()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run = service.baseline(workload="micro-tiny", scale="tiny")
+        assert run.scheme == "baseline"
 
 
 class TestEngineAwareCacheKeys:

@@ -244,3 +244,76 @@ def test_report_sites(capsys):
     assert "fixed distance 4" in out
     assert "overall timely fraction" in out
     assert "timely%" in out
+
+
+def test_parse_sweep_axes():
+    from repro.cli import parse_sweep_axes
+
+    axes = parse_sweep_axes(
+        ["schemes=aj,baseline", "distances=4,8", "cache-scales=1,2"]
+    )
+    assert axes == {
+        "schemes": ("aj", "baseline"),
+        "distances": (4, 8),
+        "cache_scales": (1, 2),
+    }
+    # Repeating an axis extends it; no flags means no axes.
+    assert parse_sweep_axes(["distances=4", "distances=8"]) == {
+        "distances": (4, 8)
+    }
+    assert parse_sweep_axes(None) == {}
+    with pytest.raises(ValueError, match="bad --sweep flag"):
+        parse_sweep_axes(["colours=red"])
+    with pytest.raises(ValueError, match="names no values"):
+        parse_sweep_axes(["distances="])
+    with pytest.raises(ValueError, match="must be ints"):
+        parse_sweep_axes(["distances=four"])
+
+
+def test_sweep_command(tmp_path, capsys):
+    out_path = tmp_path / "sweep.json"
+    assert main([
+        "sweep", "--workload", "micro-tiny", "--scale", "tiny",
+        "--sweep", "schemes=aj,baseline", "--sweep", "distances=2,4",
+        "--cache-dir", str(tmp_path / "cache"), "--output", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "aj" in out and "baseline" in out
+    assert "batch" in out  # at least one cell came from the batched pass
+    payload = json.loads(out_path.read_text())
+    assert payload["kind"] == "SweepResult"
+    assert len(payload["cells"]) == 3
+
+    # Re-running against the same cache dir serves every cell cached.
+    assert main([
+        "sweep", "--workload", "micro-tiny", "--scale", "tiny",
+        "--sweep", "schemes=aj,baseline", "--sweep", "distances=2,4",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cache" in out
+
+
+def test_sweep_command_bad_axis_exits_2(capsys):
+    assert main([
+        "sweep", "--workload", "micro-tiny", "--scale", "tiny",
+        "--sweep", "colours=red",
+    ]) == 2
+    assert "bad --sweep flag" in capsys.readouterr().err
+
+
+def test_report_sweep_table(capsys):
+    import repro.service.api as service_api
+
+    saved = service_api._SERVICE
+    try:
+        service_api.configure_service()
+        assert main([
+            "report", "--workload", "micro-tiny", "--scale", "tiny",
+            "--sweep", "schemes=aj", "--sweep", "distances=2,4",
+        ]) == 0
+    finally:
+        service_api._SERVICE = saved
+    out = capsys.readouterr().out
+    assert "sweep on engine" in out
+    assert "aj" in out

@@ -19,6 +19,8 @@ from repro.qa.mutants import (
 from repro.qa.oracle import (
     OracleConfig,
     OracleFailure,
+    batch_failure,
+    check_batch,
     check_models,
     check_program,
     focused_config,
@@ -30,6 +32,20 @@ def test_generated_programs_pass_full_matrix():
     # Four engines x tracing on/off x three schemes, bit-identical.
     for seed in (0, 1, 2):
         check_program(generate_spec(seed))
+
+
+def test_batch_axis_is_bit_identical():
+    # Uniform cache-scale batch + divergent A&J-distance batch, each
+    # cell identical to a fresh sequential Machine run.
+    for seed in (0, 1, 2):
+        report = check_batch(generate_spec(seed))
+        assert set(report["axes"]) == {"batch-uniform", "batch-aj"}
+
+
+def test_batch_failure_predicate_matches_check():
+    spec = generate_spec(3)
+    assert batch_failure(spec) is None
+    check_batch(spec)  # must not raise either
 
 
 def test_oracle_failure_predicate_matches_check():

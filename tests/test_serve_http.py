@@ -64,12 +64,20 @@ def served(tmp_path_factory):
         server_thread.join(timeout=5.0)
 
 
-def _post(base: str, payload: dict):
+def _post(base: str, payload: dict, query: str = ""):
     request = urllib.request.Request(
-        f"{base}/v1/jobs",
+        f"{base}/v1/jobs{query}",
         data=json.dumps(payload).encode(),
         headers={"Content-Type": "application/json"},
         method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+def _delete(base: str, job_id: str):
+    request = urllib.request.Request(
+        f"{base}/v1/jobs/{job_id}", method="DELETE"
     )
     with urllib.request.urlopen(request) as response:
         return response.status, json.load(response)
@@ -103,6 +111,9 @@ REQUESTS = [
     api.RunRequest(workload=WORKLOAD, scale=SCALE, scheme="apt-get"),
     api.SiteReportRequest(workload=WORKLOAD, scale=SCALE),
     api.SuiteRequest(scale=SCALE, workloads=(WORKLOAD,)),
+    api.SweepRequest(
+        workload=WORKLOAD, scale=SCALE, schemes=("aj",), distances=(2, 4)
+    ),
 ]
 
 
@@ -233,6 +244,95 @@ class TestHTTPErrors:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5.0)
+
+
+@pytest.fixture()
+def idle_server(tmp_path):
+    """A live server with **no** agent: jobs stay queued, so priority
+    and cancellation can be asserted without racing a worker."""
+    queue = JobQueue(tmp_path / "q")
+    service = TuningService()
+    server = ServeHTTPServer(
+        ("127.0.0.1", 0), queue,
+        dedup_key_fn=lambda r: service.request_key(r).digest(),
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05},
+        daemon=True,
+    )
+    thread.start()
+    base = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    try:
+        yield base, queue
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+class TestPriorityAndCancelOverHTTP:
+    PAYLOAD = api.RunRequest(workload=WORKLOAD, scale=SCALE).to_payload()
+
+    def test_priority_query_param_is_recorded(self, idle_server):
+        base, queue = idle_server
+        _, submitted = _post(base, self.PAYLOAD, query="?priority=5")
+        _, job = _get(base, f"/v1/jobs/{submitted['id']}")
+        assert job["priority"] == 5
+        assert queue.get(submitted["id"]).priority == 5
+
+    def test_bad_priority_is_400(self, idle_server):
+        base, _ = idle_server
+        request = urllib.request.Request(
+            f"{base}/v1/jobs?priority=soon",
+            data=json.dumps(self.PAYLOAD).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert "priority" in json.load(excinfo.value)["error"]
+
+    def test_delete_cancels_queued_job(self, idle_server):
+        base, _ = idle_server
+        _, submitted = _post(base, self.PAYLOAD)
+        status, body = _delete(base, submitted["id"])
+        assert status == 200
+        assert body["state"] == "cancelled"
+        _, job = _get(base, f"/v1/jobs/{submitted['id']}")
+        assert job["state"] == "cancelled"
+
+    def test_delete_running_job_reports_cancelling(self, idle_server):
+        base, queue = idle_server
+        _, submitted = _post(base, self.PAYLOAD)
+        job = queue.claim("a")
+        queue.start(job.id, "a")
+        status, body = _delete(base, submitted["id"])
+        assert status == 200
+        assert body["state"] == "cancelling"
+
+    def test_delete_unknown_job_is_404(self, idle_server):
+        base, _ = idle_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _delete(base, "j-nope")
+        assert excinfo.value.code == 404
+
+    def test_delete_terminal_job_is_409(self, idle_server):
+        base, queue = idle_server
+        _, submitted = _post(base, self.PAYLOAD)
+        job = queue.claim("a")
+        queue.complete(job.id, "a", {"v": 1})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _delete(base, submitted["id"])
+        assert excinfo.value.code == 409
+        assert "terminal" in json.load(excinfo.value)["error"]
+
+    def test_cancelled_result_is_410(self, idle_server):
+        base, _ = idle_server
+        _, submitted = _post(base, self.PAYLOAD)
+        _delete(base, submitted["id"])
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/v1/results/{submitted['id']}")
+        assert excinfo.value.code == 410
 
 
 def test_healthz_and_metrics(served):

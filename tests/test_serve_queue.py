@@ -253,3 +253,127 @@ class TestBackpressureAndDurability:
         assert len(queue.list_jobs(state="queued")) == 1
         mine = queue.list_jobs(agent="a1")
         assert len(mine) == 1 and mine[0].agent == "a1"
+
+
+class TestPriority:
+    def test_higher_priority_claims_first(self, queue, clock):
+        low, _ = queue.submit("X", REQ, dedup_key="low", priority=0)
+        clock.advance(1.0)
+        high, _ = queue.submit("X", REQ, dedup_key="high", priority=5)
+        assert queue.claim("a").id == high.id
+        assert queue.claim("a").id == low.id
+
+    def test_fifo_within_equal_priority(self, queue, clock):
+        first, _ = queue.submit("X", REQ, dedup_key="k1", priority=3)
+        clock.advance(1.0)
+        second, _ = queue.submit("X", REQ, dedup_key="k2", priority=3)
+        assert queue.claim("a").id == first.id
+        assert queue.claim("a").id == second.id
+
+    def test_dedup_hit_bumps_queued_priority(self, queue):
+        record, _ = queue.submit("X", REQ, dedup_key="same", priority=0)
+        again, deduped = queue.submit("X", REQ, dedup_key="same", priority=7)
+        assert deduped and again.id == record.id
+        assert again.priority == 7
+        # A lower resubmit never demotes.
+        again, _ = queue.submit("X", REQ, dedup_key="same", priority=2)
+        assert again.priority == 7
+
+    def test_revived_job_takes_new_priority(self, queue, clock):
+        queue.submit("X", REQ, dedup_key="same", max_attempts=1, priority=9)
+        job = queue.claim("a")
+        assert queue.fail(job.id, "a", "boom") == "failed"
+        revived, _ = queue.submit("X", REQ, dedup_key="same", priority=1)
+        assert revived.state == "queued"
+        assert revived.priority == 1
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate(self, queue):
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        assert queue.cancel(record.id) == "cancelled"
+        final = queue.get(record.id)
+        assert final.state == "cancelled"
+        assert queue.claim("a") is None
+        assert queue.metrics.get("serve.cancelled") == 1
+
+    def test_cancel_unknown_returns_none(self, queue):
+        assert queue.cancel("no-such-job") is None
+
+    def test_cancel_terminal_reports_state(self, queue):
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        job = queue.claim("a")
+        queue.complete(job.id, "a", {})
+        assert queue.cancel(record.id) == "done"
+
+    def test_cancel_running_lands_at_heartbeat(self, queue, clock):
+        """Cancel-vs-running race: the flag is honored at the next
+        heartbeat, and the agent's eventual complete is stale."""
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        job = queue.claim("a")
+        assert queue.start(job.id, "a")
+        assert queue.cancel(record.id) == "cancelling"
+        assert queue.get(record.id).state == "running"  # not yet honored
+        assert not queue.heartbeat(job.id, "a")
+        assert queue.get(record.id).state == "cancelled"
+        assert not queue.complete(job.id, "a", {"late": True})
+        assert queue.get(record.id).result is None
+
+    def test_cancel_vs_claim_race(self, queue):
+        """A cancel that lands between claim and start wins: start is
+        refused, so the agent never burns the simulation."""
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        job = queue.claim("a")
+        assert queue.cancel(record.id) == "cancelling"
+        assert not queue.start(job.id, "a")
+        assert queue.get(record.id).state == "cancelled"
+
+    def test_complete_beats_pending_cancel(self, queue):
+        """A cancel that lands after the work finished keeps the result:
+        finished work is never thrown away."""
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        job = queue.claim("a")
+        queue.start(job.id, "a")
+        assert queue.cancel(record.id) == "cancelling"
+        assert queue.complete(job.id, "a", {"v": 42})
+        final = queue.get(record.id)
+        assert final.state == "done"
+        assert final.result == {"v": 42}
+        assert not final.cancel_requested  # flag cleared, not latched
+
+    def test_fail_honors_pending_cancel(self, queue):
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        job = queue.claim("a")
+        queue.start(job.id, "a")
+        queue.cancel(record.id)
+        assert queue.fail(job.id, "a", "boom") == "cancelled"
+        assert queue.get(record.id).state == "cancelled"
+
+    def test_reap_honors_pending_cancel(self, queue, clock):
+        """A cancelled job whose agent died is parked cancelled by the
+        reaper instead of being requeued for a retry nobody wants."""
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        job = queue.claim("a")
+        queue.start(job.id, "a")
+        queue.cancel(record.id)
+        clock.advance(12.0)
+        queue.requeue_lapsed()
+        assert queue.get(record.id).state == "cancelled"
+
+    def test_cancel_is_idempotent(self, queue):
+        record, _ = queue.submit("X", REQ, dedup_key="k")
+        assert queue.cancel(record.id) == "cancelled"
+        assert queue.cancel(record.id) == "cancelled"
+        assert queue.metrics.get("serve.cancelled") == 1
+
+    def test_cancelled_revives_on_resubmit(self, queue):
+        record, _ = queue.submit("X", REQ, dedup_key="same")
+        queue.cancel(record.id)
+        revived, deduped = queue.submit(
+            "X", REQ, dedup_key="same", priority=4
+        )
+        assert not deduped
+        assert revived.id == record.id
+        assert revived.state == "queued"
+        assert revived.priority == 4
+        assert not revived.cancel_requested
