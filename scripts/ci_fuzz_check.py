@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI guard for the generative differential-fuzzing subsystem.
 
-Four gates, all with fixed seeds so the job is deterministic:
+Six gates, all with fixed seeds so the job is deterministic:
 
 1. **Import sanity** — every core runtime module imports cleanly on
    its own, so a broken lazy import cannot hide behind whichever
@@ -21,6 +21,17 @@ Four gates, all with fixed seeds so the job is deterministic:
    runner (:func:`repro.machine.batch.run_batch`) and fresh sequential
    ``Machine`` runs of the same cells, over both a uniform cache-scale
    batch and a divergent A&J-distance batch.
+6. **Code-cache axis** — every corpus case plus ``--codecache-budget``
+   generated programs must be bit-identical between a fresh compile and
+   a persistent-code-cache load (every cacheable engine x scheme x
+   tracing mode; the warm cell must be a real cache hit), and the
+   cache's validate-or-recompile guard must *detect* deliberately stale
+   and booby-trapped cached modules (``check_codecache_selftest``).
+
+``--stateful`` additionally drives the memory-hierarchy and
+store/code-cache hypothesis state machines (``tests/test_mem_stateful``,
+``tests/test_store_stateful``) at ``--stateful-examples`` examples each
+— the nightly-depth budget, far above the bounded in-suite profiles.
 
 Usage:
     python scripts/ci_fuzz_check.py [--budget 50] [--seed 20260805]
@@ -32,12 +43,18 @@ import argparse
 import importlib
 import sys
 import time
+from pathlib import Path
 
 from repro.qa.corpus import default_corpus_dir, iter_cases
 from repro.qa.fuzz import run_fuzz
 from repro.qa.generate import GeneratorConfig, generate_spec
 from repro.qa.mutants import mutant_oracle_setup
-from repro.qa.oracle import batch_failure, oracle_failure
+from repro.qa.oracle import (
+    batch_failure,
+    check_codecache_selftest,
+    codecache_failure,
+    oracle_failure,
+)
 
 # Every module an engine or the oracle reaches lazily.  Each must
 # import standalone: a typo in one of these surfaces as a hard failure
@@ -46,6 +63,7 @@ SANITY_MODULES = (
     "repro.api",
     "repro.machine.batch",
     "repro.machine.blockengine",
+    "repro.machine.codecache",
     "repro.machine.interpreter",
     "repro.machine.machine",
     "repro.machine.superblock",
@@ -173,6 +191,92 @@ def check_batch_axis(budget: int, seed: int) -> bool:
     return True
 
 
+def check_codecache_axis(budget: int, seed: int) -> bool:
+    """Fresh-vs-cached-load differential plus the cache's own mutation
+    self-test: corpus + generated programs."""
+    start = time.perf_counter()
+    total = failures = 0
+    for name, case in iter_cases(default_corpus_dir()):
+        total += 1
+        failure = codecache_failure(case["spec"])
+        if failure is not None:
+            failures += 1
+            print(f"FAIL: codecache axis corpus {name}: {failure.summary()}")
+    gen_config = GeneratorConfig()
+    for i in range(budget):
+        total += 1
+        spec = generate_spec(seed + i, gen_config)
+        failure = codecache_failure(spec)
+        if failure is not None:
+            failures += 1
+            print(
+                f"FAIL: codecache axis seed {seed + i}: {failure.summary()}"
+            )
+    if failures:
+        return False
+    if not total:
+        print("FAIL: codecache axis ran zero cases")
+        return False
+    try:
+        detected = check_codecache_selftest(generate_spec(seed, gen_config))
+    except Exception as exc:  # noqa: BLE001 - an undetected mutant
+        print(f"FAIL: codecache self-test: {exc}")
+        return False
+    elapsed = time.perf_counter() - start
+    print(
+        f"OK: {total} case(s) bit-identical between fresh compile and "
+        f"code-cache load; {detected} planted stale/booby-trapped "
+        f"module(s) detected, in {elapsed:.1f}s"
+    )
+    return True
+
+
+def check_stateful_machines(examples: int, seed: int) -> bool:
+    """Nightly-depth run of the hypothesis state machines: the memory
+    hierarchy's fast path and the store/code-cache poisoning model."""
+    import os
+
+    root = Path(__file__).resolve().parents[1]
+    # The machines live in the test suite; make both the repo root (for
+    # the ``tests.conftest`` helpers they build programs with) and the
+    # tests directory (for the modules themselves) importable.
+    for path in (str(root), str(root / "tests")):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    os.environ.setdefault("CI", "true")  # load the derandomized profile
+    from hypothesis import settings
+    from hypothesis.stateful import run_state_machine_as_test
+
+    import test_mem_stateful
+    import test_store_stateful
+
+    machines = (
+        test_mem_stateful.MemModelMachine,
+        test_mem_stateful.MemDifferentialMachine,
+        test_store_stateful.StoreRaceMachine,
+        test_store_stateful.CodeCacheMachine,
+    )
+    deep = settings(
+        max_examples=examples,
+        stateful_step_count=50,
+        derandomize=True,
+        deadline=None,
+    )
+    start = time.perf_counter()
+    for machine in machines:
+        try:
+            run_state_machine_as_test(machine, settings=deep)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            print(f"FAIL: {machine.__name__}: {exc}")
+            return False
+    elapsed = time.perf_counter() - start
+    print(
+        f"OK: {len(machines)} state machine(s) x {examples} example(s) "
+        f"x 50 steps held all invariants in {elapsed:.1f}s"
+    )
+    return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--budget", type=int, default=50)
@@ -180,6 +284,16 @@ def main() -> int:
     parser.add_argument("--model-cases", type=int, default=200)
     parser.add_argument("--max-mutant-blocks", type=int, default=3)
     parser.add_argument("--batch-budget", type=int, default=50)
+    # Each codecache-axis case runs the program ~36 times (scheme x
+    # engine x traced x fresh/populate/warm), so the smoke default is
+    # small; nightly passes a bigger budget alongside --stateful.
+    parser.add_argument("--codecache-budget", type=int, default=5)
+    parser.add_argument(
+        "--stateful",
+        action="store_true",
+        help="also run the stateful property machines at nightly depth",
+    )
+    parser.add_argument("--stateful-examples", type=int, default=100)
     args = parser.parse_args()
 
     ok = check_import_sanity()
@@ -187,6 +301,9 @@ def main() -> int:
     ok = check_corpus_replay() and ok
     ok = check_mutation_selftest(args.seed, args.max_mutant_blocks) and ok
     ok = check_batch_axis(args.batch_budget, args.seed) and ok
+    ok = check_codecache_axis(args.codecache_budget, args.seed) and ok
+    if args.stateful:
+        ok = check_stateful_machines(args.stateful_examples, args.seed) and ok
     return 0 if ok else 1
 
 

@@ -30,9 +30,18 @@ the given ratio (CI gate: 3.0x) and must not lose to running the
 compiled fast engine once per cell; every batched cell is checked
 bit-identical against its sequential twin inside the probe.
 
+With ``--min-codecache-speedup`` it additionally runs the persistent
+code-cache probe (``benchmarks/bench_codecache.py
+measure_codecache``): loading the turbo engine's compiled form from a
+warm cache must beat a cold superblock build by at least the given
+ratio (CI gate: 3.0x) over a multi-workload compile ladder; the probe
+asserts internally that the warm run is a real cache hit and that
+cached-load results are bit-identical with fresh compiles.
+
 Usage:
     python scripts/ci_perf_check.py [--scale tiny] [--min-speedup 1.2]
         [--max-telemetry-overhead 0.05] [--min-batch-speedup 3.0]
+        [--min-codecache-speedup 3.0]
 """
 
 from __future__ import annotations
@@ -91,6 +100,14 @@ def main() -> int:
         help="also gate the batched sweep tier: required batched-vs-"
         "sequential-reference wall-clock ratio on an 8-cell distance "
         "sweep (e.g. 3.0); omitted, the probe is skipped",
+    )
+    parser.add_argument(
+        "--min-codecache-speedup",
+        type=float,
+        default=None,
+        help="also gate the persistent AOT code cache: required warm-"
+        "load-vs-cold-turbo-build wall-clock ratio over the compile "
+        "ladder (e.g. 3.0); omitted, the probe is skipped",
     )
     args = parser.parse_args()
 
@@ -210,6 +227,31 @@ def main() -> int:
             print(
                 f"FAIL: batched sweep loses to per-cell fast runs "
                 f"({sweep['speedup']['fast']:.2f}x < 1.00x)",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.min_codecache_speedup is not None:
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        from bench_codecache import measure_codecache
+
+        probe = measure_codecache()
+        print(
+            f"codecache probe: {len(probe['workloads'])}-workload "
+            f"ladder@{probe['scale']} "
+            f"turbo cold={probe['cold_s']['turbo'] * 1000:.1f}ms "
+            f"warm={probe['warm_s']['turbo'] * 1000:.1f}ms "
+            f"-> {probe['speedup']['turbo']:.2f}x "
+            f"(floor {args.min_codecache_speedup:.2f}x); "
+            f"translate {probe['speedup']['translate']:.2f}x"
+        )
+        if probe["speedup"]["turbo"] < args.min_codecache_speedup:
+            print(
+                f"FAIL: warm code-cache load speedup "
+                f"{probe['speedup']['turbo']:.2f}x is below the "
+                f"{args.min_codecache_speedup:.2f}x floor",
                 file=sys.stderr,
             )
             return 1

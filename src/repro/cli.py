@@ -487,6 +487,13 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
     print(f"  size: {stats['size_bytes']} bytes")
     print(f"  quarantined: {stats['quarantined']}")
     counters = store.read_metrics()
+    print(
+        "code cache: "
+        f"{stats['by_kind'].get('codecache', 0)} compiled module(s), "
+        f"{counters.get('codecache.hits', 0)} hit(s), "
+        f"{counters.get('codecache.misses', 0)} miss(es), "
+        f"{counters.get('codecache.invalidated', 0)} invalidated"
+    )
     print("cumulative metrics:")
     if not counters:
         print("  (none recorded)")

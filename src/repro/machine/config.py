@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import ClassVar, Optional
 
 from repro.mem.config import CacheConfig, MemoryConfig
 
@@ -47,6 +48,14 @@ def _default_engine() -> str:
     return normalize_engine(os.environ.get("REPRO_ENGINE", "fast"))
 
 
+def _default_code_cache() -> Optional[str]:
+    """Session default: the REPRO_CODE_CACHE env var (a cache directory,
+    or a disabled spelling like ``off``), else None (no persistent code
+    cache; :class:`~repro.service.api.TuningService` still auto-enables
+    one alongside its artifact cache directory)."""
+    return os.environ.get("REPRO_CODE_CACHE") or None
+
+
 def paper_like_memory() -> MemoryConfig:
     """Memory hierarchy loosely mirroring Table 2's Xeon Gold 5218,
     capacities scaled ~1/16 to 1/40 (so scaled-down workload footprints
@@ -74,6 +83,19 @@ class MachineConfig:
     #: ``REPRO_ENGINE`` environment variable, else ``fast``.
     engine: str = field(default_factory=_default_engine)
 
+    #: Persistent AOT code cache directory for the pure-codegen engines
+    #: (turbo superblocks, the translating engine) — see
+    #: :mod:`repro.machine.codecache`.  None disables; so do the
+    #: spellings in ``codecache.DISABLED_VALUES`` ("off", "0", "none"),
+    #: which is how a caller overrides a service's auto-enable.
+    #: Defaults to the ``REPRO_CODE_CACHE`` environment variable.
+    #:
+    #: Non-semantic: the knob changes where compiled artifacts live,
+    #: never what any engine computes, so it is excluded from
+    #: :func:`repro.service.store.config_fingerprint` (artifact keys
+    #: stay identical across cache locations).
+    code_cache: Optional[str] = field(default_factory=_default_code_cache)
+
     # Core cost model (integer cycles).
     alu_cost: int = 1
     branch_cost: int = 1
@@ -89,6 +111,9 @@ class MachineConfig:
 
     # Safety net against runaway programs.
     max_instructions: int = 2_000_000_000
+
+    #: Fields dropped from config_fingerprint (see ``code_cache`` above).
+    _NONSEMANTIC_FIELDS: ClassVar[tuple[str, ...]] = ("code_cache",)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", normalize_engine(self.engine))

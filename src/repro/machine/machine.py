@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.ir.nodes import IRError, Module
+from repro.machine import codecache
 from repro.machine.blockengine import compile_blocks
 from repro.machine.config import (
     ENGINE_ALIASES,
@@ -94,6 +95,9 @@ class Machine:
         #: Wall seconds spent compiling (the compile half of the
         #: compile-vs-execute split telemetry reports per engine.run).
         self._compile_seconds = 0.0
+        #: Persistent AOT code cache (None unless config.code_cache is
+        #: set); load-or-compile for the pure-codegen engines.
+        self._code_cache = codecache.resolve(self.config.code_cache)
 
     # ------------------------------------------------------------------
     def enable_profiling(
@@ -178,7 +182,14 @@ class Machine:
         if compiled is None:
             started = time.perf_counter()
             function = self.module.function(name)
-            if engine == "turbo":
+            cache = (
+                self._code_cache
+                if engine in codecache.CACHEABLE_ENGINES
+                else None
+            )
+            if cache is not None:
+                compiled = cache.load_or_compile(function, self.config, engine)
+            elif engine == "turbo":
                 compiled = compile_turbo(function, self.config)
             elif engine == "fast":
                 compiled = compile_blocks(function, self.config)

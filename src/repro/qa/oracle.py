@@ -559,6 +559,290 @@ def batch_failure(
     return None
 
 
+# ----------------------------------------------------------------------
+# Axis #6: fresh-compile vs codecache-load bit-identity
+# ----------------------------------------------------------------------
+def _codecache_observe(
+    builder, engine: str, traced: bool, config: OracleConfig, code_cache
+):
+    """One oracle cell with an explicit ``code_cache`` knob ("off" for
+    the fresh baseline, a directory for populate/warm cells)."""
+    machine_config = replace(
+        config.machine_config(engine), code_cache=code_cache
+    )
+
+    def factory(module, space) -> Machine:
+        return Machine(module, space, config=machine_config, engine=engine)
+
+    return _observe(builder, engine, traced, config, {engine: factory})
+
+
+def check_codecache(
+    spec: dict, config: Optional[OracleConfig] = None
+) -> dict:
+    """The fresh-compile ≡ codecache-load oracle axis.
+
+    For every cacheable engine x scheme x tracing mode, three cells run
+    the same program: *fresh* (code cache force-disabled), *populate*
+    (an empty per-spec cache directory: miss + put), and *warm* (a new
+    Machine served from the now-populated cache).  All three must be
+    bit-identical on every compared stream (value, PMU counters, LBR,
+    PEBS, trace events); the warm cell must be an actual cache hit with
+    zero invalidations — a warm run that silently recompiled would hide
+    a broken loader forever.
+
+    Returns ``{"cells": n, "hits": n}``; raises :class:`OracleFailure`
+    on the first violation.
+    """
+    import tempfile
+
+    from repro.machine import codecache
+
+    config = config or OracleConfig()
+    engines = tuple(
+        e for e in config.engines if e in codecache.CACHEABLE_ENGINES
+    )
+    cells = hits = 0
+    with tempfile.TemporaryDirectory(prefix="repro-codecache-oracle-") as tmp:
+        try:
+            cache = codecache.resolve(tmp)
+            for scheme in config.schemes:
+                try:
+                    builder = _scheme_builder(spec, scheme, config)
+                except OracleFailure:
+                    raise
+                except Exception as error:
+                    raise OracleFailure(
+                        "exception",
+                        f"scheme preparation raised {error!r}",
+                        scheme,
+                    ) from error
+                for engine in engines:
+                    for traced in config.traced_modes:
+                        observations = {}
+                        for label, knob in (
+                            ("fresh", "off"),
+                            ("populate", tmp),
+                            ("warm", tmp),
+                        ):
+                            invalidated = cache.invalidated
+                            cache_hits = cache.hits
+                            try:
+                                observations[label] = _codecache_observe(
+                                    builder, engine, traced, config, knob
+                                )
+                            except OracleFailure:
+                                raise
+                            except Exception as error:
+                                raise OracleFailure(
+                                    "exception",
+                                    f"{label} run raised {error!r}",
+                                    scheme,
+                                    engine,
+                                    traced,
+                                ) from error
+                            if cache.invalidated != invalidated:
+                                raise OracleFailure(
+                                    "codecache-invalidated",
+                                    f"{label} run invalidated a cached "
+                                    f"module (+{cache.invalidated - invalidated})",
+                                    scheme,
+                                    engine,
+                                    traced,
+                                )
+                            if label == "warm" and cache.hits == cache_hits:
+                                raise OracleFailure(
+                                    "codecache-cold",
+                                    "warm run recorded no cache hit "
+                                    "(silent recompile)",
+                                    scheme,
+                                    engine,
+                                    traced,
+                                )
+                            if label == "warm":
+                                hits += cache.hits - cache_hits
+                        fresh = observations["fresh"]
+                        for label in ("populate", "warm"):
+                            observation = observations[label]
+                            for key in _COMPARED_KEYS:
+                                if observation[key] != fresh[key]:
+                                    raise OracleFailure(
+                                        "codecache-differential",
+                                        _describe_diff(
+                                            key, fresh[key], observation[key]
+                                        )
+                                        + f" ({label} vs fresh)",
+                                        scheme,
+                                        engine,
+                                        traced,
+                                    )
+                            if traced:
+                                for field in (
+                                    "counts", "spans", "demand", "stats",
+                                    "site_reports",
+                                ):
+                                    if (
+                                        observation["trace"][field]
+                                        != fresh["trace"][field]
+                                    ):
+                                        raise OracleFailure(
+                                            "codecache-differential",
+                                            _describe_diff(
+                                                f"trace.{field}",
+                                                fresh["trace"][field],
+                                                observation["trace"][field],
+                                            )
+                                            + f" ({label} vs fresh)",
+                                            scheme,
+                                            engine,
+                                            traced,
+                                        )
+                        cells += 1
+        finally:
+            codecache.forget(tmp)
+    return {"cells": cells, "hits": hits}
+
+
+def check_codecache_selftest(
+    spec: dict, config: Optional[OracleConfig] = None
+) -> int:
+    """Mutation self-test for the code cache's validate-or-recompile
+    guard: deliberately stale or booby-trapped cached modules must be
+    *detected* (counted ``invalidated``), never executed, and the run
+    must fall back to a bit-identical fresh compile.
+
+    Plants, per cacheable engine:
+
+    1. a **stale** entry — a payload compiled from a *different* program
+       (the A&J-injected variant) stored under the current program's
+       key, embedded IR fingerprint and all — the cache-dirs-copied /
+       key-collision scenario the embedded fingerprint exists for;
+    2. a **booby-trapped** entry — correct metadata, but code blobs that
+       raise at exec time — a torn or hostile marshal payload.
+
+    Returns the number of planted mutants detected; raises
+    :class:`OracleFailure` if any survives (wrong result, missed
+    invalidation, or a hit recorded for poisoned bytes).
+    """
+    import tempfile
+
+    from repro.machine import codecache
+
+    config = config or OracleConfig()
+    engines = tuple(
+        e for e in config.engines if e in codecache.CACHEABLE_ENGINES
+    )
+    build_clean = _scheme_builder(spec, "none", config)
+    build_mutant = _scheme_builder(spec, "aj", config)
+    detected = 0
+    for engine in engines:
+        with tempfile.TemporaryDirectory(
+            prefix="repro-codecache-mut-"
+        ) as tmp:
+            try:
+                cache = codecache.resolve(tmp)
+                fresh = _codecache_observe(
+                    build_clean, engine, False, config, "off"
+                )
+                # Populate both variants: clean entries prove the
+                # round-trip before we poison them; the A&J variant's
+                # entries are the stale modules we plant under clean
+                # keys below.
+                _codecache_observe(build_clean, engine, False, config, tmp)
+                _codecache_observe(build_mutant, engine, False, config, tmp)
+                clean_module, _ = build_clean()
+                mutant_module, _ = build_mutant()
+                machine_config = replace(
+                    config.machine_config(engine), code_cache=tmp
+                )
+                for name in clean_module.functions:
+                    clean_fn = clean_module.function(name)
+                    key = cache.key(clean_fn, machine_config, engine)
+                    clean_ir = dict(key.params)["ir"]
+                    stale = None
+                    if name in mutant_module.functions:
+                        mutant_key = cache.key(
+                            mutant_module.function(name),
+                            machine_config,
+                            engine,
+                        )
+                        stale = cache.store.get(mutant_key)
+                    if stale is not None and stale.get("ir") != clean_ir:
+                        cache.store.put(key, stale)  # plant the stale module
+                    else:
+                        payload = cache.store.get(key)
+                        if payload is None:
+                            raise OracleFailure(
+                                "codecache-selftest",
+                                f"populate run left no entry for {name!r}",
+                                None,
+                                engine,
+                            )
+                        _booby_trap(payload)
+                        cache.store.put(key, payload)
+                invalidated = cache.invalidated
+                hits = cache.hits
+                replay = _codecache_observe(
+                    build_clean, engine, False, config, tmp
+                )
+                if cache.invalidated == invalidated:
+                    raise OracleFailure(
+                        "codecache-selftest",
+                        "planted mutant module was not invalidated",
+                        None,
+                        engine,
+                    )
+                if cache.hits != hits:
+                    raise OracleFailure(
+                        "codecache-selftest",
+                        "a poisoned entry was served as a hit",
+                        None,
+                        engine,
+                    )
+                for key in _COMPARED_KEYS:
+                    if replay[key] != fresh[key]:
+                        raise OracleFailure(
+                            "codecache-selftest",
+                            _describe_diff(key, fresh[key], replay[key])
+                            + " (fallback after planted mutant)",
+                            None,
+                            engine,
+                        )
+                detected += cache.invalidated - invalidated
+            finally:
+                codecache.forget(tmp)
+    return detected
+
+
+def _booby_trap(payload: dict) -> None:
+    """Replace a payload's code blobs with blobs that raise at exec
+    time (metadata left intact, so only the exec guard can catch it)."""
+    from repro.machine.codecache import _encode_code
+
+    trap = _encode_code(
+        "raise RuntimeError('stale cached module executed')",
+        "<codecache-selftest-trap>",
+    )
+    for field in ("code", "code_plain", "code_profiled"):
+        if field in payload:
+            payload[field] = trap
+    for entry in payload.get("superblocks", ()) or ():
+        if isinstance(entry, dict):
+            for field in ("code_plain", "code_profiled"):
+                entry[field] = trap
+
+
+def codecache_failure(
+    spec: dict, config: Optional[OracleConfig] = None
+) -> Optional[OracleFailure]:
+    """Predicate form of :func:`check_codecache`: the failure, or None."""
+    try:
+        check_codecache(spec, config)
+    except OracleFailure as failure:
+        return failure
+    return None
+
+
 def oracle_failure(
     spec: dict,
     config: Optional[OracleConfig] = None,

@@ -20,6 +20,16 @@ queue and one content-addressed artifact cache:
   **fail** and let the queue decide between retry-with-backoff and a
   terminal ``failed``.
 
+Agents are *warm workers*: their :class:`TuningService` points at the
+queue's shared cache directory, which auto-enables the persistent AOT
+code cache (:mod:`repro.machine.codecache`) in the same store — the
+first agent to compile a workload's turbo superblocks publishes them as
+``codecache`` artifacts, and every later agent (or respawn) loads the
+marshaled code objects instead of re-running codegen.  Cold-build cost
+is paid once per (IR, engine, config) across the whole fleet, not once
+per process; ``codecache.hit/miss/invalidated`` counters ride the
+normal per-pid metric snapshots.
+
 Metrics: each agent owns one :class:`MetricsRegistry` shared by its
 queue handle and its :class:`TuningService` (``auto_flush=False``), and
 republishes it as ``metrics/metrics-<pid>.json`` after every job — the

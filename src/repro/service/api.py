@@ -37,6 +37,7 @@ from repro.experiments.runner import (
     scale_suite,
 )
 from repro.machine.batch import BatchCell, run_batch
+from repro.machine.codecache import resolve as code_cache_resolve
 from repro.machine.config import MachineConfig, normalize_engine
 from repro.machine.machine import Machine, RunResult
 from repro.obs import telemetry
@@ -266,6 +267,18 @@ class TuningService:
         self.retries = retries
         self.backoff = backoff
         self.config = machine_config or MachineConfig()
+        # Warm-engine default: a service that persists artifacts also
+        # persists compiled engines, in the same directory — so serve
+        # agents sharing a queue's cache dir skip cold builds.  An
+        # explicit ``code_cache`` (including a disabled spelling like
+        # "off", or REPRO_CODE_CACHE in the environment) wins.
+        if cache_dir is not None and self.config.code_cache is None:
+            self.config = replace(self.config, code_cache=str(cache_dir))
+        self.code_cache = code_cache_resolve(
+            self.config.code_cache, metrics=self.metrics
+        )
+        # ``code_cache`` is non-semantic (excluded from the
+        # fingerprint), so artifact keys are unchanged by the above.
         self._fingerprint = config_fingerprint(self.config)
         self._flushed_counters: dict[str, int] = {}
         #: ``repro.serve`` agents set this False: they publish metrics
@@ -948,6 +961,8 @@ class TuningService:
     def cache_stats(self) -> dict:
         stats = self.store.stats()
         stats["metrics"] = self.store.read_metrics()
+        if self.code_cache is not None:
+            stats["codecache"] = self.code_cache.stats()
         return stats
 
     def clear_cache(self) -> int:

@@ -50,8 +50,18 @@ def canonical_json(obj) -> str:
 
 
 def config_fingerprint(config) -> str:
-    """Stable short digest of a (frozen, nested) dataclass config."""
-    raw = canonical_json(dataclasses.asdict(config))
+    """Stable short digest of a (frozen, nested) dataclass config.
+
+    Top-level fields the config names in a ``_NONSEMANTIC_FIELDS``
+    class attribute (e.g. ``MachineConfig.code_cache``, a filesystem
+    location) are dropped before hashing: they change where artifacts
+    live, never what is computed, so identical work must share keys
+    across cache locations.
+    """
+    data = dataclasses.asdict(config)
+    for name in getattr(config, "_NONSEMANTIC_FIELDS", ()):
+        data.pop(name, None)
+    raw = canonical_json(data)
     return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
 
 
@@ -192,6 +202,11 @@ class ArtifactStore:
                     continue
                 count = 0
                 for entry in kind_dir.glob("*/*.json"):
+                    if entry.name.startswith("."):
+                        # A concurrent writer's not-yet-renamed temp
+                        # file (or a crashed writer's leftover) is not
+                        # an entry; pathlib's glob matches dotfiles.
+                        continue
                     count += 1
                     try:
                         size += entry.stat().st_size

@@ -1,0 +1,383 @@
+"""Stateful property tests of the memory hierarchy's demand fast path.
+
+Two hypothesis state machines drive random ``load`` / ``store`` /
+``prefetch`` / ``flush`` interleavings at a monotone clock against the
+stacked L1/L2/LLC fast path (:mod:`repro.mem.fastpath`):
+
+* :class:`MemModelMachine` checks the fast path against an
+  *independent* pure-Python model cache — three LRU set-view levels,
+  an in-order MSHR and a prefetched-but-unused side table reimplemented
+  from the documented semantics, not from the code under test.  Every
+  step must return the model's latency, and every step must leave the
+  views, the MSHR and the side table exactly equal to the model's
+  (hardware prefetchers are disabled so the model stays honest).
+
+* :class:`MemDifferentialMachine` drives the same operation sequence
+  through the fast path of one hierarchy and the slow
+  :class:`~repro.mem.hierarchy.MemorySystem` path of a twin — hardware
+  prefetchers *enabled* — and requires bit-identical latencies, PMU
+  counters, resident lines, MSHR contents and unused tables.
+
+Shared invariants: ``front().scan_consistent()`` (views == fresh
+structural scan), MSHR occupancy never exceeds ``mshr_entries``, MSHR
+ready-cycles are nondecreasing in insertion order (the prefix-drain
+contract ``drain()`` documents), in-flight lines are resident nowhere,
+and every prefetched-unused line is still LLC-resident (inclusive
+back-invalidation must pop the side table).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.machine.pmu import Counters
+from repro.mem.address import AddressSpace
+from repro.mem.config import CacheConfig, MemoryConfig
+from repro.mem.hierarchy import MemorySystem
+
+#: Data segment: 32 lines — twice the LLC below, so capacity evictions
+#: and inclusive back-invalidations happen constantly.
+POOL_ELEMS = 256
+ELEM_SIZE = 8
+
+PCS = (0x40, 0x48, 0x50, 0x58)
+
+
+def stateful_memory(**overrides) -> MemoryConfig:
+    """A deliberately tiny hierarchy: 4-line L1, 8-line L2, 16-line LLC,
+    4 MSHRs — every structural edge (set conflict, LLC eviction, MSHR
+    full, coalesced fill) is reachable within a short rule sequence."""
+    defaults = dict(
+        l1=CacheConfig("L1D", 256, 2, 2),
+        l2=CacheConfig("L2", 512, 2, 6),
+        llc=CacheConfig("LLC", 1024, 4, 20),
+        dram_latency=100,
+        mshr_entries=4,
+    )
+    defaults.update(overrides)
+    return MemoryConfig(**defaults)
+
+
+def make_space() -> AddressSpace:
+    space = AddressSpace()
+    space.allocate("data", [0] * POOL_ELEMS, elem_size=ELEM_SIZE)
+    return space
+
+
+# ----------------------------------------------------------------------
+# The independent model
+# ----------------------------------------------------------------------
+class ModelLevel:
+    """One LRU set-view level: dict-ordered sets, evict-first-on-full."""
+
+    def __init__(self, config: CacheConfig):
+        self.assoc = config.associativity
+        self.mask = config.sets - 1
+        self.sets = [dict() for _ in range(config.sets)]
+
+    def lookup(self, line: int) -> bool:
+        """Hit test that refreshes LRU, like SetAssociativeCache.lookup."""
+        s = self.sets[line & self.mask]
+        if line not in s:
+            return False
+        s.pop(line)
+        s[line] = True
+        return True
+
+    def contains(self, line: int) -> bool:
+        return line in self.sets[line & self.mask]
+
+    def insert(self, line: int, on_evict=None) -> None:
+        s = self.sets[line & self.mask]
+        if s.pop(line, None) is not None:
+            s[line] = True
+            return
+        if len(s) >= self.assoc:
+            victim = next(iter(s))
+            del s[victim]
+            if on_evict is not None:
+                on_evict(victim)
+        s[line] = True
+
+    def invalidate(self, line: int) -> None:
+        self.sets[line & self.mask].pop(line, None)
+
+    def lines(self) -> list[int]:
+        return [line for s in self.sets for line in s]
+
+    def flush(self) -> None:
+        for s in self.sets:
+            s.clear()
+
+
+class ModelHierarchy:
+    """The documented slow-path semantics, reimplemented from scratch
+    (no hardware prefetchers, no tracing, no ideal mode)."""
+
+    def __init__(self, config: MemoryConfig, space: AddressSpace):
+        self.config = config
+        self.space = space
+        self.l1 = ModelLevel(config.l1)
+        self.l2 = ModelLevel(config.l2)
+        self.llc = ModelLevel(config.llc)
+        self.mshr: dict[int, list] = {}
+        self.unused: dict[int, bool] = {}
+        self.l1_lat = config.l1.latency
+        self.l2_lat = config.l2.latency
+        self.llc_lat = config.llc.latency
+        self.mem_lat = config.llc.latency + config.dram_latency
+
+    # -- internals ------------------------------------------------------
+    def _on_llc_evict(self, line: int) -> None:
+        # Inclusive hierarchy: an LLC victim leaves every level, and a
+        # prefetched line evicted before first use leaves the side table.
+        self.l1.invalidate(line)
+        self.l2.invalidate(line)
+        self.unused.pop(line, None)
+
+    def _fill(self, line: int) -> None:
+        self.llc.insert(line, on_evict=self._on_llc_evict)
+        self.l2.insert(line)
+        self.l1.insert(line)
+
+    def _drain(self, now: float) -> None:
+        while self.mshr:
+            line = next(iter(self.mshr))
+            ready, software = self.mshr[line]
+            if ready > now:
+                return
+            del self.mshr[line]
+            self._fill(line)
+            self.unused[line] = software
+
+    def _consume(self, line: int) -> None:
+        self.unused.pop(line, None)
+
+    # -- operations -----------------------------------------------------
+    def load(self, addr: int, now: float) -> int:
+        line = addr >> 6
+        if self.l1.lookup(line):
+            self._consume(line)
+            return self.l1_lat
+        self._drain(now)
+        if self.l1.lookup(line):
+            self._consume(line)
+            return self.l1_lat
+        if self.l2.lookup(line):
+            self._consume(line)
+            self.l1.insert(line)
+            return self.l2_lat
+        if self.llc.lookup(line):
+            self._consume(line)
+            self.l2.insert(line)
+            self.l1.insert(line)
+            return self.llc_lat
+        entry = self.mshr.pop(line, None)
+        if entry is not None:
+            self._fill(line)
+            return max(max(entry[0] - now, 0), self.l1_lat)
+        self._fill(line)
+        return self.mem_lat
+
+    def store(self, addr: int, now: float) -> int:
+        line = addr >> 6
+        if self.l1.lookup(line):
+            self._consume(line)
+            return 1
+        self._drain(now)
+        self._consume(line)
+        if self.mshr.pop(line, None) is not None:
+            self._fill(line)
+            return 1
+        self.llc.lookup(line)  # refresh LRU if present
+        self._fill(line)
+        return 1
+
+    def prefetch(self, addr: int, now: float) -> None:
+        if not self.space.is_mapped(addr):
+            return
+        self._drain(now)
+        line = addr >> 6
+        if (
+            self.l1.contains(line)
+            or self.l2.contains(line)
+            or self.llc.contains(line)
+            or line in self.mshr
+        ):
+            return
+        if len(self.mshr) >= self.config.mshr_entries:
+            return
+        self.mshr[line] = [now + self.mem_lat, True]
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self.llc.flush()
+        self.mshr.clear()
+        self.unused.clear()
+
+    def lines(self) -> dict:
+        return {"l1": self.l1.lines(), "l2": self.l2.lines(),
+                "llc": self.llc.lines()}
+
+
+# ----------------------------------------------------------------------
+# Machine 1: fast path vs the independent model
+# ----------------------------------------------------------------------
+class MemModelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.space = make_space()
+        config = stateful_memory(
+            stride_prefetcher=False, next_line_prefetcher=False
+        )
+        self.mem = MemorySystem(config, self.space, Counters())
+        self.front = self.mem.front()
+        self.model = ModelHierarchy(config, self.space)
+        self.now = 0.0
+        segment = self.space.segment("data")
+        self.base = segment.base
+        self.unmapped = self.base + POOL_ELEMS * ELEM_SIZE + (1 << 20)
+
+    def _addr(self, idx: int) -> int:
+        return self.base + idx * ELEM_SIZE
+
+    @rule(idx=st.integers(0, POOL_ELEMS - 1), pc=st.sampled_from(PCS))
+    def load(self, idx, pc):
+        addr = self._addr(idx)
+        got = self.front.load(addr, self.now, pc)
+        want = self.model.load(addr, self.now)
+        assert got == want, f"load latency {got} != model {want}"
+
+    @rule(idx=st.integers(0, POOL_ELEMS - 1), pc=st.sampled_from(PCS))
+    def store(self, idx, pc):
+        addr = self._addr(idx)
+        got = self.front.store(addr, self.now, pc)
+        want = self.model.store(addr, self.now)
+        assert got == want
+
+    @rule(idx=st.integers(0, POOL_ELEMS - 1), pc=st.sampled_from(PCS))
+    def prefetch(self, idx, pc):
+        addr = self._addr(idx)
+        self.front.prefetch(addr, self.now, pc)
+        self.model.prefetch(addr, self.now)
+
+    @rule(pc=st.sampled_from(PCS))
+    def prefetch_unmapped(self, pc):
+        before = dict(self.mem._mshr)
+        self.front.prefetch(self.unmapped, self.now, pc)
+        self.model.prefetch(self.unmapped, self.now)
+        assert self.mem._mshr == before  # dropped, never issued
+
+    @rule(delta=st.integers(1, 400))
+    def tick(self, delta):
+        self.now += delta
+
+    @rule()
+    def flush(self):
+        self.mem.flush()
+        self.model.flush()
+
+    @invariant()
+    def views_match_model(self):
+        assert self.front.view_lines() == self.model.lines()
+
+    @invariant()
+    def views_match_structural_scan(self):
+        assert self.front.scan_consistent()
+
+    @invariant()
+    def mshr_matches_model(self):
+        assert self.mem._mshr == self.model.mshr
+        assert self.mem.prefetched_unused_view() == self.model.unused
+
+    @invariant()
+    def mshr_invariants(self):
+        mshr = self.mem._mshr
+        assert len(mshr) <= self.mem.config.mshr_entries
+        ready_order = [entry[0] for entry in mshr.values()]
+        assert ready_order == sorted(ready_order)  # prefix-drain contract
+        resident = set()
+        for level in self.front.view_lines().values():
+            resident.update(level)
+        assert not (set(mshr) & resident)  # in flight => resident nowhere
+
+    @invariant()
+    def unused_lines_are_llc_resident(self):
+        llc = set(self.front.view_lines()["llc"])
+        assert set(self.mem.prefetched_unused_view()) <= llc
+
+
+# ----------------------------------------------------------------------
+# Machine 2: fast path vs the slow path, hardware prefetchers on
+# ----------------------------------------------------------------------
+class MemDifferentialMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.space = make_space()
+        config = stateful_memory()  # stride + next-line prefetchers on
+        self.fast_mem = MemorySystem(config, self.space, Counters())
+        self.fast = self.fast_mem.front()
+        self.slow = MemorySystem(config, self.space, Counters())
+        self.now = 0.0
+        self.base = self.space.segment("data").base
+
+    def _addr(self, idx: int) -> int:
+        return self.base + idx * ELEM_SIZE
+
+    @rule(idx=st.integers(0, POOL_ELEMS - 1), pc=st.sampled_from(PCS))
+    def load(self, idx, pc):
+        addr = self._addr(idx)
+        got = self.fast.load(addr, self.now, pc)
+        want = self.slow.load(addr, self.now, pc)
+        assert got == want
+
+    @rule(idx=st.integers(0, POOL_ELEMS - 1), pc=st.sampled_from(PCS))
+    def store(self, idx, pc):
+        addr = self._addr(idx)
+        assert self.fast.store(addr, self.now, pc) == self.slow.store(
+            addr, self.now, pc
+        )
+
+    @rule(idx=st.integers(0, POOL_ELEMS - 1), pc=st.sampled_from(PCS))
+    def prefetch(self, idx, pc):
+        addr = self._addr(idx)
+        self.fast.prefetch(addr, self.now, pc)
+        self.slow.prefetch(addr, self.now, pc)
+
+    @rule(delta=st.integers(1, 400))
+    def tick(self, delta):
+        self.now += delta
+
+    @rule()
+    def flush(self):
+        self.fast_mem.flush()
+        self.slow.flush()
+
+    @invariant()
+    def counters_identical(self):
+        assert (
+            self.fast_mem.counters.as_dict() == self.slow.counters.as_dict()
+        )
+
+    @invariant()
+    def structures_identical(self):
+        assert self.fast.view_lines() == {
+            "l1": self.slow.l1.resident_lines(),
+            "l2": self.slow.l2.resident_lines(),
+            "llc": self.slow.llc.resident_lines(),
+        }
+        assert self.fast_mem._mshr == self.slow._mshr
+        assert (
+            self.fast_mem.prefetched_unused_view()
+            == self.slow.prefetched_unused_view()
+        )
+
+    @invariant()
+    def fast_views_scan_consistent(self):
+        assert self.fast.scan_consistent()
+
+
+TestMemModel = MemModelMachine.TestCase
+TestMemDifferential = MemDifferentialMachine.TestCase
