@@ -1,15 +1,24 @@
 """Batched multi-config sweep benchmark: one batched pass vs N runs.
 
 Times an 8-cell A&J prefetch-distance sweep (the Figure-6-style
-distance axis) on one workload two ways:
+distance axis) on one workload three ways:
 
-* **batched** — all cells execute in a single
-  :func:`repro.machine.batch.run_batch` pass: one shared front-end
-  walks the aligned modules once while per-cell cache hierarchies
-  (L1/L2/LLC + MSHRs) track each cell's timing; and
+* **batch tier** — all cells execute in a single
+  :func:`repro.machine.batch.run_batch` pass at ``tier="batch"``: one
+  shared front-end dispatches per-block chains while per-cell cache
+  hierarchies (L1/L2/LLC + MSHRs) track each cell's timing;
+* **batchturbo tier** — the same single pass at ``tier="batchturbo"``:
+  hot loop nests are fused into one generated superblock closure that
+  steps every cell per iteration (turbo-style loop fusion across
+  cells); and
 * **sequential** — the same cells run one at a time through a fresh
   :class:`~repro.machine.machine.Machine` per cell, once per engine
   tier (reference / fast / turbo).
+
+A second ladder — the 32-cell **distance x cache-scale grid**
+(:func:`measure_grid`) — times the two batch tiers against each other
+on divergent cell configs (four cache scales per distance), the shape
+the batched superblock's per-cell overlays exist for.
 
 Distances start at 2: at distance 1 the A&J pass folds the loop
 increment into the prefetch advance, which changes instruction shape
@@ -18,8 +27,9 @@ a valid configuration, but then the benchmark would be measuring the
 fallback path, not the batch engine.
 
 Every batched cell must be bit-identical (value + full counter vector)
-to its sequential fast-engine twin — a sweep benchmark whose cells
-computed different things would be meaningless.
+across both batch tiers and to its sequential fast-engine twin — a
+sweep benchmark whose cells computed different things would be
+meaningless.
 
 Standalone use (writes ``BENCH_sweep.json`` next to this file)::
 
@@ -29,7 +39,9 @@ or as a bench test::
 
     pytest benchmarks/bench_sweep.py --benchmark-only
 
-See docs/PERFORMANCE.md for how to read the emitted JSON.
+See docs/PERFORMANCE.md for how to read the emitted JSON (including
+why the measured batchturbo-vs-batch ratio is workload-dependent and
+Amdahl-bounded by the genuinely simulated miss work both tiers share).
 """
 
 from __future__ import annotations
@@ -53,6 +65,12 @@ from repro.workloads.registry import make_workload
 
 #: The 8-cell distance axis (>= 2; see module docstring).
 DEFAULT_DISTANCES = (2, 4, 8, 12, 16, 24, 32, 48)
+
+#: Cache-scale axis of the 32-cell grid ladder (distances x scales).
+DEFAULT_GRID_SCALES = (1, 2, 4, 8)
+
+#: Batched execution tiers, block-dispatch baseline first.
+BATCH_TIERS = ("batch", "batchturbo")
 
 DEFAULT_WORKLOAD = "BFS-tiny"
 
@@ -90,32 +108,57 @@ def _signature(result) -> dict:
     return {"value": result.value, **result.counters.as_dict()}
 
 
+def _time_tiers(
+    build, entry_hint: str, reps: int
+) -> tuple[dict, list[dict]]:
+    """Best-of-``reps`` wall-clock per batch tier, tiers interleaved
+    within each rep so machine drift hits both equally.  Asserts every
+    pass actually batched and that the tiers are bit-identical
+    per-cell; returns ``({tier: seconds}, signatures)``."""
+    tier_s = {tier: float("inf") for tier in BATCH_TIERS}
+    signatures: dict[str, list[dict]] = {}
+    for _ in range(reps):
+        for tier in BATCH_TIERS:
+            cells, entry = build()
+            start = time.perf_counter()
+            outcome = run_batch(cells, function=entry, tier=tier)
+            tier_s[tier] = min(tier_s[tier], time.perf_counter() - start)
+            if not outcome.batched:
+                raise AssertionError(
+                    f"{entry_hint}: sweep fell back to sequential "
+                    f"replay ({outcome.reason}) — the benchmark would "
+                    "not be measuring the batch engine"
+                )
+            signatures[tier] = [_signature(r) for r in outcome.results]
+    if signatures["batchturbo"] != signatures["batch"]:
+        raise AssertionError(
+            f"{entry_hint}: batchturbo cells are not bit-identical "
+            "with the block-dispatch batch tier"
+        )
+    return tier_s, signatures["batch"]
+
+
 def measure_sweep(
     workload: str = DEFAULT_WORKLOAD,
     scale: str = "tiny",
     distances: tuple = DEFAULT_DISTANCES,
     reps: int = 3,
 ) -> dict:
-    """Batched vs sequential wall-clock for one distance sweep.
+    """Batched (both tiers) vs sequential wall-clock for one sweep.
 
-    Returns ``{"batched_s", "sequential_s": {engine: s}, "speedup":
-    {engine: ratio}, ...}`` where each time is the best of ``reps``
-    (cell construction excluded — it is identical on both sides).
+    Returns ``{"batched_s", "tiers": {tier: s}, "batchturbo_vs_batch",
+    "sequential_s": {engine: s}, "speedup": {engine: ratio}, ...}``
+    where each time is the best of ``reps`` (cell construction
+    excluded — it is identical on all sides).  ``batched_s`` and the
+    engine speedups stay keyed to the block-dispatch batch tier so the
+    report is comparable with earlier revisions.
     """
-    batched_s = float("inf")
-    signatures: list[dict] = []
-    for _ in range(reps):
-        cells, entry = _build_cells(workload, scale, distances)
-        start = time.perf_counter()
-        outcome = run_batch(cells, function=entry)
-        batched_s = min(batched_s, time.perf_counter() - start)
-        if not outcome.batched:
-            raise AssertionError(
-                f"{workload}: distance sweep fell back to sequential "
-                f"replay ({outcome.reason}) — the benchmark would not "
-                "be measuring the batch engine"
-            )
-        signatures = [_signature(r) for r in outcome.results]
+    tier_s, signatures = _time_tiers(
+        lambda: _build_cells(workload, scale, distances),
+        f"{workload} distance ladder",
+        reps,
+    )
+    batched_s = tier_s["batch"]
 
     sequential_s: dict[str, float] = {}
     for engine in SEQUENTIAL_ENGINES:
@@ -147,6 +190,12 @@ def measure_sweep(
         "distances": list(distances),
         "cells": len(distances),
         "batched_s": round(batched_s, 6),
+        "tiers": {
+            tier: round(seconds, 6) for tier, seconds in tier_s.items()
+        },
+        "batchturbo_vs_batch": round(
+            tier_s["batch"] / max(tier_s["batchturbo"], 1e-9), 3
+        ),
         "sequential_s": {
             engine: round(seconds, 6)
             for engine, seconds in sequential_s.items()
@@ -155,6 +204,54 @@ def measure_sweep(
             engine: round(seconds / max(batched_s, 1e-9), 3)
             for engine, seconds in sequential_s.items()
         },
+    }
+
+
+def measure_grid(
+    workload: str = DEFAULT_WORKLOAD,
+    scale: str = "tiny",
+    distances: tuple = DEFAULT_DISTANCES,
+    cache_scales: tuple = DEFAULT_GRID_SCALES,
+    reps: int = 3,
+) -> dict:
+    """The 32-cell distance x cache-scale grid: batch vs batchturbo.
+
+    Divergent cell configs (one cache hierarchy scaling per column)
+    exercise the batched superblock's per-cell overlays; sequential
+    comparators are omitted — cross-tier bit-identity is the oracle
+    and the 8-cell ladder already anchors the sequential baselines.
+    """
+
+    def build():
+        base_cells, entry = _build_cells(
+            workload, scale, tuple(distances) * len(cache_scales)
+        )
+        cells = []
+        for position, cell in enumerate(base_cells):
+            cache_scale = cache_scales[position // len(distances)]
+            config = cell.config
+            if cache_scale != 1:
+                config = replace(
+                    config, memory=config.memory.scaled(cache_scale)
+                )
+            cells.append(BatchCell(cell.module, cell.space, config))
+        return cells, entry
+
+    tier_s, _ = _time_tiers(
+        build, f"{workload} distance x cache-scale grid", reps
+    )
+    return {
+        "workload": workload,
+        "scale": scale,
+        "distances": list(distances),
+        "cache_scales": list(cache_scales),
+        "cells": len(distances) * len(cache_scales),
+        "tiers": {
+            tier: round(seconds, 6) for tier, seconds in tier_s.items()
+        },
+        "batchturbo_vs_batch": round(
+            tier_s["batch"] / max(tier_s["batchturbo"], 1e-9), 3
+        ),
     }
 
 
@@ -170,6 +267,11 @@ def test_batched_distance_sweep(benchmark):
     # compiled fast engine once per cell.
     assert report["speedup"]["reference"] >= 3.0, report["speedup"]
     assert report["speedup"]["fast"] >= 1.0, report["speedup"]
+    # The fused superblock tier must beat the block-dispatch chains it
+    # replaces.  The in-bench floor is deliberately loose (CI enforces
+    # the calibrated one via ci_perf_check.py); see docs/PERFORMANCE.md
+    # for measured per-workload ratios and the Amdahl ceiling.
+    assert report["batchturbo_vs_batch"] >= 1.1, report
 
 
 # ----------------------------------------------------------------------
@@ -190,6 +292,14 @@ def main() -> int:
         "--reps", type=int, default=3, help="repetitions (min is kept)"
     )
     parser.add_argument(
+        "--grid-scales",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_GRID_SCALES),
+        metavar="S",
+        help="cache-scale axis of the distance x cache-scale grid",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, metavar="PATH"
     )
     args = parser.parse_args()
@@ -197,19 +307,35 @@ def main() -> int:
     report = measure_sweep(
         args.workload, args.scale, tuple(args.distances), reps=args.reps
     )
+    report["grid32"] = measure_grid(
+        args.workload,
+        args.scale,
+        tuple(args.distances),
+        tuple(args.grid_scales),
+        reps=args.reps,
+    )
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     print(f"wrote {args.output}")
     print(
         f"  {report['workload']}@{report['scale']}: "
         f"{report['cells']}-cell distance sweep "
-        f"batched={report['batched_s']:.3f}s"
+        f"batched={report['batched_s']:.3f}s "
+        f"batchturbo={report['tiers']['batchturbo']:.3f}s "
+        f"({report['batchturbo_vs_batch']:.2f}x)"
     )
     for engine in SEQUENTIAL_ENGINES:
         print(
             f"  vs {engine:9s} {report['sequential_s'][engine]:.3f}s "
             f"-> {report['speedup'][engine]:.2f}x"
         )
+    grid = report["grid32"]
+    print(
+        f"  {grid['cells']}-cell grid (x{len(grid['cache_scales'])} "
+        f"cache scales): batch={grid['tiers']['batch']:.3f}s "
+        f"batchturbo={grid['tiers']['batchturbo']:.3f}s "
+        f"({grid['batchturbo_vs_batch']:.2f}x)"
+    )
     return 0
 
 

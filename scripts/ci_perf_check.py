@@ -30,6 +30,17 @@ the given ratio (CI gate: 3.0x) and must not lose to running the
 compiled fast engine once per cell; every batched cell is checked
 bit-identical against its sequential twin inside the probe.
 
+With ``--min-batchturbo-speedup`` it additionally gates the batched
+*superblock* tier against the block-dispatch batch tier on the same
+8-cell distance ladder (and reports the 32-cell distance x cache-scale
+grid alongside): ``tier="batchturbo"`` must beat ``tier="batch"`` by
+at least the given wall-clock ratio, with per-cell bit-identity
+between the tiers asserted inside the probe.  The CI floor (1.25x) is
+calibrated from measured ratios — ~1.5x on the miss-bound BFS-tiny
+ladder, up to ~2x on fold-heavy workloads — minus headroom for runner
+noise; docs/PERFORMANCE.md records the measurements and the Amdahl
+ceiling that bounds them.
+
 With ``--min-codecache-speedup`` it additionally runs the persistent
 code-cache probe (``benchmarks/bench_codecache.py
 measure_codecache``): loading the turbo engine's compiled form from a
@@ -100,6 +111,14 @@ def main() -> int:
         help="also gate the batched sweep tier: required batched-vs-"
         "sequential-reference wall-clock ratio on an 8-cell distance "
         "sweep (e.g. 3.0); omitted, the probe is skipped",
+    )
+    parser.add_argument(
+        "--min-batchturbo-speedup",
+        type=float,
+        default=None,
+        help="also gate the batched superblock tier: required "
+        "batchturbo-vs-batch wall-clock ratio on the 8-cell distance "
+        "ladder (e.g. 1.25); omitted, the probe is skipped",
     )
     parser.add_argument(
         "--min-codecache-speedup",
@@ -200,13 +219,18 @@ def main() -> int:
             )
             return 1
 
-    if args.min_batch_speedup is not None:
+    sweep = None
+    if args.min_batch_speedup is not None or (
+        args.min_batchturbo_speedup is not None
+    ):
         sys.path.insert(
             0, str(Path(__file__).resolve().parents[1] / "benchmarks")
         )
         from bench_sweep import measure_sweep
 
         sweep = measure_sweep()
+
+    if args.min_batch_speedup is not None:
         print(
             f"batch probe: {sweep['workload']}@{sweep['scale']} "
             f"{sweep['cells']}-cell distance sweep "
@@ -227,6 +251,36 @@ def main() -> int:
             print(
                 f"FAIL: batched sweep loses to per-cell fast runs "
                 f"({sweep['speedup']['fast']:.2f}x < 1.00x)",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.min_batchturbo_speedup is not None:
+        from bench_sweep import measure_grid
+
+        ratio = sweep["batchturbo_vs_batch"]
+        grid = measure_grid()
+        print(
+            f"batchturbo probe: {sweep['workload']}@{sweep['scale']} "
+            f"{sweep['cells']}-cell ladder "
+            f"batch={sweep['tiers']['batch']:.2f}s "
+            f"batchturbo={sweep['tiers']['batchturbo']:.2f}s "
+            f"-> {ratio:.2f}x (floor {args.min_batchturbo_speedup:.2f}x); "
+            f"{grid['cells']}-cell grid "
+            f"{grid['batchturbo_vs_batch']:.2f}x"
+        )
+        if ratio < args.min_batchturbo_speedup:
+            print(
+                f"FAIL: batchturbo-vs-batch speedup {ratio:.2f}x is "
+                f"below the {args.min_batchturbo_speedup:.2f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        if grid["batchturbo_vs_batch"] < 1.0:
+            print(
+                f"FAIL: batchturbo loses to the batch tier on the "
+                f"distance x cache-scale grid "
+                f"({grid['batchturbo_vs_batch']:.2f}x < 1.00x)",
                 file=sys.stderr,
             )
             return 1

@@ -173,9 +173,14 @@ def _format_sweep_table(result) -> str:
         cycles = entry["run"]["counters"].get("cycles", 0.0)
         base = baselines.get(entry["cache_scale"])
         ratio = f"{base / cycles:>8.3f}" if base and cycles else f"{'-':>8}"
-        source = "cache" if entry["cached"] else (
-            "batch" if entry["batched"] else "replay"
-        )
+        if entry["cached"]:
+            source = "cache"
+        elif entry["batched"]:
+            # The executed batch tier: "batchturbo" for fused
+            # superblock batches, "batch" for per-block chains.
+            source = entry.get("tier") or "batch"
+        else:
+            source = "replay"
         distance = entry["distance"] if entry["distance"] is not None else "-"
         scale = f"1/{entry['cache_scale']}"
         lines.append(
@@ -184,8 +189,13 @@ def _format_sweep_table(result) -> str:
         )
     execution = result.execution
     groups = ", ".join(
-        f"{g['scheme']}:{'batched' if g['batched'] else 'replay'}"
-        + (f" ({g['reason']})" if g.get("reason") else "")
+        f"{g['scheme']}:{g.get('tier') or 'batch' if g['batched'] else 'replay'}"
+        + (
+            f" ({g.get('reason_code') or ''}{': ' if g.get('reason_code') else ''}"
+            f"{g['reason']})"
+            if g.get("reason")
+            else ""
+        )
         for g in execution["groups"]
     ) or "all cached"
     lines.append(
@@ -494,6 +504,16 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         f"{counters.get('codecache.misses', 0)} miss(es), "
         f"{counters.get('codecache.invalidated', 0)} invalidated"
     )
+    fallbacks = {
+        name[len("batch.fallback."):]: value
+        for name, value in counters.items()
+        if name.startswith("batch.fallback.")
+    }
+    if fallbacks:
+        detail = ", ".join(
+            f"{code}={count}" for code, count in sorted(fallbacks.items())
+        )
+        print(f"batch fallbacks: {sum(fallbacks.values())} ({detail})")
     print("cumulative metrics:")
     if not counters:
         print("  (none recorded)")

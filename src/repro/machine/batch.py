@@ -59,7 +59,30 @@ from repro.mem.batch import CellState, shared_space
 
 
 class BatchDivergence(Exception):
-    """The cells cannot share one front-end; replay them sequentially."""
+    """The cells cannot share one front-end; replay them sequentially.
+
+    ``code`` is a stable machine-readable label for the fallback
+    reason; the sweep service counts them as ``batch.fallback.<code>``
+    metrics and the CLI surfaces them in the sweep source column.
+    """
+
+    def __init__(self, message: str, code: str = "divergent") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+#: The closed set of fallback reason codes a BatchDivergence may carry
+#: (plus the synthetic "single-cell" run_batch assigns without raising).
+FALLBACK_CODES = (
+    "alignment",
+    "divergent-branch",
+    "divergent-store",
+    "divergent-call",
+    "divergent-work",
+    "cost-model",
+    "space-mismatch",
+    "single-cell",
+)
 
 
 #: One sweep cell: what a sequential run would hand to Machine.
@@ -154,9 +177,13 @@ def _check_alignment(plan: _FunctionPlan) -> None:
     first = plan.functions[0]
     for function in plan.functions[1:]:
         if function.params != first.params:
-            raise BatchDivergence(f"{plan.name}: parameter lists differ")
+            raise BatchDivergence(
+                f"{plan.name}: parameter lists differ", "alignment"
+            )
         if len(function.blocks) != len(first.blocks):
-            raise BatchDivergence(f"{plan.name}: block counts differ")
+            raise BatchDivergence(
+                f"{plan.name}: block counts differ", "alignment"
+            )
     blocks_per_cell = [list(f.blocks) for f in plan.functions]
     for position, aligned in enumerate(zip(*blocks_per_cell)):
         base = aligned[0]
@@ -164,11 +191,13 @@ def _check_alignment(plan: _FunctionPlan) -> None:
             if block.name != base.name:
                 raise BatchDivergence(
                     f"{plan.name}: block order differs at {position}"
-                    f" ({block.name!r} vs {base.name!r})"
+                    f" ({block.name!r} vs {base.name!r})",
+                    "alignment",
                 )
             if len(block.instructions) != len(base.instructions):
                 raise BatchDivergence(
-                    f"{plan.name}/{base.name}: instruction counts differ"
+                    f"{plan.name}/{base.name}: instruction counts differ",
+                    "alignment",
                 )
         for insts in zip(*(b.instructions for b in aligned)):
             inst = insts[0]
@@ -182,7 +211,8 @@ def _check_alignment(plan: _FunctionPlan) -> None:
                 ):
                     raise BatchDivergence(
                         f"{plan.name}/{base.name}: instruction at pc "
-                        f"{inst.pc:#x} differs structurally"
+                        f"{inst.pc:#x} differs structurally",
+                        "alignment",
                     )
             for position_args in zip(*(i.args for i in insts)):
                 head = position_args[0]
@@ -191,13 +221,15 @@ def _check_alignment(plan: _FunctionPlan) -> None:
                         if value != head:
                             raise BatchDivergence(
                                 f"{plan.name}/{base.name}: register "
-                                f"operands differ at pc {inst.pc:#x}"
+                                f"operands differ at pc {inst.pc:#x}",
+                                "alignment",
                             )
             if inst.op is Opcode.PHI:
                 labels = [tuple(p for p, _ in i.incomings) for i in insts]
                 if any(lab != labels[0] for lab in labels[1:]):
                     raise BatchDivergence(
-                        f"{plan.name}/{base.name}: phi predecessors differ"
+                        f"{plan.name}/{base.name}: phi predecessors differ",
+                        "alignment",
                     )
                 for values in zip(
                     *(tuple(v for _, v in i.incomings) for i in insts)
@@ -208,7 +240,8 @@ def _check_alignment(plan: _FunctionPlan) -> None:
                             if value != head:
                                 raise BatchDivergence(
                                     f"{plan.name}/{base.name}: phi "
-                                    f"register incomings differ"
+                                    f"register incomings differ",
+                                    "alignment",
                                 )
 
 
@@ -273,21 +306,25 @@ def _check_banned(plan: _FunctionPlan) -> None:
 
             if op is Opcode.BR and diverges(0):
                 raise BatchDivergence(
-                    f"{plan.name}/{name}: divergent branch condition"
+                    f"{plan.name}/{name}: divergent branch condition",
+                    "divergent-branch",
                 )
             if op is Opcode.STORE and (diverges(0) or diverges(1)):
                 raise BatchDivergence(
-                    f"{plan.name}/{name}: divergent store"
+                    f"{plan.name}/{name}: divergent store",
+                    "divergent-store",
                 )
             if op is Opcode.CALL and any(
                 diverges(j) for j in range(len(inst.args))
             ):
                 raise BatchDivergence(
-                    f"{plan.name}/{name}: divergent call argument"
+                    f"{plan.name}/{name}: divergent call argument",
+                    "divergent-call",
                 )
             if op is Opcode.WORK and diverges(0):
                 raise BatchDivergence(
-                    f"{plan.name}/{name}: divergent WORK amount"
+                    f"{plan.name}/{name}: divergent WORK amount",
+                    "divergent-work",
                 )
 
 
@@ -300,7 +337,9 @@ def analyze_modules(modules: Sequence[Module]) -> dict:
     names = list(modules[0].functions)
     for module in modules[1:]:
         if list(module.functions) != names:
-            raise BatchDivergence("function sets differ across cells")
+            raise BatchDivergence(
+            "function sets differ across cells", "alignment"
+        )
     plans = {
         name: _FunctionPlan(name, [m.function(name) for m in modules])
         for name in names
@@ -342,6 +381,7 @@ class _BatchFrame:
         "sp_store",
         "invoke",
         "counters",
+        "max_instructions",
     )
 
 
@@ -959,6 +999,7 @@ class BatchCompiledFunction:
         else:
             st.D = ()
         max_instructions = bm.config.max_instructions
+        st.max_instructions = max_instructions
 
         R = [0] * self._register_count
         for slot, value in enumerate(args):
@@ -995,25 +1036,52 @@ _COST_FIELDS = (
 )
 
 
+#: The batched execution tiers ``BatchMachine`` can compile for.
+BATCH_TIERS = ("batch", "batchturbo")
+
+
+def resolve_tier(cells: Sequence[BatchCell], tier: Optional[str]) -> str:
+    """The tier a batch should run at: an explicit request wins, else
+    the cells' engine knob decides — ``engine="turbo"`` cells get the
+    batched superblock tier, everything else the per-block chains."""
+    if tier is not None:
+        if tier not in BATCH_TIERS:
+            raise ValueError(f"unknown batch tier {tier!r}")
+        return tier
+    if cells and cells[0].config.engine == "turbo":
+        return "batchturbo"
+    return "batch"
+
+
 class BatchMachine:
     """N simulated processes sharing one front-end.
 
     Raises :class:`BatchDivergence` at construction when the cells
     cannot be batched; never at run time (the analysis is static).
+
+    ``tier`` selects the execution tier (see :func:`resolve_tier`):
+    ``"batch"`` runs per-block closure chains, ``"batchturbo"`` adds a
+    fused superblock per hot loop nest
+    (:mod:`repro.machine.batchturbo`) and, past the vector cell-count
+    threshold, the vectorized L1 tag lane.
     """
 
-    def __init__(self, cells: Sequence[BatchCell]) -> None:
+    def __init__(
+        self, cells: Sequence[BatchCell], tier: Optional[str] = None
+    ) -> None:
         if not cells:
             raise ValueError("batch needs at least one cell")
         self.ncells = len(cells)
         self.config = cells[0].config
+        self.tier = resolve_tier(cells, tier)
         for index, cell in enumerate(cells):
             for field_name in _COST_FIELDS:
                 if getattr(cell.config, field_name) != getattr(
                     self.config, field_name
                 ):
                     raise BatchDivergence(
-                        f"cell {index}: {field_name} differs across cells"
+                        f"cell {index}: {field_name} differs across cells",
+                        "cost-model",
                     )
         modules = []
         for cell in cells:
@@ -1023,7 +1091,7 @@ class BatchMachine:
         try:
             self.space = shared_space([cell.space for cell in cells])
         except ValueError as error:
-            raise BatchDivergence(str(error)) from error
+            raise BatchDivergence(str(error), "space-mismatch") from error
         self.plans = analyze_modules(modules)
         self.cells = [
             CellState(cell.config, self.space) for cell in cells
@@ -1032,27 +1100,60 @@ class BatchMachine:
         self.load_ports = [cell.load for cell in self.cells]
         self.store_ports = [cell.store for cell in self.cells]
         self.prefetch_ports = [cell.prefetch for cell in self.cells]
+        self.cell_configs = [cell.config for cell in cells]
         self._compiled: dict = {}
+        self.bindings = None
+        self.vector = False
+        if self.tier == "batchturbo":
+            from repro.mem.batch import build_lane, vector_threshold
+
+            from repro.machine.batchturbo import CellBindings
+
+            self.vector = self.ncells >= vector_threshold()
+            lane = build_lane(self.cells) if self.vector else None
+            self.bindings = CellBindings(self.cells, self.space, lane)
 
     # ------------------------------------------------------------------
     def _compile(self, name: str) -> BatchCompiledFunction:
         compiled = self._compiled.get(name)
         if compiled is None:
             plan = self.plans[name]
-            compiler = _BatchBlockCompiler(plan, self.plans, self.config)
-            blocks = tuple(
-                compiler.compile_block(aligned)
-                for aligned in zip(*(list(f.blocks) for f in plan.functions))
-            )
-            compiled = BatchCompiledFunction(
-                plan,
-                blocks,
-                tuple(block.name for block in plan.functions[0].blocks),
-                compiler.block_index[plan.functions[0].entry.name],
-                len(compiler.slots),
-                compiler.has_divergence,
-                plan.ret_divergent,
-            )
+            if self.tier == "batchturbo":
+                from repro.machine.codecache import (
+                    load_or_compile_batch,
+                    resolve,
+                )
+
+                cache = resolve(self.config.code_cache)
+                compiled = load_or_compile_batch(
+                    cache,
+                    plan,
+                    self.plans,
+                    self.config,
+                    self.cell_configs,
+                    self.vector,
+                )
+            else:
+                compiler = _BatchBlockCompiler(
+                    plan, self.plans, self.config
+                )
+                blocks = tuple(
+                    compiler.compile_block(aligned)
+                    for aligned in zip(
+                        *(list(f.blocks) for f in plan.functions)
+                    )
+                )
+                compiled = BatchCompiledFunction(
+                    plan,
+                    blocks,
+                    tuple(
+                        block.name for block in plan.functions[0].blocks
+                    ),
+                    compiler.block_index[plan.functions[0].entry.name],
+                    len(compiler.slots),
+                    compiler.has_divergence,
+                    plan.ret_divergent,
+                )
             self._compiled[name] = compiled
         return compiled
 
@@ -1085,39 +1186,54 @@ class BatchMachine:
 
 @dataclass
 class BatchOutcome:
-    """Per-cell results + whether the batched fast path was used."""
+    """Per-cell results + whether the batched fast path was used.
+
+    ``tier`` is the tier that actually executed (``"batch"``,
+    ``"batchturbo"``, or ``"replay"`` for the sequential fallback);
+    ``reason_code`` is the stable :data:`FALLBACK_CODES` label behind a
+    human-readable ``reason``.
+    """
 
     results: list
     batched: bool
     reason: Optional[str] = None
+    reason_code: Optional[str] = None
+    tier: Optional[str] = None
 
 
 def run_batch(
     cells: Sequence[BatchCell],
     function: str = "main",
     args: Sequence[int] = (),
+    tier: Optional[str] = None,
 ) -> BatchOutcome:
     """Run every cell, batched when the cells align, else sequentially.
 
-    The outcome's ``results`` are bit-identical either way; ``batched``
-    and ``reason`` report which path executed (the qa oracle asserts
-    the identity, the sweep service records the reason).
+    The outcome's ``results`` are bit-identical either way; ``batched``,
+    ``tier`` and ``reason``/``reason_code`` report which path executed
+    (the qa oracle asserts the identity, the sweep service counts the
+    fallback codes as ``batch.fallback.<code>`` metrics).
     """
     cells = list(cells)
     reason: Optional[str] = None
+    reason_code: Optional[str] = None
     if len(cells) >= 2:
         try:
-            machine = BatchMachine(cells)
+            machine = BatchMachine(cells, tier=tier)
         except BatchDivergence as error:
             reason = str(error)
+            reason_code = error.code
         else:
-            return BatchOutcome(machine.run(function, args), True)
+            return BatchOutcome(
+                machine.run(function, args), True, tier=machine.tier
+            )
     else:
         reason = "single cell"
+        reason_code = "single-cell"
     results = [
         Machine(cell.module, cell.space, config=cell.config).run(
             function, args
         )
         for cell in cells
     ]
-    return BatchOutcome(results, False, reason)
+    return BatchOutcome(results, False, reason, reason_code, "replay")

@@ -80,7 +80,6 @@ import itertools
 import re
 from typing import Optional, Sequence
 
-from repro.analysis.loops import Loop, find_loops
 from repro.ir.nodes import Function, IRError
 from repro.ir.opcodes import BINOP_EXPR, Opcode
 from repro.machine.blockengine import (
@@ -92,6 +91,15 @@ from repro.machine.blockengine import (
 )
 from repro.machine.config import MachineConfig
 from repro.machine.context import ExecutionContext
+from repro.machine.fusion import (
+    ALU_OPS as _ALU_OPS,
+    FusionUnit as _Unit,
+    GuardedUnit as _Guarded,
+    discover_units,
+    flatten_unit as _flatten,
+    unit_depth as _depth,
+    unit_entry as _entry,
+)
 from repro.machine.interpreter import ExecutionLimitExceeded
 from repro.machine.sampler import NEVER
 
@@ -104,166 +112,9 @@ _counter = itertools.count()
 _ADAPT_WARMUP = 64
 _ADAPT_MIN_ITERS = 2
 
-#: Opcodes treated as plain folded-cost ALU work by the scanner/codegen.
-_ALU_OPS = frozenset(BINOP_EXPR) | {
-    Opcode.GEP,
-    Opcode.CONST,
-    Opcode.MOV,
-    Opcode.SELECT,
-}
-
-
-# ----------------------------------------------------------------------
-# Eligibility: linear loop-nest units
-# ----------------------------------------------------------------------
-class _Unit:
-    """One fusable loop: a linear path of blocks and already-fused
-    inner units from header to latch, plus the continuation/exit
-    metadata codegen needs."""
-
-    __slots__ = (
-        "header",
-        "path",
-        "blocks",
-        "own_blocks",
-        "cont",
-        "exit_targets",
-        "exit_blocks",
-    )
-
-    def __init__(
-        self,
-        header: str,
-        path: tuple,
-        blocks: frozenset,
-        own_blocks: tuple,
-        cont: dict,
-        exit_targets: frozenset,
-        exit_blocks: tuple,
-    ) -> None:
-        self.header = header
-        self.path = path  # str | _Unit, in execution order
-        self.blocks = blocks  # every block name covered, recursively
-        self.own_blocks = own_blocks  # the plain blocks on this path
-        self.cont = cont  # own block -> its in-path successor entry
-        self.exit_targets = exit_targets  # out-of-unit BR arm targets
-        self.exit_blocks = exit_blocks  # own blocks with a side exit
-
-
-def _entry(node) -> str:
-    return node.header if isinstance(node, _Unit) else node
-
-
-def _block_is_fusable(block) -> bool:
-    """Reject blocks whose cost cannot be bounded at compile time
-    (CALL re-enters the trampoline — an observation point; dynamic
-    WORK retires a run-time-dependent amount)."""
-    for inst in block.non_phi_instructions():
-        if inst.op is Opcode.CALL:
-            return False
-        if inst.op is Opcode.WORK and type(inst.args[0]) is not int:
-            return False
-    return True
-
-
-def _build_unit(
-    function: Function, loop: Loop, units: dict
-) -> Optional[_Unit]:
-    """Build the fused unit for ``loop``, or None if it is not linear.
-
-    Linear means: single latch, and every node on the walk from the
-    header has exactly one in-loop successor — either a block whose
-    JMP target / one BR arm stays in the body (the other arm is a side
-    exit), or an already-fused inner unit (from ``units``, keyed by
-    header) whose single exit target is the continuation.  The walk
-    must cover the whole body and end on the latch's back edge, so
-    irreducible or diamond-shaped bodies and nests around unfused
-    inner loops all fail naturally.
-    """
-    if len(loop.latches) != 1:
-        return None
-    body = loop.body
-    path: list = []
-    covered: set = set()
-    current = loop.header
-    while True:
-        inner = units.get(current) if current != loop.header else None
-        if inner is not None:
-            if not (inner.blocks <= body) or len(inner.exit_targets) != 1:
-                return None
-            nxt = next(iter(inner.exit_targets))
-            if nxt == loop.header:
-                return None  # back edge out of a fused unit: keep unfused
-            path.append(inner)
-            covered |= inner.blocks
-        else:
-            block = function.block(current)
-            terminator = block.terminator
-            if terminator is None or terminator.op not in (
-                Opcode.JMP,
-                Opcode.BR,
-            ):
-                return None
-            if not _block_is_fusable(block):
-                return None
-            in_loop = [t for t in terminator.targets if t in body]
-            if len(in_loop) != 1:
-                return None
-            path.append(current)
-            covered.add(current)
-            nxt = in_loop[0]
-            if nxt == loop.header:
-                if current != loop.latches[0]:
-                    return None
-                break  # the back edge: ``current`` is the latch
-        if nxt in covered:
-            return None
-        current = nxt
-    if covered != body:
-        return None
-    own_blocks = tuple(n for n in path if not isinstance(n, _Unit))
-    cont: dict = {}
-    for i, node in enumerate(path):
-        if isinstance(node, _Unit):
-            continue
-        cont[node] = (
-            _entry(path[i + 1]) if i + 1 < len(path) else loop.header
-        )
-    exit_targets: set = set()
-    exit_blocks: list = []
-    for name in own_blocks:
-        terminator = function.block(name).terminator
-        if terminator.op is Opcode.BR:
-            for target in terminator.targets:
-                if target != cont[name]:
-                    exit_targets.add(target)
-                    exit_blocks.append(name)
-    return _Unit(
-        header=loop.header,
-        path=tuple(path),
-        blocks=frozenset(covered),
-        own_blocks=own_blocks,
-        cont=cont,
-        exit_targets=frozenset(exit_targets),
-        exit_blocks=tuple(exit_blocks),
-    )
-
-
-def _flatten(unit: _Unit) -> list:
-    names: list = []
-    for node in unit.path:
-        if isinstance(node, _Unit):
-            names.extend(_flatten(node))
-        else:
-            names.append(node)
-    return names
-
-
-def _depth(unit: _Unit) -> int:
-    return 1 + max(
-        (_depth(n) for n in unit.path if isinstance(n, _Unit)), default=0
-    )
-
+# Nest discovery and fusability live in repro.machine.fusion, shared
+# with the batched superblock tier (repro.machine.batchturbo) so the
+# two compilers can never disagree about what is fusable.
 
 # ----------------------------------------------------------------------
 # Codegen
@@ -366,8 +217,9 @@ class _SuperblockCodegen:
     def _nest_totals(self, unit: _Unit) -> tuple:
         rt, nloads, nstores, tk, const_cycles = self._unit_totals(unit)
         for node in unit.path:
-            if isinstance(node, _Unit):
-                crt, cld, csr, ctk, ccc = self._nest_totals(node)
+            if isinstance(node, (_Unit, _Guarded)):
+                inner = node.unit if isinstance(node, _Guarded) else node
+                crt, cld, csr, ctk, ccc = self._nest_totals(inner)
                 rt += crt
                 nloads += cld
                 nstores += csr
@@ -378,7 +230,9 @@ class _SuperblockCodegen:
     def _any_taken_exit(self, unit: _Unit) -> bool:
         """Whether any side exit anywhere in the nest is a BR's *taken*
         (then) arm — those contribute to st.taken even when every
-        continuation edge is fall-through."""
+        continuation edge is fall-through.  Guard blocks whose taken
+        arm enters the guarded inner unit report True the same way:
+        their taken count is adjusted dynamically."""
         for name in unit.own_blocks:
             terminator = self.function.block(name).terminator
             if (
@@ -387,18 +241,22 @@ class _SuperblockCodegen:
             ):
                 return True
         return any(
-            self._any_taken_exit(node)
+            self._any_taken_exit(
+                node.unit if isinstance(node, _Guarded) else node
+            )
             for node in unit.path
-            if isinstance(node, _Unit)
+            if isinstance(node, (_Unit, _Guarded))
         )
 
     def _tail_srcs(self, node) -> tuple:
         """The block(s) a path node transfers control *from* when it
         hands off to its in-path successor: the block itself, or — for
-        a nested unit — its side-exiting blocks (all of which break to
-        the unit's single continuation)."""
+        a nested (possibly guarded) unit — its side-exiting blocks (all
+        of which break to the unit's single continuation)."""
         if isinstance(node, _Unit):
             return node.exit_blocks
+        if isinstance(node, _Guarded):
+            return node.unit.exit_blocks
         return (node,)
 
     def _internal_edges(self, unit: _Unit) -> list:
@@ -410,6 +268,11 @@ class _SuperblockCodegen:
                 edges.append((src, tgt))
             if isinstance(node, _Unit):
                 edges.extend(self._internal_edges(node))
+            elif isinstance(node, _Guarded):
+                # The guard's skip arm rejoins at the same continuation
+                # the inner unit exits to.
+                edges.append((node.guard, tgt))
+                edges.extend(self._internal_edges(node.unit))
         return edges
 
     def _exit_edges(self) -> list:
@@ -419,7 +282,10 @@ class _SuperblockCodegen:
             terminator = self.function.block(name).terminator
             if terminator.op is Opcode.BR:
                 for target in terminator.targets:
-                    if target != unit.cont[name]:
+                    if (
+                        target != unit.cont[name]
+                        and target != unit.guards.get(name)
+                    ):
                         edges.append((name, target))
         return edges
 
@@ -441,6 +307,8 @@ class _SuperblockCodegen:
             for node in unit.path:
                 if isinstance(node, _Unit):
                     visit(node)
+                elif isinstance(node, _Guarded):
+                    visit(node.unit)
 
         visit(self.unit)
         for src, tgt in self._internal_edges(self.unit):
@@ -685,7 +553,10 @@ class _SuperblockCodegen:
         self.emit("while True:")
         self.indent += 1
         prefix = [0, 0, 0, 0]  # running rt / loads / stores / taken
-        for node in unit.path:
+        path = unit.path
+        for i, node in enumerate(path):
+            if isinstance(node, _Guarded):
+                continue  # emitted inside its guard block's BR arm
             if isinstance(node, _Unit):
                 inner_carried = (
                     carried[0] + prefix[0],
@@ -695,7 +566,15 @@ class _SuperblockCodegen:
                 )
                 self._emit_unit(node, inner_carried, profiled)
             else:
-                self._emit_block(node, prefix, profiled, unit, carried)
+                nxt = path[i + 1] if i + 1 < len(path) else None
+                self._emit_block(
+                    node,
+                    prefix,
+                    profiled,
+                    unit,
+                    carried,
+                    nxt if isinstance(nxt, _Guarded) else None,
+                )
         # The back edge: fold one completed iteration into the
         # accumulators, then guard the distance to the next
         # observation point (the mutant needle for repro.qa targets
@@ -725,6 +604,7 @@ class _SuperblockCodegen:
         profiled: bool,
         unit: _Unit,
         carried: tuple,
+        guarded: Optional[_Guarded] = None,
     ) -> None:
         cfg = self.config
         block = self.function.block(name)
@@ -860,6 +740,57 @@ class _SuperblockCodegen:
                 flush()
                 then_target, else_target = inst.targets
                 cond = self.operand(inst.args[0])
+                if guarded is not None:
+                    # Guarded inner unit: one arm runs the whole fused
+                    # inner loop, the other skips it; both rejoin at
+                    # ``guarded.skip`` (the next path node).  The
+                    # static taken count follows _scan_totals (counted
+                    # iff the skip arm is the taken arm), with the
+                    # other arm correcting _tk dynamically.
+                    enter = guarded.unit.header
+                    skip = guarded.skip
+                    if not guarded.enter_on_true:
+                        prefix[3] += 1
+                    arm = "if {}:" if guarded.enter_on_true else (
+                        "if not ({}):"
+                    )
+                    self.emit(arm.format(cond))
+                    self.indent += 1
+                    if guarded.enter_on_true:
+                        if profiled:
+                            self.emit(
+                                f"lbr_push(({inst.pc}, "
+                                f"{self.start_pc[enter]}, cycle))"
+                            )
+                        self.emit("_tk += 1")
+                    else:
+                        self.emit("_tk -= 1")
+                    for line in self._edge_copy_lines(name, enter):
+                        self.emit(line)
+                    inner_carried = (
+                        carried[0] + prefix[0],
+                        carried[1] + prefix[1],
+                        carried[2] + prefix[2],
+                        carried[3] + prefix[3],
+                    )
+                    self._emit_unit(guarded.unit, inner_carried, profiled)
+                    self.indent -= 1
+                    self.emit("else:")
+                    self.indent += 1
+                    if not guarded.enter_on_true and profiled:
+                        self.emit(
+                            f"lbr_push(({inst.pc}, "
+                            f"{self.start_pc[skip]}, cycle))"
+                        )
+                    skip_copies = self._edge_copy_lines(name, skip)
+                    for line in skip_copies:
+                        self.emit(line)
+                    if not skip_copies and not (
+                        not guarded.enter_on_true and profiled
+                    ):
+                        self.emit("pass")
+                    self.indent -= 1
+                    continue
                 if then_target == cont:
                     # Exit is the untaken (else) arm.
                     self.emit(f"if not ({cond}):")
@@ -1153,12 +1084,7 @@ def compile_turbo(
     config = config or MachineConfig()
     base = compile_blocks(function, config)
     superblocks: list = [None] * len(base._blocks)
-    units: dict = {}
-    for loop in sorted(find_loops(function), key=lambda lp: len(lp.body)):
-        unit = _build_unit(function, loop, units)
-        if unit is None:
-            continue
-        units[unit.header] = unit
+    for unit in discover_units(function).values():
         superblocks[base.block_index[unit.header]] = _build_superblock(
             function, config, base, unit
         )

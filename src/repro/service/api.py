@@ -617,6 +617,7 @@ class TuningService:
                     "cache_scale": cache_scale,
                     "cached": payload is not None,
                     "batched": None,
+                    "tier": None,
                     "run": payload,
                 }
             )
@@ -697,6 +698,7 @@ class TuningService:
             scheme=scheme,
             cells=len(indices),
             batched=outcome.batched,
+            tier=outcome.tier,
             reason=outcome.reason,
         )
         self.metrics.inc(
@@ -704,11 +706,17 @@ class TuningService:
             else "sweep.fallback_cells",
             len(indices),
         )
+        if not outcome.batched and outcome.reason_code:
+            # Per-cause fallback counter: ``batch.fallback.<code>`` —
+            # lets dashboards tell a shape mismatch from a divergence
+            # mid-run without parsing the human-readable reason.
+            self.metrics.inc(f"batch.fallback.{outcome.reason_code}")
         self.metrics.event(
             "sweep.group",
             scheme=scheme,
             cells=len(indices),
             batched=outcome.batched,
+            tier=outcome.tier,
         )
 
         for position, index in enumerate(indices):
@@ -723,11 +731,14 @@ class TuningService:
             self._put(keys[index], payload)
             cell["run"] = payload
             cell["batched"] = outcome.batched
+            cell["tier"] = outcome.tier
         return {
             "scheme": scheme,
             "cells": len(indices),
             "batched": outcome.batched,
+            "tier": outcome.tier,
             "reason": outcome.reason,
+            "reason_code": outcome.reason_code,
         }
 
     @staticmethod

@@ -36,10 +36,16 @@ def test_generated_programs_pass_full_matrix():
 
 def test_batch_axis_is_bit_identical():
     # Uniform cache-scale batch + divergent A&J-distance batch, each
-    # cell identical to a fresh sequential Machine run.
+    # executed on both batch tiers, each cell identical to a fresh
+    # sequential Machine run.
     for seed in (0, 1, 2):
         report = check_batch(generate_spec(seed))
-        assert set(report["axes"]) == {"batch-uniform", "batch-aj"}
+        assert set(report["axes"]) == {
+            "batch-uniform/batch",
+            "batch-uniform/batchturbo",
+            "batch-aj/batch",
+            "batch-aj/batchturbo",
+        }
 
 
 def test_batch_failure_predicate_matches_check():
